@@ -1,0 +1,123 @@
+package chow88
+
+import (
+	"fmt"
+	"testing"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/experiments"
+)
+
+// The bench harness regenerates every measurement of the paper's evaluation
+// as testing.B benchmarks. Each iteration compiles and executes a benchmark
+// program on the cycle-accurate simulator; the paper's metrics are attached
+// as custom units so `go test -bench` output reproduces the table rows:
+//
+//	paper-cycles        executed machine cycles (Table 1/2 column I input)
+//	paper-scalarLS      scalar loads+stores     (column II input)
+//	paper-saverestore   the save/restore component
+//	paper-cyc/call      call intensity (Table 1's cycles/call column)
+
+func benchProgram(b *testing.B, src string, mode Mode) {
+	b.Helper()
+	prog, err := Compile(src, mode)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	var last *RunResult
+	for i := 0; i < b.N; i++ {
+		res, err := prog.Run()
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.Stats.Cycles), "paper-cycles")
+		b.ReportMetric(float64(last.Stats.ScalarLS()), "paper-scalarLS")
+		b.ReportMetric(float64(last.Stats.SaveRestoreLS()), "paper-saverestore")
+		b.ReportMetric(last.Stats.CyclesPerCall(), "paper-cyc/call")
+	}
+}
+
+// BenchmarkTable1 measures every suite program under the baseline and the
+// three Table 1 columns (A = -O2+sw, B = -O3, C = -O3+sw).
+func BenchmarkTable1(b *testing.B) {
+	modes := map[string]Mode{
+		"base": ModeBase(), "A": ModeA(), "B": ModeB(), "C": ModeC(),
+	}
+	for _, prog := range benchprog.All() {
+		for _, key := range []string{"base", "A", "B", "C"} {
+			b.Run(fmt.Sprintf("%s/%s", prog.Name, key), func(b *testing.B) {
+				benchProgram(b, prog.Source, modes[key])
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 measures the register-class restriction columns
+// (D = 7 caller-saved, E = 7 callee-saved).
+func BenchmarkTable2(b *testing.B) {
+	modes := map[string]Mode{"D": ModeD(), "E": ModeE()}
+	for _, prog := range benchprog.All() {
+		for _, key := range []string{"D", "E"} {
+			b.Run(fmt.Sprintf("%s/%s", prog.Name, key), func(b *testing.B) {
+				benchProgram(b, prog.Source, modes[key])
+			})
+		}
+	}
+}
+
+// BenchmarkFigures runs the Figure 1-4 demonstrations (placement reports
+// and per-path/per-frequency measurements).
+func BenchmarkFigures(b *testing.B) {
+	figs := map[string]func() (string, error){
+		"fig1": experiments.Fig1,
+		"fig2": experiments.Fig2,
+		"fig3": experiments.Fig3,
+		"fig4": experiments.Fig4,
+	}
+	for name, fn := range figs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures compilation speed itself (the paper reports the
+// back-end cost of linked-Ucode compilation; this is our analogue).
+func BenchmarkCompile(b *testing.B) {
+	for _, progName := range []string{"nim", "tex", "uopt"} {
+		p := benchprog.Lookup(progName)
+		for _, mode := range []Mode{ModeBase(), ModeC()} {
+			b.Run(fmt.Sprintf("%s/%s", progName, mode.Name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Compile(p.Source, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHeightSweep is the ablation the paper's analysis calls for: "the
+// relevant parameter is the height of the call graph". It builds synthetic
+// call chains of growing depth, with register pressure at every level, and
+// reports the save/restore traffic of the two restricted register classes.
+// As the chain outgrows the register file, the callee-saved configuration's
+// ability to migrate saves up the graph becomes the deciding factor.
+func BenchmarkHeightSweep(b *testing.B) {
+	for _, depth := range []int{2, 6, 12} {
+		src := experiments.ChainProgram(depth, 3)
+		for key, mode := range map[string]Mode{"D": ModeD(), "E": ModeE()} {
+			b.Run(fmt.Sprintf("depth%d/%s", depth, key), func(b *testing.B) {
+				benchProgram(b, src, mode)
+			})
+		}
+	}
+}

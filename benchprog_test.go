@@ -1,0 +1,84 @@
+package chow88
+
+import (
+	"reflect"
+	"testing"
+
+	"chow88/internal/benchprog"
+)
+
+// TestBenchmarksAllModes compiles and runs every suite benchmark under every
+// measurement mode, requiring interpreter-identical output. This is both the
+// correctness gate for the evaluation and a smoke test that the workloads
+// terminate within sane budgets.
+func TestBenchmarksAllModes(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, err := Interpret(b.Source)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("benchmark prints nothing; output checks would be vacuous")
+			}
+			for _, mode := range allModes() {
+				prog, err := Compile(b.Source, mode)
+				if err != nil {
+					t.Fatalf("[%s] compile: %v", mode.Name, err)
+				}
+				res, err := prog.Run()
+				if err != nil {
+					t.Fatalf("[%s] run: %v", mode.Name, err)
+				}
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Errorf("[%s] output = %v, want %v", mode.Name, res.Output, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksAreCallIntensive checks the suite matches the paper's
+// workload character: every benchmark makes procedure calls, and the suite
+// spans both call-dense and call-sparse regimes.
+func TestBenchmarksAreCallIntensive(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Compile(b.Source, ModeBase())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Stats.Calls < 100 {
+				t.Errorf("only %d calls; the suite must be call-intensive", res.Stats.Calls)
+			}
+			cpc := res.Stats.CyclesPerCall()
+			if cpc > 5000 {
+				t.Errorf("cycles/call = %.0f; too call-sparse for the paper's analysis", cpc)
+			}
+		})
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	all := benchprog.All()
+	if len(all) != 13 {
+		t.Fatalf("suite has %d entries, want 13", len(all))
+	}
+	if benchprog.Lookup("nim") == nil || benchprog.Lookup("uopt") == nil {
+		t.Fatal("lookup broken")
+	}
+	if benchprog.Lookup("nope") != nil {
+		t.Fatal("lookup should miss")
+	}
+	for _, b := range all {
+		if b.Lines < 50 {
+			t.Errorf("%s: only %d lines", b.Name, b.Lines)
+		}
+	}
+}

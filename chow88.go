@@ -1,0 +1,140 @@
+// Package chow88 reproduces Fred Chow's PLDI 1988 paper "Minimizing
+// Register Usage Penalty at Procedure Calls": one-pass inter-procedural
+// register allocation layered on priority-based coloring, and
+// shrink-wrapping of callee-saved register saves/restores.
+//
+// The package compiles programs in CW — a small, call-intensive, C-like
+// experiment language — to code for a MIPS R2000-like virtual machine, under
+// the compilation modes the paper measures:
+//
+//	ModeBase  -O2, shrink-wrap off (the baseline of every comparison)
+//	ModeA     -O2, shrink-wrap on            (Table 1, column A)
+//	ModeB     -O3 (IPRA), shrink-wrap off    (Table 1, column B)
+//	ModeC     -O3 (IPRA), shrink-wrap on     (Table 1, column C)
+//	ModeD     ModeC with 7 caller-saved regs (Table 2, column D)
+//	ModeE     ModeC with 7 callee-saved regs (Table 2, column E)
+//
+// Running the compiled program on the built-in simulator yields pixie-style
+// statistics (cycles, scalar loads/stores, calls) from which the paper's
+// tables are regenerated.
+//
+// Quick start:
+//
+//	prog, err := chow88.Compile(src, chow88.ModeC())
+//	res, err := prog.Run()
+//	fmt.Println(res.Output, res.Stats.Cycles)
+package chow88
+
+import (
+	"fmt"
+
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/interp"
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/mcode"
+	"chow88/internal/opt"
+	"chow88/internal/parser"
+	"chow88/internal/pixie"
+	"chow88/internal/sema"
+	"chow88/internal/sim"
+)
+
+// Mode selects a compilation configuration. Use the Mode* constructors.
+type Mode = core.Mode
+
+// The paper's measurement modes.
+var (
+	ModeBase = core.ModeBase
+	ModeA    = core.ModeA
+	ModeB    = core.ModeB
+	ModeC    = core.ModeC
+	ModeD    = core.ModeD
+	ModeE    = core.ModeE
+)
+
+// Stats re-exports the pixie trace counters.
+type Stats = pixie.Stats
+
+// Program is a compiled CW program.
+type Program struct {
+	// Mode the program was compiled under.
+	Mode Mode
+	// Module is the optimized IR.
+	Module *ir.Module
+	// Plan is the register-allocation decision for every function.
+	Plan *core.ProgramPlan
+	// Code is the linked machine-code image.
+	Code *mcode.Program
+}
+
+// Compile compiles CW source under the given mode.
+func Compile(src string, mode Mode) (*Program, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	if mode.Optimize {
+		opt.Run(mod)
+		if err := ir.VerifyModule(mod); err != nil {
+			return nil, fmt.Errorf("optimizer broke the IR: %w", err)
+		}
+	}
+	plan := core.PlanModule(mod, mode)
+	code, err := codegen.Generate(plan)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	return &Program{Mode: mode, Module: mod, Plan: plan, Code: code}, nil
+}
+
+// RunResult is the outcome of executing a compiled program.
+type RunResult struct {
+	Output []int64
+	Stats  Stats
+}
+
+// RunOptions bound simulator resource use.
+type RunOptions = sim.Options
+
+// Run executes the program on the virtual machine with default limits.
+func (p *Program) Run() (*RunResult, error) { return p.RunWith(RunOptions{}) }
+
+// RunWith executes the program with explicit limits.
+func (p *Program) RunWith(opts RunOptions) (*RunResult, error) {
+	res, err := sim.Run(p.Code, opts)
+	if res == nil {
+		return nil, err
+	}
+	return &RunResult{Output: res.Output, Stats: res.Stats}, err
+}
+
+// Disassemble renders the generated machine code.
+func (p *Program) Disassemble() string { return p.Code.Disassemble() }
+
+// Interpret runs src on the reference AST interpreter, the oracle the
+// compiled implementation is differentially tested against.
+func Interpret(src string) ([]int64, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	res, err := interp.Run(info, interp.Options{})
+	if res == nil {
+		return nil, err
+	}
+	return res.Output, err
+}

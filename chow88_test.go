@@ -1,0 +1,183 @@
+package chow88
+
+import (
+	"reflect"
+	"testing"
+)
+
+// allModes returns every measurement configuration.
+func allModes() []Mode {
+	return []Mode{ModeBase(), ModeA(), ModeB(), ModeC(), ModeD(), ModeE()}
+}
+
+// checkAllModes compiles src under every mode, runs it, and compares the
+// output with the reference interpreter.
+func checkAllModes(t *testing.T, src string) {
+	t.Helper()
+	want, err := Interpret(src)
+	if err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	for _, mode := range allModes() {
+		prog, err := Compile(src, mode)
+		if err != nil {
+			t.Fatalf("[%s] compile: %v", mode.Name, err)
+		}
+		res, err := prog.Run()
+		if err != nil {
+			t.Fatalf("[%s] run: %v\n%s", mode.Name, err, prog.Disassemble())
+		}
+		if !reflect.DeepEqual(res.Output, want) {
+			t.Errorf("[%s] output = %v, want %v\n%s", mode.Name, res.Output, want, prog.Disassemble())
+		}
+	}
+}
+
+func TestSmokeArithmetic(t *testing.T) {
+	checkAllModes(t, `func main() {
+        print(2 + 3 * 4);
+        print((10 - 2) / 4);
+        print(17 % 5);
+    }`)
+}
+
+func TestSmokeCalls(t *testing.T) {
+	checkAllModes(t, `
+func add(a int, b int) int { return a + b; }
+func main() { print(add(3, 4)); print(add(add(1, 2), add(3, 4))); }`)
+}
+
+func TestSmokeRecursion(t *testing.T) {
+	checkAllModes(t, `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(12)); }`)
+}
+
+func TestSmokeLoops(t *testing.T) {
+	checkAllModes(t, `
+func sum(n int) int {
+    var s int;
+    var i int;
+    for (i = 1; i <= n; i = i + 1) { s = s + i; }
+    return s;
+}
+func main() { print(sum(100)); }`)
+}
+
+func TestSmokeGlobalsArrays(t *testing.T) {
+	checkAllModes(t, `
+var g int;
+var a [10]int;
+func fill() {
+    var i int;
+    for (i = 0; i < 10; i = i + 1) { a[i] = i * i; g = g + a[i]; }
+}
+func main() {
+    fill();
+    print(g);
+    print(a[7]);
+}`)
+}
+
+func TestSmokeIndirect(t *testing.T) {
+	checkAllModes(t, `
+var op func(int, int) int;
+func add(a int, b int) int { return a + b; }
+func mul(a int, b int) int { return a * b; }
+func pick(n int) {
+    if (n == 0) { op = add; } else { op = mul; }
+}
+func main() {
+    pick(0); print(op(3, 4));
+    pick(1); print(op(3, 4));
+}`)
+}
+
+func TestSmokeDeepCalls(t *testing.T) {
+	// Deep call chain exercising register exhaustion and propagation.
+	checkAllModes(t, `
+func l1(x int) int { return x * 2 + 1; }
+func l2(x int) int { var a int; var b int; a = l1(x); b = l1(x + 1); return a + b; }
+func l3(x int) int { var a int; var b int; a = l2(x); b = l2(x + 2); return a * b; }
+func l4(x int) int { var a int; var b int; a = l3(x); b = l3(x + 3); return a - b; }
+func l5(x int) int { var a int; var b int; a = l4(x); b = l4(x + 4); return a + b * 3; }
+func main() { print(l5(1)); print(l5(2)); }`)
+}
+
+func TestSmokeManyArgs(t *testing.T) {
+	// More arguments than parameter registers: stack passing.
+	checkAllModes(t, `
+func six(a int, b int, c int, d int, e int, f int) int {
+    return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+func main() { print(six(1, 2, 3, 4, 5, 6)); }`)
+}
+
+func TestSmokeMutualRecursion(t *testing.T) {
+	checkAllModes(t, `
+func even(n int) int { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n int) int { if (n == 0) { return 0; } return even(n - 1); }
+func main() { print(even(9)); print(odd(9)); }`)
+}
+
+func TestSmokeShortCircuit(t *testing.T) {
+	checkAllModes(t, `
+var n int;
+func inc() int { n = n + 1; return n; }
+func main() {
+    var x int;
+    x = 0 && inc();
+    print(x); print(n);
+    x = 1 || inc();
+    print(x); print(n);
+    x = 1 && inc();
+    print(x); print(n);
+}`)
+}
+
+func TestSmokeLocalArrays(t *testing.T) {
+	checkAllModes(t, `
+func rev(seed int) int {
+    var buf [8]int;
+    var i int;
+    for (i = 0; i < 8; i = i + 1) { buf[i] = seed + i; }
+    var s int;
+    for (i = 7; i >= 0; i = i - 1) { s = s * 2 + buf[i]; }
+    return s;
+}
+func main() { print(rev(3)); }`)
+}
+
+func TestSmokeLiveAcrossCalls(t *testing.T) {
+	// Values must survive many calls: the callee-saved/shrink-wrap machinery
+	// gets exercised hard.
+	checkAllModes(t, `
+func id(x int) int { return x; }
+func work(a int, b int, c int) int {
+    var t1 int; var t2 int; var t3 int;
+    t1 = id(a);
+    t2 = id(b);
+    t3 = id(c);
+    return t1 * 100 + t2 * 10 + t3 + a + b + c;
+}
+func main() { print(work(1, 2, 3)); }`)
+}
+
+func TestSmokePartialPathUsage(t *testing.T) {
+	// A register used only on one path: shrink-wrapping moves the
+	// save/restore off the other path; results must agree regardless.
+	checkAllModes(t, `
+func leaf(x int) int { return x + 1; }
+func f(n int) int {
+    if (n > 0) {
+        var a int; var b int; var c int;
+        a = leaf(n); b = leaf(a); c = leaf(b);
+        return a + b + c;
+    }
+    return n;
+}
+func main() { print(f(5)); print(f(-5)); }`)
+}

@@ -1,0 +1,154 @@
+// Command chowcc compiles a CW source file, mirroring the paper's compiler
+// driver: -O2 selects intra-procedural priority-based coloring, -O3 adds
+// one-pass inter-procedural allocation, and -shrinkwrap toggles optimized
+// save/restore placement. The result can be disassembled, executed, or
+// inspected (call graph, allocation plan, per-function summaries).
+//
+// Usage:
+//
+//	chowcc [flags] file.cw
+//
+// Flags:
+//
+//	-O2 / -O3        optimization level (default -O2)
+//	-shrinkwrap      enable shrink-wrapping (default true, as under -O2/-O3)
+//	-regs full|caller7|callee7
+//	-run             execute and print the program output and trace stats
+//	-S               print the disassembly
+//	-ir              print the optimized IR
+//	-plan            print the call graph, open/closed classification and
+//	                 register summaries
+//	-open f,g        force the named procedures open (separate compilation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"chow88"
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+)
+
+func main() {
+	o3 := flag.Bool("O3", false, "enable inter-procedural register allocation")
+	o2 := flag.Bool("O2", true, "baseline global optimization (always on)")
+	sw := flag.Bool("shrinkwrap", true, "enable shrink-wrapping of callee-saved saves/restores")
+	regs := flag.String("regs", "full", "register configuration: full, caller7, callee7")
+	doRun := flag.Bool("run", false, "execute the program on the simulator")
+	doAsm := flag.Bool("S", false, "print disassembly")
+	doIR := flag.Bool("ir", false, "print optimized IR")
+	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
+	openList := flag.String("open", "", "comma-separated procedures to force open")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: chowcc [flags] file.cw [more.cw ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Multiple files are separate program units linked together (§7 of the
+	// paper); extern declarations resolve against the other units.
+	var units []string
+	for _, name := range flag.Args() {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		units = append(units, string(b))
+	}
+
+	mode := core.ModeBase()
+	if *o3 {
+		mode = core.ModeC()
+	}
+	_ = *o2
+	mode.ShrinkWrap = *sw
+	switch *regs {
+	case "full":
+	case "caller7":
+		mode.Config = mach.CallerOnly7()
+	case "callee7":
+		mode.Config = mach.CalleeOnly7()
+	default:
+		fatal(fmt.Errorf("unknown register configuration %q", *regs))
+	}
+	if *openList != "" {
+		mode.ForceOpen = strings.Split(*openList, ",")
+	}
+	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, *regs)
+
+	prog, err := chow88.CompileUnits(mode, units...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *doIR {
+		fmt.Print(ir.ModuleString(prog.Module))
+	}
+	if *doPlan {
+		printPlan(prog.Plan)
+	}
+	if *doAsm {
+		fmt.Print(prog.Disassemble())
+	}
+	if *doRun || !(*doIR || *doPlan || *doAsm) {
+		res, err := prog.Run()
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range res.Output {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "\n[%s]\n%s", mode.Name, res.Stats.String())
+	}
+}
+
+func printPlan(pp *core.ProgramPlan) {
+	fmt.Printf("processing order (depth-first, bottom-up):")
+	for _, f := range pp.Order {
+		fmt.Printf(" %s", f.Name)
+	}
+	fmt.Println()
+	var names []string
+	for f := range pp.Funcs {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := pp.Module.Lookup(name)
+		fp := pp.Funcs[f]
+		state := "closed"
+		if fp.Open {
+			state = "OPEN (" + fp.OpenReason + ")"
+		}
+		fmt.Printf("\n%s: %s\n", name, state)
+		fmt.Printf("  registers used: %s (tree: %s)\n", fp.Alloc.UsedRegs, fp.TreeUsed)
+		fmt.Printf("  spilled ranges: %d\n", fp.Alloc.Spilled)
+		if fp.Summary != nil {
+			fmt.Printf("  summary: %s\n", fp.Summary)
+		}
+		if !fp.Plan.Regs().Empty() {
+			for _, r := range fp.Plan.Regs().Regs() {
+				var saves, restores []string
+				for _, b := range fp.Plan.SaveAt[r] {
+					saves = append(saves, b.Name)
+				}
+				for _, b := range fp.Plan.RestoreAt[r] {
+					restores = append(restores, b.Name)
+				}
+				fmt.Printf("  %s saved at {%s}, restored at {%s}\n",
+					r, strings.Join(saves, ","), strings.Join(restores, ","))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chowcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,191 @@
+package chow88
+
+import (
+	"reflect"
+	"testing"
+
+	"chow88/internal/interp"
+	"chow88/internal/parser"
+	"chow88/internal/progen"
+	"chow88/internal/sema"
+)
+
+// oracle runs the reference interpreter with a tight step budget, so that
+// only fast programs are used as differential-test cases (a program near the
+// budget would take minutes on the cycle-accurate simulator × 6 modes).
+func oracle(src string) ([]int64, bool) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, false
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, false
+	}
+	res, err := interp.Run(info, interp.Options{MaxSteps: 2_000_000, MaxDepth: 2000})
+	if err != nil {
+		return nil, false
+	}
+	return res.Output, true
+}
+
+// TestDifferentialRandomPrograms is the central correctness argument of the
+// whole reproduction: for hundreds of randomly generated CW programs, every
+// compilation mode — baseline coloring, shrink-wrap, inter-procedural
+// allocation with and without shrink-wrap, and both restricted register
+// sets — must print exactly what the reference interpreter prints. Any
+// mis-placed save/restore, wrong clobber assumption, broken parameter
+// negotiation or bad spill corrupts some run and fails here.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 40
+	}
+	modes := allModes()
+	skipped := 0
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		want, ok := oracle(src)
+		if !ok {
+			// Some generated programs exceed the step budget (deep
+			// recursion fan-out); they are valid but too slow to use as
+			// oracle cases.
+			skipped++
+			continue
+		}
+		for _, mode := range modes {
+			prog, err := Compile(src, mode)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: compile: %v\n%s", seed, mode.Name, err, src)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("seed %d [%s]: run: %v\n%s", seed, mode.Name, err, src)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("seed %d [%s]: output mismatch\n got: %v\nwant: %v\nsource:\n%s\nassembly:\n%s",
+					seed, mode.Name, res.Output, want, src, prog.Disassemble())
+			}
+		}
+	}
+	if skipped > seeds/2 {
+		t.Fatalf("too many over-budget seeds skipped: %d of %d", skipped, seeds)
+	}
+}
+
+// TestDifferentialBigPrograms stresses register pressure with larger shapes.
+func TestDifferentialBigPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	cfg := progen.Config{
+		Funcs:     12,
+		Globals:   8,
+		Arrays:    3,
+		MaxStmts:  7,
+		MaxDepth:  4,
+		MaxExpr:   4,
+		MaxParams: 6,
+		FuncVars:  3,
+		Recursion: true,
+	}
+	modes := allModes()
+	skipped := 0
+	for seed := 1000; seed < 1000+seeds; seed++ {
+		src := progen.Generate(int64(seed), cfg)
+		want, ok := oracle(src)
+		if !ok {
+			skipped++
+			continue
+		}
+		for _, mode := range modes {
+			prog, err := Compile(src, mode)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: compile: %v", seed, mode.Name, err)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("seed %d [%s]: run: %v\n%s", seed, mode.Name, err, src)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("seed %d [%s]: output mismatch\n got: %v\nwant: %v\nsource:\n%s",
+					seed, mode.Name, res.Output, want, src)
+			}
+		}
+	}
+	// Deeply recursive shapes blow the step budget often; enough must
+	// survive to make the test meaningful.
+	if seeds-skipped < seeds/5 {
+		t.Fatalf("too many over-budget seeds skipped: %d of %d", skipped, seeds)
+	}
+}
+
+// TestDifferentialForcedOpen exercises the separate-compilation path: random
+// subsets of functions are forced open, and results must be unchanged.
+func TestDifferentialForcedOpen(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		want, ok := oracle(src)
+		if !ok {
+			continue // over the step budget
+		}
+		mode := ModeC()
+		// Force a deterministic-but-varied subset open.
+		switch seed % 3 {
+		case 0:
+			mode.ForceOpen = []string{"f0", "f3"}
+		case 1:
+			mode.ForceOpen = []string{"f1", "f2", "f4"}
+		case 2:
+			mode.ForceOpen = []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+		}
+		prog, err := Compile(src, mode)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		res, err := prog.Run()
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		if !reflect.DeepEqual(res.Output, want) {
+			t.Fatalf("seed %d: forced-open output mismatch\n got: %v\nwant: %v\n%s", seed, res.Output, want, src)
+		}
+	}
+}
+
+// TestDifferentialNoOpt checks the pipeline with the optimizer disabled,
+// isolating allocator+codegen correctness from optimizer correctness.
+func TestDifferentialNoOpt(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		want, ok := oracle(src)
+		if !ok {
+			continue // over the step budget
+		}
+		for _, base := range []Mode{ModeBase(), ModeC()} {
+			mode := base
+			mode.Optimize = false
+			mode.Name += "/noopt"
+			prog, err := Compile(src, mode)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: compile: %v", seed, mode.Name, err)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("seed %d [%s]: run: %v", seed, mode.Name, err)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("seed %d [%s]: output mismatch\n got: %v\nwant: %v\n%s", seed, mode.Name, res.Output, want, src)
+			}
+		}
+	}
+}

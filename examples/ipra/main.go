@@ -1,0 +1,79 @@
+// ipra: inspect the one-pass inter-procedural allocation of a program — the
+// depth-first processing order, the open/closed classification, each closed
+// procedure's register-usage summary, and where parameters travel.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"chow88"
+)
+
+const src = `
+var table [32]int;
+var hook func(int) int;
+
+func hash(k int) int { return (k * 2654435761) % 32; }
+
+func probe(k int) int {
+    var h int;
+    h = hash(k);
+    while (table[h] != 0 && table[h] != k) {
+        h = (h + 1) % 32;
+    }
+    return h;
+}
+
+func insert(k int) { table[probe(k)] = k; }
+
+func member(k int) int { return table[probe(k)] == k; }
+
+func census(n int) int {
+    if (n <= 0) { return 0; }
+    return member(n * 3) + census(n - 1);
+}
+
+func double(x int) int { return x * 2; }
+
+func main() {
+    var i int;
+    for (i = 1; i <= 20; i = i + 1) { insert(i * 3); }
+    hook = double;
+    print(census(25));
+    print(hook(21));
+}
+`
+
+func main() {
+	prog, err := chow88.Compile(src, chow88.ModeC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp := prog.Plan
+	var order []string
+	for _, f := range pp.Order {
+		order = append(order, f.Name)
+	}
+	fmt.Printf("depth-first bottom-up order: %s\n\n", strings.Join(order, " -> "))
+	for _, f := range pp.Order {
+		fp := pp.Funcs[f]
+		if fp == nil {
+			continue
+		}
+		if fp.Open {
+			fmt.Printf("%-8s OPEN   (%s)\n", f.Name, fp.OpenReason)
+			fmt.Printf("         default linkage; callee-saved registers it uses are saved\n")
+			fmt.Printf("         locally: %v\n", fp.Plan.Regs())
+			continue
+		}
+		fmt.Printf("%-8s closed summary: %s\n", f.Name, fp.Summary)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprogram output: %v (cycles %d, calls %d)\n",
+		res.Output, res.Stats.Cycles, res.Stats.Calls)
+}

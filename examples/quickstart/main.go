@@ -1,0 +1,66 @@
+// Quickstart: compile a CW program under two modes, run both, and compare
+// the register-usage penalty at procedure calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chow88"
+)
+
+const src = `
+// Sum the first n squares through a deliberately call-intensive helper
+// chain, then checksum an array transformation.
+var data [64]int;
+
+func square(x int) int { return x * x; }
+
+func addSquare(acc int, x int) int { return acc + square(x); }
+
+func sumSquares(n int) int {
+    var acc int;
+    var i int;
+    acc = 0;
+    for (i = 1; i <= n; i = i + 1) {
+        acc = addSquare(acc, i);
+    }
+    return acc;
+}
+
+func transform(seed int) int {
+    var i int;
+    for (i = 0; i < 64; i = i + 1) {
+        data[i] = square(i + seed) % 1000;
+    }
+    var sig int;
+    sig = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        sig = (sig * 31 + data[i]) % 1000000007;
+    }
+    return sig;
+}
+
+func main() {
+    print(sumSquares(100));
+    print(transform(7));
+}
+`
+
+func main() {
+	for _, mode := range []chow88.Mode{chow88.ModeBase(), chow88.ModeC()} {
+		prog, err := chow88.Compile(src, mode)
+		if err != nil {
+			log.Fatalf("[%s] compile: %v", mode.Name, err)
+		}
+		res, err := prog.Run()
+		if err != nil {
+			log.Fatalf("[%s] run: %v", mode.Name, err)
+		}
+		fmt.Printf("mode %-8s output=%v\n", mode.Name, res.Output)
+		fmt.Printf("  cycles=%d calls=%d scalar-loads/stores=%d save/restore=%d\n",
+			res.Stats.Cycles, res.Stats.Calls, res.Stats.ScalarLS(), res.Stats.SaveRestoreLS())
+	}
+	fmt.Println("\nThe -O3 mode eliminates save/restore traffic at the calls whose")
+	fmt.Println("callees, per their register-usage summaries, leave registers alone.")
+}

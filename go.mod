@@ -1,0 +1,3 @@
+module chow88
+
+go 1.22

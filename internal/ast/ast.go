@@ -1,0 +1,295 @@
+// Package ast defines the abstract syntax tree for the CW language.
+//
+// CW is a small C-like whole-program language with a single scalar type
+// (int), fixed-size int arrays, first-class function references (used for
+// indirect calls), and the usual structured control flow. It exists to give
+// the register allocator realistic call-intensive programs to chew on.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/token"
+)
+
+// Type describes a CW type.
+type Type struct {
+	Kind    TypeKind
+	ArrLen  int     // for ArrayType: number of elements
+	Params  []*Type // for FuncType
+	Returns bool    // for FuncType: returns an int
+}
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+// The CW type kinds.
+const (
+	IntType TypeKind = iota
+	ArrayType
+	FuncType
+	VoidType // function "return type" of procedures
+)
+
+// TInt is the canonical int type.
+var TInt = &Type{Kind: IntType}
+
+// TVoid is the canonical void (no value) type.
+var TVoid = &Type{Kind: VoidType}
+
+// Equal reports whether two types are structurally identical.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case ArrayType:
+		return t.ArrLen == o.ArrLen
+	case FuncType:
+		if t.Returns != o.Returns || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the type in CW syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case IntType:
+		return "int"
+	case VoidType:
+		return "void"
+	case ArrayType:
+		return fmt.Sprintf("[%d]int", t.ArrLen)
+	case FuncType:
+		var b strings.Builder
+		b.WriteString("func(")
+		for i, p := range t.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(")")
+		if t.Returns {
+			b.WriteString(" int")
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("Type(%d)", int(t.Kind))
+}
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a whole CW compilation unit.
+type Program struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name    string
+	Type    *Type
+	NamePos token.Pos
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.NamePos }
+func (d *VarDecl) declNode()      {}
+
+// FuncDecl declares a function. Extern functions have Body == nil and model
+// separately-compiled code: the allocator must treat them as open.
+type FuncDecl struct {
+	Name    string
+	Params  []*VarDecl
+	Returns bool
+	Body    *Block // nil for extern declarations
+	Extern  bool
+	NamePos token.Pos
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+func (d *FuncDecl) declNode()      {}
+
+// Sig returns the function's type.
+func (d *FuncDecl) Sig() *Type {
+	t := &Type{Kind: FuncType, Returns: d.Returns}
+	for _, p := range d.Params {
+		t.Params = append(t.Params, p.Type)
+	}
+	return t
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a brace-delimited statement list (introduces a scope).
+type Block struct {
+	Stmts []Stmt
+	LPos  token.Pos
+}
+
+func (s *Block) Pos() token.Pos { return s.LPos }
+func (s *Block) stmtNode()      {}
+
+// DeclStmt is a local variable declaration used as a statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.Pos() }
+func (s *DeclStmt) stmtNode()      {}
+
+// AssignStmt assigns Rhs to the lvalue Lhs (an *Ident or *IndexExpr).
+type AssignStmt struct {
+	Lhs Expr
+	Rhs Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.Lhs.Pos() }
+func (s *AssignStmt) stmtNode()      {}
+
+// IfStmt is a conditional with optional else branch (possibly another If).
+type IfStmt struct {
+	Cond  Expr
+	Then  *Block
+	Else  Stmt // *Block, *IfStmt, or nil
+	IfPos token.Pos
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+func (s *IfStmt) stmtNode()      {}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	Cond     Expr
+	Body     *Block
+	WhilePos token.Pos
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.WhilePos }
+func (s *WhileStmt) stmtNode()      {}
+
+// ForStmt is C-style: for (init; cond; post) body. Any clause may be nil.
+type ForStmt struct {
+	Init   Stmt // *AssignStmt or *ExprStmt or nil
+	Cond   Expr // nil means true
+	Post   Stmt // *AssignStmt or *ExprStmt or nil
+	Body   *Block
+	ForPos token.Pos
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.ForPos }
+func (s *ForStmt) stmtNode()      {}
+
+// ReturnStmt returns from the enclosing function, with an optional value.
+type ReturnStmt struct {
+	Value  Expr // nil for plain return
+	RetPos token.Pos
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.RetPos }
+func (s *ReturnStmt) stmtNode()      {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ KwPos token.Pos }
+
+func (s *BreakStmt) Pos() token.Pos { return s.KwPos }
+func (s *BreakStmt) stmtNode()      {}
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ KwPos token.Pos }
+
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+func (s *ContinueStmt) stmtNode()      {}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct{ X Expr }
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmtNode()      {}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	LitPos token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) exprNode()      {}
+
+// Ident is a use of a named variable or function.
+type Ident struct {
+	Name    string
+	NamePos token.Pos
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (e *Ident) exprNode()      {}
+
+// IndexExpr is arr[index].
+type IndexExpr struct {
+	Arr   *Ident
+	Index Expr
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.Arr.Pos() }
+func (e *IndexExpr) exprNode()      {}
+
+// CallExpr calls Fun (a function name or a function-typed variable).
+type CallExpr struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.Fun.Pos() }
+func (e *CallExpr) exprNode()      {}
+
+// BinaryExpr applies Op to X and Y. && and || short-circuit.
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinaryExpr) exprNode()      {}
+
+// UnaryExpr applies Op (- or !) to X.
+type UnaryExpr struct {
+	Op    token.Kind
+	X     Expr
+	OpPos token.Pos
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.OpPos }
+func (e *UnaryExpr) exprNode()      {}

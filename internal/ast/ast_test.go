@@ -1,0 +1,112 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/token"
+)
+
+func TestTypeEqual(t *testing.T) {
+	arr4 := &Type{Kind: ArrayType, ArrLen: 4}
+	arr5 := &Type{Kind: ArrayType, ArrLen: 5}
+	fn := &Type{Kind: FuncType, Params: []*Type{TInt}, Returns: true}
+	fn2 := &Type{Kind: FuncType, Params: []*Type{TInt}, Returns: true}
+	fnV := &Type{Kind: FuncType, Params: []*Type{TInt}}
+	fn0 := &Type{Kind: FuncType, Returns: true}
+
+	cases := []struct {
+		a, b *Type
+		want bool
+	}{
+		{TInt, TInt, true},
+		{TInt, TVoid, false},
+		{arr4, arr4, true},
+		{arr4, arr5, false},
+		{fn, fn2, true},
+		{fn, fnV, false},
+		{fn, fn0, false},
+		{nil, nil, true},
+		{TInt, nil, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: %v == %v -> %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"int":                TInt,
+		"void":               TVoid,
+		"[7]int":             {Kind: ArrayType, ArrLen: 7},
+		"func(int, int) int": {Kind: FuncType, Params: []*Type{TInt, TInt}, Returns: true},
+		"func()":             {Kind: FuncType},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%v = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &BinaryExpr{
+		Op: token.Plus,
+		X:  &IntLit{Value: 1},
+		Y: &BinaryExpr{
+			Op: token.Star,
+			X:  &Ident{Name: "x"},
+			Y:  &IndexExpr{Arr: &Ident{Name: "a"}, Index: &IntLit{Value: 2}},
+		},
+	}
+	if got := ExprString(e); got != "(1 + (x * a[2]))" {
+		t.Errorf("got %s", got)
+	}
+	call := &CallExpr{Fun: &Ident{Name: "f"}, Args: []Expr{&IntLit{Value: 3}, &Ident{Name: "y"}}}
+	if got := ExprString(call); got != "f(3, y)" {
+		t.Errorf("got %s", got)
+	}
+	neg := &UnaryExpr{Op: token.Minus, X: &IntLit{Value: 5}}
+	if got := ExprString(neg); got != "(-5)" {
+		t.Errorf("got %s", got)
+	}
+	not := &UnaryExpr{Op: token.Not, X: &Ident{Name: "b"}}
+	if got := ExprString(not); got != "(!b)" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestFuncSig(t *testing.T) {
+	fd := &FuncDecl{
+		Name:    "f",
+		Params:  []*VarDecl{{Name: "a", Type: TInt}, {Name: "b", Type: TInt}},
+		Returns: true,
+	}
+	sig := fd.Sig()
+	if sig.Kind != FuncType || len(sig.Params) != 2 || !sig.Returns {
+		t.Errorf("sig = %v", sig)
+	}
+}
+
+func TestFormatProducesDeclarations(t *testing.T) {
+	p := &Program{Decls: []Decl{
+		&VarDecl{Name: "g", Type: TInt},
+		&VarDecl{Name: "a", Type: &Type{Kind: ArrayType, ArrLen: 3}},
+		&FuncDecl{Name: "ext", Extern: true, Returns: true},
+		&FuncDecl{
+			Name: "main",
+			Body: &Block{Stmts: []Stmt{
+				&AssignStmt{Lhs: &Ident{Name: "g"}, Rhs: &IntLit{Value: 4}},
+				&ReturnStmt{},
+			}},
+		},
+	}}
+	out := Format(p)
+	for _, want := range []string{"var g int;", "var a [3]int;", "extern func ext() int;", "g = 4;", "return;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/token"
+)
+
+// Format renders the program back into CW source text. The output reparses
+// to an equivalent tree, which the property tests rely on.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, d := range p.Decls {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatDecl(&b, d)
+	}
+	return b.String()
+}
+
+func formatDecl(b *strings.Builder, d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		fmt.Fprintf(b, "var %s %s;\n", d.Name, d.Type)
+	case *FuncDecl:
+		if d.Extern {
+			b.WriteString("extern ")
+		}
+		fmt.Fprintf(b, "func %s(", d.Name)
+		for i, p := range d.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s %s", p.Name, p.Type)
+		}
+		b.WriteString(")")
+		if d.Returns {
+			b.WriteString(" int")
+		}
+		if d.Body == nil {
+			b.WriteString(";\n")
+			return
+		}
+		b.WriteString(" ")
+		formatBlock(b, d.Body, 0)
+		b.WriteByte('\n')
+	default:
+		fmt.Fprintf(b, "/* unknown decl %T */\n", d)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	formatStmtNoIndent(b, s, depth)
+	b.WriteByte('\n')
+}
+
+func formatStmtNoIndent(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		fmt.Fprintf(b, "var %s %s;", s.Decl.Name, s.Decl.Type)
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s;", ExprString(s.Lhs), ExprString(s.Rhs))
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", ExprString(s.Cond))
+		formatBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			switch e := s.Else.(type) {
+			case *Block:
+				formatBlock(b, e, depth)
+			case *IfStmt:
+				formatStmtNoIndent(b, e, depth)
+			}
+		}
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) ", ExprString(s.Cond))
+		formatBlock(b, s.Body, depth)
+	case *ForStmt:
+		b.WriteString("for (")
+		if s.Init != nil {
+			formatSimpleStmt(b, s.Init)
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(ExprString(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			formatSimpleStmt(b, s.Post)
+		}
+		b.WriteString(") ")
+		formatBlock(b, s.Body, depth)
+	case *ReturnStmt:
+		if s.Value != nil {
+			fmt.Fprintf(b, "return %s;", ExprString(s.Value))
+		} else {
+			b.WriteString("return;")
+		}
+	case *BreakStmt:
+		b.WriteString("break;")
+	case *ContinueStmt:
+		b.WriteString("continue;")
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;", ExprString(s.X))
+	case *Block:
+		formatBlock(b, s, depth)
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */", s)
+	}
+}
+
+// formatSimpleStmt renders an assignment or expression without the trailing
+// semicolon, as used in for-clauses.
+func formatSimpleStmt(b *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s", ExprString(s.Lhs), ExprString(s.Rhs))
+	case *ExprStmt:
+		b.WriteString(ExprString(s.X))
+	}
+}
+
+// ExprString renders an expression, fully parenthesizing compound
+// subexpressions so precedence never needs reconstructing.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ident:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Arr.Name, ExprString(e.Index))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Fun.Name, strings.Join(args, ", "))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.X), e.Op, ExprString(e.Y))
+	case *UnaryExpr:
+		if e.Op == token.Minus {
+			return fmt.Sprintf("(-%s)", ExprString(e.X))
+		}
+		return fmt.Sprintf("(!%s)", ExprString(e.X))
+	}
+	return fmt.Sprintf("/* unknown expr %T */", e)
+}

@@ -1,0 +1,64 @@
+// Package benchprog holds the 13 CW benchmark programs mirroring the
+// paper's measurement suite (Table 1's rows). The originals were production
+// Pascal/C programs; these are CW programs of graded size and matching
+// character — game search, backtracking, string manipulation, file
+// comparison, a synthetic benchmark, the Stanford suite, text processing,
+// pattern scanning, and three compiler-like passes — chosen to span the same
+// call-intensity and call-graph-height regimes the paper's analysis turns
+// on.
+package benchprog
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name string
+	// Description mirrors the paper's appendix.
+	Description string
+	// Source is the CW program text.
+	Source string
+	// Lines counts the source lines (the paper orders Table 1 by size).
+	Lines int
+}
+
+// All returns the benchmarks in the paper's order (increasing size).
+func All() []Benchmark {
+	list := []Benchmark{
+		{Name: "nim", Description: "a program to play the game of Nim", Source: srcNim},
+		{Name: "map", Description: "a program to find a 4-coloring for a map", Source: srcMap},
+		{Name: "calcc", Description: "a program that manipulates dynamic and variable-length strings", Source: srcCalcc},
+		{Name: "diff", Description: "a file comparison utility", Source: srcDiff},
+		{Name: "dhrystone", Description: "a synthetic systems-programming benchmark", Source: srcDhrystone},
+		{Name: "stanford", Description: "the Stanford integer benchmark suite", Source: srcStanford},
+		{Name: "pf", Description: "a pretty-printer", Source: srcPf},
+		{Name: "awk", Description: "a pattern scanning and processing utility", Source: srcAwk},
+		{Name: "tex", Description: "a paragraph-building typesetter kernel", Source: srcTex},
+		{Name: "ccom", Description: "first pass of a C compiler (expression compiler)", Source: srcCcom},
+		{Name: "as1", Description: "an assembler/reorganizer", Source: srcAs1},
+		{Name: "upas", Description: "first pass of a Pascal compiler (parser)", Source: srcUpas},
+		{Name: "uopt", Description: "a global optimizer (dataflow + allocation kernel)", Source: srcUopt},
+	}
+	for i := range list {
+		list[i].Lines = countLines(list[i].Source)
+	}
+	return list
+}
+
+// Lookup returns the benchmark with the given name, or nil.
+func Lookup(name string) *Benchmark {
+	all := All()
+	for i := range all {
+		if all[i].Name == name {
+			return &all[i]
+		}
+	}
+	return nil
+}
+
+func countLines(s string) int {
+	n := 0
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

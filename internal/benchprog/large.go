@@ -1,0 +1,1510 @@
+package benchprog
+
+// tex: the paragraph-building kernel of a typesetter — glue/box model,
+// greedy and best-fit line breaking with badness and demerits, like the
+// inner loop of virtex.
+const srcTex = `
+// tex - paragraph builder: boxes, glue, penalties, line breaking.
+// Item kinds: 1 box(width), 2 glue(width,stretch,shrink), 3 penalty(cost).
+var itemKind [1200]int;
+var itemW [1200]int;
+var itemStretch [1200]int;
+var itemShrink [1200]int;
+var itemPenalty [1200]int;
+var nitems int;
+
+var lineWidth int;
+var sig int;
+var totalDemerits int;
+var linesOut int;
+
+func addBox(w int) {
+    itemKind[nitems] = 1;
+    itemW[nitems] = w;
+    nitems = nitems + 1;
+}
+
+func addGlue(w int, st int, sh int) {
+    itemKind[nitems] = 2;
+    itemW[nitems] = w;
+    itemStretch[nitems] = st;
+    itemShrink[nitems] = sh;
+    nitems = nitems + 1;
+}
+
+func addPenalty(p int) {
+    itemKind[nitems] = 3;
+    itemPenalty[nitems] = p;
+    nitems = nitems + 1;
+}
+
+// wordWidth returns a deterministic "word" width in points*10.
+func wordWidth(n int) int {
+    return 30 + ((n * n * 7 + n * 13) % 60);
+}
+
+func genParagraph(words int, seed int) {
+    var i int;
+    nitems = 0;
+    for (i = 0; i < words; i = i + 1) {
+        addBox(wordWidth(i + seed));
+        if (i % 11 == 10) { addPenalty(50); }
+        addGlue(10, 5, 3);
+    }
+    addPenalty(-10000);    // forced break at the end
+}
+
+func abs(x int) int {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+func min2(a int, b int) int {
+    if (a < b) { return a; }
+    return b;
+}
+
+// badness rates how far a line's natural width is from the target, scaled
+// by available stretch/shrink (a simplified cube-free model).
+func badness(natural int, stretch int, shrink int) int {
+    var d int;
+    d = lineWidth - natural;
+    if (d == 0) { return 0; }
+    if (d > 0) {
+        if (stretch <= 0) { return 10000; }
+        return min2(10000, (d * 100) / stretch);
+    }
+    if (shrink <= 0) { return 10000; }
+    return min2(10000, ((-d) * 100) / shrink);
+}
+
+// lineDemerits combines badness and penalty.
+func lineDemerits(bad int, pen int) int {
+    var base int;
+    base = (10 + bad) * (10 + bad);
+    if (pen > 0) { return base + pen * pen; }
+    if (pen > -10000 && pen < 0) { return base - pen * pen; }
+    return base;
+}
+
+// breakAfter reports whether a legal breakpoint follows item i.
+func breakAfter(i int) int {
+    if (itemKind[i] == 2) { return 1; }
+    if (itemKind[i] == 3 && itemPenalty[i] < 10000) { return 1; }
+    return 0;
+}
+
+func penaltyAt(i int) int {
+    if (itemKind[i] == 3) { return itemPenalty[i]; }
+    return 0;
+}
+
+// greedyBreak walks items accumulating width, breaking at the last legal
+// point that fits, emitting each line's badness into the signature.
+func greedyBreak() {
+    var i int;
+    var natural int;
+    var stretch int;
+    var shrink int;
+    var lastBreak int;
+    var lineStart int;
+    linesOut = 0;
+    totalDemerits = 0;
+    i = 0;
+    lineStart = 0;
+    natural = 0;
+    stretch = 0;
+    shrink = 0;
+    lastBreak = -1;
+    while (i < nitems) {
+        if (itemKind[i] == 1) {
+            natural = natural + itemW[i];
+        }
+        if (itemKind[i] == 2) {
+            natural = natural + itemW[i];
+            stretch = stretch + itemStretch[i];
+            shrink = shrink + itemShrink[i];
+        }
+        var force int;
+        force = itemKind[i] == 3 && itemPenalty[i] <= -10000;
+        if (natural > lineWidth + shrink || force) {
+            var end int;
+            end = lastBreak;
+            if (end < lineStart || force) { end = i; }
+            emitLine(lineStart, end);
+            lineStart = end + 1;
+            i = lineStart;
+            natural = 0;
+            stretch = 0;
+            shrink = 0;
+            lastBreak = -1;
+            continue;
+        }
+        if (breakAfter(i)) { lastBreak = i; }
+        i = i + 1;
+    }
+    if (lineStart < nitems) { emitLine(lineStart, nitems - 1); }
+}
+
+// emitLine measures items [from..to] and accumulates demerits.
+func emitLine(from int, to int) {
+    var natural int;
+    var stretch int;
+    var shrink int;
+    var k int;
+    natural = 0;
+    stretch = 0;
+    shrink = 0;
+    for (k = from; k <= to; k = k + 1) {
+        if (itemKind[k] == 1) { natural = natural + itemW[k]; }
+        if (itemKind[k] == 2 && k != to) {
+            natural = natural + itemW[k];
+            stretch = stretch + itemStretch[k];
+            shrink = shrink + itemShrink[k];
+        }
+    }
+    var bad int;
+    bad = badness(natural, stretch, shrink);
+    totalDemerits = totalDemerits + lineDemerits(bad, penaltyAt(to));
+    linesOut = linesOut + 1;
+    sig = (sig * 131 + bad * 7 + (to - from)) % 1000000007;
+}
+
+// bestFit: dynamic program over breakpoints minimizing total demerits.
+var bestCost [1300]int;
+var bestFrom [1300]int;
+
+func fitCost(from int, to int) int {
+    var natural int;
+    var stretch int;
+    var shrink int;
+    var k int;
+    natural = 0;
+    stretch = 0;
+    shrink = 0;
+    for (k = from; k <= to; k = k + 1) {
+        if (itemKind[k] == 1) { natural = natural + itemW[k]; }
+        if (itemKind[k] == 2 && k != to) {
+            natural = natural + itemW[k];
+            stretch = stretch + itemStretch[k];
+            shrink = shrink + itemShrink[k];
+        }
+    }
+    var bad int;
+    bad = badness(natural, stretch, shrink);
+    if (bad >= 10000) { return 100000000; }
+    return lineDemerits(bad, penaltyAt(to));
+}
+
+func bestBreak() int {
+    var i int;
+    var j int;
+    bestCost[0] = 0;
+    for (i = 1; i <= nitems; i = i + 1) { bestCost[i] = 1000000000; }
+    for (i = 0; i < nitems; i = i + 1) {
+        if (bestCost[i] >= 1000000000) { continue; }
+        for (j = i; j < nitems && j < i + 40; j = j + 1) {
+            if (breakAfter(j) || j == nitems - 1) {
+                var c int;
+                c = fitCost(i, j);
+                if (c < 100000000 && bestCost[i] + c < bestCost[j + 1]) {
+                    bestCost[j + 1] = bestCost[i] + c;
+                    bestFrom[j + 1] = i;
+                }
+            }
+        }
+    }
+    return bestCost[nitems] % 1000000007;
+}
+
+// --- page building: break the stream of typeset lines into pages ---
+var lineHeights [400]int;
+var nlines int;
+
+// recordLineHeights synthesizes heights for the lines the greedy pass made
+// (a real TeX carries them over; the shapes match).
+func recordLineHeights(seed int) {
+    var i int;
+    nlines = linesOut;
+    if (nlines > 400) { nlines = 400; }
+    for (i = 0; i < nlines; i = i + 1) {
+        lineHeights[i] = 12 + ((i * seed + i * i) % 5);
+        if (i % 17 == 16) { lineHeights[i] = lineHeights[i] + 14; }  // display
+    }
+}
+
+func pageCost(height int, goal int) int {
+    var d int;
+    d = goal - height;
+    if (d < 0) { return 10000; }
+    return d * d / 4;
+}
+
+// buildPages greedily fills pages to a goal height, charging badness for
+// underfull pages; returns the number of pages and folds costs into sig.
+func buildPages(goal int) int {
+    var i int;
+    var h int;
+    var pages int;
+    var cost int;
+    h = 0;
+    pages = 0;
+    cost = 0;
+    for (i = 0; i < nlines; i = i + 1) {
+        if (h + lineHeights[i] > goal) {
+            cost = cost + pageCost(h, goal);
+            pages = pages + 1;
+            h = 0;
+        }
+        h = h + lineHeights[i];
+    }
+    if (h > 0) {
+        pages = pages + 1;
+        cost = cost + pageCost(h, goal);
+    }
+    sig = (sig * 31 + cost + pages) % 1000000007;
+    return pages;
+}
+
+func runPar(words int, seed int, width int) {
+    genParagraph(words, seed);
+    lineWidth = width;
+    sig = 0;
+    greedyBreak();
+    print(linesOut);
+    print(totalDemerits % 1000000007);
+    print(sig);
+    print(bestBreak());
+    recordLineHeights(seed);
+    print(buildPages(120));
+    print(buildPages(200));
+    print(sig);
+}
+
+func main() {
+    runPar(160, 3, 340);
+    runPar(280, 17, 260);
+    runPar(420, 8, 420);
+}
+`
+
+// ccom: the expression-compiler pass of a C compiler — a lexer over an
+// encoded character stream, a recursive-descent expression parser building
+// trees, constant folding, and stack-machine code emission. The upper region
+// of the call graph (the driver loop) executes most often, reproducing the
+// property the paper blames for ccom's regression under IPRA.
+const srcCcom = `
+// ccom - expression compiler: lex, parse, fold, emit.
+var input [3000]int;
+var ninput int;
+var ipos int;
+
+// Token state.
+var tok int;        // 1 num, 2 ident, 3 + , 4 -, 5 *, 6 /, 7 (, 8 ), 0 eof
+var tokVal int;
+
+// Tree nodes.
+var nodeOp [2000]int;    // 0 leaf-num, 1 leaf-var, 3..6 binops
+var nodeVal [2000]int;
+var nodeL [2000]int;
+var nodeR [2000]int;
+var nnodes int;
+
+// Output "code".
+var codeSig int;
+var ninstr int;
+
+// Symbol table: 26 one-letter variables with values.
+var symVal [26]int;
+
+func isDigit(c int) int { return c >= 48 && c <= 57; }
+func isAlpha(c int) int { return c >= 97 && c <= 122; }
+
+func nextTok() {
+    while (ipos < ninput && input[ipos] == 32) { ipos = ipos + 1; }
+    if (ipos >= ninput) { tok = 0; return; }
+    var c int;
+    c = input[ipos];
+    if (isDigit(c)) {
+        tokVal = 0;
+        while (ipos < ninput && isDigit(input[ipos])) {
+            tokVal = tokVal * 10 + (input[ipos] - 48);
+            ipos = ipos + 1;
+        }
+        tok = 1;
+        return;
+    }
+    if (isAlpha(c)) {
+        tokVal = c - 97;
+        ipos = ipos + 1;
+        tok = 2;
+        return;
+    }
+    ipos = ipos + 1;
+    if (c == 43) { tok = 3; return; }
+    if (c == 45) { tok = 4; return; }
+    if (c == 42) { tok = 5; return; }
+    if (c == 47) { tok = 6; return; }
+    if (c == 40) { tok = 7; return; }
+    if (c == 41) { tok = 8; return; }
+    tok = 0;
+}
+
+func newNode(op int, val int, l int, r int) int {
+    var n int;
+    n = nnodes;
+    nnodes = nnodes + 1;
+    nodeOp[n] = op;
+    nodeVal[n] = val;
+    nodeL[n] = l;
+    nodeR[n] = r;
+    return n;
+}
+
+// primary := num | ident | ( expr )
+func parsePrimary() int {
+    if (tok == 1) {
+        var n int;
+        n = newNode(0, tokVal, -1, -1);
+        nextTok();
+        return n;
+    }
+    if (tok == 2) {
+        var n2 int;
+        n2 = newNode(1, tokVal, -1, -1);
+        nextTok();
+        return n2;
+    }
+    if (tok == 7) {
+        nextTok();
+        var e int;
+        e = parseExpr();
+        nextTok();    // consume )
+        return e;
+    }
+    return newNode(0, 0, -1, -1);
+}
+
+// term := primary (('*'|'/') primary)*
+func parseTerm() int {
+    var l int;
+    l = parsePrimary();
+    while (tok == 5 || tok == 6) {
+        var op int;
+        op = tok;
+        nextTok();
+        var r int;
+        r = parsePrimary();
+        l = newNode(op, 0, l, r);
+    }
+    return l;
+}
+
+// expr := term (('+'|'-') term)*
+func parseExpr() int {
+    var l int;
+    l = parseTerm();
+    while (tok == 3 || tok == 4) {
+        var op int;
+        op = tok;
+        nextTok();
+        var r int;
+        r = parseTerm();
+        l = newNode(op, 0, l, r);
+    }
+    return l;
+}
+
+func applyOp(op int, a int, b int) int {
+    if (op == 3) { return a + b; }
+    if (op == 4) { return a - b; }
+    if (op == 5) { return a * b; }
+    if (b == 0) { return 0; }
+    return a / b;
+}
+
+// fold performs constant folding bottom-up, returning the (possibly new)
+// node index.
+func fold(n int) int {
+    if (nodeOp[n] == 0 || nodeOp[n] == 1) { return n; }
+    var l int;
+    var r int;
+    l = fold(nodeL[n]);
+    r = fold(nodeR[n]);
+    nodeL[n] = l;
+    nodeR[n] = r;
+    if (nodeOp[l] == 0 && nodeOp[r] == 0) {
+        return newNode(0, applyOp(nodeOp[n], nodeVal[l], nodeVal[r]), -1, -1);
+    }
+    // x*1, x+0 identities.
+    if (nodeOp[n] == 5 && nodeOp[r] == 0 && nodeVal[r] == 1) { return l; }
+    if (nodeOp[n] == 3 && nodeOp[r] == 0 && nodeVal[r] == 0) { return l; }
+    return n;
+}
+
+func emitInstr(op int, val int) {
+    ninstr = ninstr + 1;
+    codeSig = (codeSig * 37 + op * 11 + val) % 1000000007;
+}
+
+// gen emits stack-machine code for the tree.
+func gen(n int) {
+    if (nodeOp[n] == 0) {
+        emitInstr(1, nodeVal[n]);    // pushi
+        return;
+    }
+    if (nodeOp[n] == 1) {
+        emitInstr(2, nodeVal[n]);    // pushv
+        return;
+    }
+    gen(nodeL[n]);
+    gen(nodeR[n]);
+    emitInstr(nodeOp[n], 0);
+}
+
+// eval interprets the tree directly, for checking the generated code.
+func eval(n int) int {
+    if (nodeOp[n] == 0) { return nodeVal[n]; }
+    if (nodeOp[n] == 1) { return symVal[nodeVal[n]]; }
+    return applyOp(nodeOp[n], eval(nodeL[n]), eval(nodeR[n]));
+}
+
+// genExprSource appends a random expression in text form to the input.
+var genSeed int;
+
+func rnd(n int) int {
+    genSeed = (genSeed * 1309 + 13849) % 65536;
+    return genSeed % n;
+}
+
+func putCh(c int) {
+    input[ninput] = c;
+    ninput = ninput + 1;
+}
+
+func putNumber(v int) {
+    if (v >= 10) { putCh(48 + (v / 10) % 10); }
+    putCh(48 + v % 10);
+}
+
+// putExpr writes a parenthesized random expression of given depth.
+func putExpr(depth int) {
+    if (depth <= 0 || rnd(4) == 0) {
+        if (rnd(3) == 0) {
+            putCh(97 + rnd(26));
+        } else {
+            putNumber(rnd(90) + 1);
+        }
+        return;
+    }
+    putCh(40);
+    putExpr(depth - 1);
+    var op int;
+    op = rnd(4);
+    if (op == 0) { putCh(43); }
+    if (op == 1) { putCh(45); }
+    if (op == 2) { putCh(42); }
+    if (op == 3) { putCh(47); }
+    putExpr(depth - 1);
+    putCh(41);
+}
+
+// --- common-subexpression detection by hash-consing ---
+var cseHash [128]int;      // chained hash heads, -1 terminated
+var cseNext [2000]int;
+var cseHits int;
+
+func nodeKey(n int) int {
+    var k int;
+    k = nodeOp[n] * 1000003 + nodeVal[n] * 8191 + nodeL[n] * 127 + nodeR[n];
+    k = k % 128;
+    if (k < 0) { k = k + 128; }
+    return k;
+}
+
+func sameNode(a int, b int) int {
+    return nodeOp[a] == nodeOp[b] && nodeVal[a] == nodeVal[b]
+        && nodeL[a] == nodeL[b] && nodeR[a] == nodeR[b];
+}
+
+// cse rewrites the tree bottom-up, sharing structurally identical subtrees;
+// returns the canonical node.
+func cse(n int) int {
+    if (nodeOp[n] >= 3) {
+        nodeL[n] = cse(nodeL[n]);
+        nodeR[n] = cse(nodeR[n]);
+    }
+    var h int;
+    h = nodeKey(n);
+    var c int;
+    c = cseHash[h];
+    while (c != -1) {
+        if (sameNode(c, n)) {
+            cseHits = cseHits + 1;
+            return c;
+        }
+        c = cseNext[c];
+    }
+    cseNext[n] = cseHash[h];
+    cseHash[h] = n;
+    return n;
+}
+
+func resetCSE() {
+    var i int;
+    for (i = 0; i < 128; i = i + 1) { cseHash[i] = -1; }
+}
+
+func compileOne() int {
+    nnodes = 0;
+    nextTok();
+    var root int;
+    root = parseExpr();
+    var v1 int;
+    v1 = eval(root);
+    root = fold(root);
+    var v2 int;
+    v2 = eval(root);
+    if (v1 != v2) { print(-777777); }
+    resetCSE();
+    root = cse(root);
+    var v3 int;
+    v3 = eval(root);
+    if (v1 != v3) { print(-888888); }
+    gen(root);
+    return v2;
+}
+
+func main() {
+    var i int;
+    for (i = 0; i < 26; i = i + 1) { symVal[i] = (i * 7) % 23 + 1; }
+    genSeed = 42;
+    var total int;
+    total = 0;
+    var round int;
+    for (round = 0; round < 60; round = round + 1) {
+        ninput = 0;
+        ipos = 0;
+        putExpr(4);
+        total = (total + compileOne()) % 1000000007;
+    }
+    print(total);
+    print(ninstr);
+    print(codeSig);
+    print(cseHits);
+}
+`
+
+// as1: a two-pass assembler — instruction stream with labels and forward
+// references, a chained hash symbol table, relocation, and a simple
+// reorganizer that fills "delay slots" by swapping independent instructions
+// (the original as1 was the MIPS assembler/reorganizer).
+const srcAs1 = `
+// as1 - two-pass assembler and reorganizer.
+// Source "statements": op in {1 add,2 sub,3 li,4 lw,5 sw,6 beq,7 jmp,
+// 8 label-def, 9 nop}; operands are small ints; branch targets are label
+// ids.
+var srcOp [2600]int;
+var srcA [2600]int;
+var srcB [2600]int;
+var srcC [2600]int;
+var nsrc int;
+
+// Symbol table: chained hash of label -> address.
+var symHash [64]int;      // heads, -1 terminated
+var symNext [400]int;
+var symKey [400]int;
+var symAddr [400]int;
+var nsyms int;
+
+// Output image.
+var out [2600]int;
+var nout int;
+
+var seedAs int;
+
+func rndAs(n int) int {
+    seedAs = (seedAs * 1309 + 13849) % 65536;
+    return seedAs % n;
+}
+
+func hashKey(k int) int { return (k * 2654435761) % 64; }
+
+func symDefine(key int, addr int) {
+    var h int;
+    h = hashKey(key);
+    if (h < 0) { h = -h; }
+    symKey[nsyms] = key;
+    symAddr[nsyms] = addr;
+    symNext[nsyms] = symHash[h];
+    symHash[h] = nsyms;
+    nsyms = nsyms + 1;
+}
+
+func symLookup(key int) int {
+    var h int;
+    h = hashKey(key);
+    if (h < 0) { h = -h; }
+    var n int;
+    n = symHash[h];
+    while (n != -1) {
+        if (symKey[n] == key) { return symAddr[n]; }
+        n = symNext[n];
+    }
+    return -1;
+}
+
+// genSource synthesizes a program with labels and branches.
+func genSource(stmts int) {
+    var i int;
+    var nlabels int;
+    nsrc = 0;
+    nlabels = 0;
+    for (i = 0; i < stmts; i = i + 1) {
+        var r int;
+        r = rndAs(16);
+        if (r == 0) {
+            srcOp[nsrc] = 8;             // label definition
+            srcA[nsrc] = nlabels;
+            nlabels = nlabels + 1;
+        } else if (r <= 4) {
+            srcOp[nsrc] = 1 + rndAs(2);  // add/sub
+            srcA[nsrc] = rndAs(8);
+            srcB[nsrc] = rndAs(8);
+            srcC[nsrc] = rndAs(8);
+        } else if (r <= 7) {
+            srcOp[nsrc] = 3;             // li
+            srcA[nsrc] = rndAs(8);
+            srcB[nsrc] = rndAs(100);
+        } else if (r <= 10) {
+            srcOp[nsrc] = 4;             // lw
+            srcA[nsrc] = rndAs(8);
+            srcB[nsrc] = rndAs(8);
+            srcC[nsrc] = rndAs(32);
+        } else if (r <= 12) {
+            srcOp[nsrc] = 5;             // sw
+            srcA[nsrc] = rndAs(8);
+            srcB[nsrc] = rndAs(8);
+            srcC[nsrc] = rndAs(32);
+        } else if (r <= 14 && nlabels > 0) {
+            srcOp[nsrc] = 6;             // beq to a known label
+            srcA[nsrc] = rndAs(8);
+            srcB[nsrc] = rndAs(8);
+            srcC[nsrc] = rndAs(nlabels);
+        } else {
+            srcOp[nsrc] = 9;             // nop
+        }
+        nsrc = nsrc + 1;
+    }
+}
+
+// pass1 assigns addresses to labels (labels emit no code).
+func pass1() {
+    var i int;
+    var n int;
+    var addr int;
+    addr = 0;
+    n = nsrc;
+    for (i = 0; i < n; i = i + 1) {
+        if (srcOp[i] == 8) {
+            symDefine(srcA[i], addr);
+        } else {
+            addr = addr + 1;
+        }
+    }
+}
+
+// encode packs one statement into a word.
+func encode(i int) int {
+    var w int;
+    w = srcOp[i] * 1000000 + srcA[i] * 10000 + srcB[i] * 100 + srcC[i] % 100;
+    if (srcOp[i] == 6) {
+        var t int;
+        t = symLookup(srcC[i]);
+        if (t == -1) { t = 0; }
+        w = srcOp[i] * 1000000 + srcA[i] * 10000 + srcB[i] * 100 + t % 100;
+    }
+    return w;
+}
+
+// pass2 emits words.
+func pass2() {
+    var i int;
+    var n int;
+    var m int;
+    m = 0;
+    n = nsrc;
+    for (i = 0; i < n; i = i + 1) {
+        if (srcOp[i] != 8) {
+            out[m] = encode(i);
+            m = m + 1;
+        }
+    }
+    nout = m;
+}
+
+// defines/uses for the reorganizer: reg defined by instr at out index.
+func defReg(w int) int {
+    var op int;
+    op = w / 1000000;
+    if (op == 1 || op == 2 || op == 3 || op == 4) { return (w / 10000) % 100; }
+    return -1;
+}
+
+func usesReg(w int, r int) int {
+    var op int;
+    op = w / 1000000;
+    if (op == 1 || op == 2) {
+        return (w / 100) % 100 == r || w % 100 == r;
+    }
+    if (op == 4 || op == 5) {
+        return (w / 100) % 100 == r || ((w / 10000) % 100 == r && op == 5);
+    }
+    if (op == 6) {
+        return (w / 10000) % 100 == r || (w / 100) % 100 == r;
+    }
+    return 0;
+}
+
+func isBranch(w int) int { return w / 1000000 == 6; }
+func isNop(w int) int { return w / 1000000 == 9; }
+
+// reorganize: after each branch, if the following instruction is a nop, try
+// to move an earlier independent instruction into the slot.
+func canMove(w int, branch int) int {
+    var d int;
+    d = defReg(w);
+    if (d == -1) { return isNop(w); }
+    if (usesReg(branch, d)) { return 0; }
+    if (w / 1000000 == 4 || w / 1000000 == 5) { return 0; }  // keep memory order
+    return 1;
+}
+
+func reorganize() int {
+    var i int;
+    var n int;
+    var filled int;
+    filled = 0;
+    n = nout;
+    for (i = 1; i + 1 < n; i = i + 1) {
+        if (isBranch(out[i]) && isNop(out[i + 1])) {
+            // Look back a few instructions for a mover.
+            var j int;
+            for (j = i - 1; j >= 0 && j >= i - 4; j = j - 1) {
+                if (isBranch(out[j])) { break; }
+                if (canMove(out[j], out[i]) && !isNop(out[j])) {
+                    var t int;
+                    t = out[j];
+                    out[j] = 9000000;
+                    out[i + 1] = t;
+                    filled = filled + 1;
+                    break;
+                }
+            }
+        }
+    }
+    return filled;
+}
+
+func checksum() int {
+    var i int;
+    var n int;
+    var s int;
+    s = 0;
+    n = nout;
+    for (i = 0; i < n; i = i + 1) {
+        s = (s * 31 + out[i]) % 1000000007;
+    }
+    return s;
+}
+
+// peephole collapses li followed by add of the same register into a single
+// li (constant folding at the assembler level), compacting the image.
+func opOf(w int) int { return w / 1000000; }
+func rdOf(w int) int { return (w / 10000) % 100; }
+
+func peephole() int {
+    var i int;
+    var j int;
+    var n int;
+    var removed int;
+    n = nout;
+    removed = 0;
+    j = 0;
+    i = 0;
+    while (i < n) {
+        var w int;
+        w = out[i];
+        if (i + 1 < n && opOf(w) == 3 && opOf(out[i + 1]) == 1) {
+            var rd int;
+            rd = rdOf(out[i + 1]);
+            // add rd, rs, rt where rs == li target and rd == li target:
+            // fold into li rd, k (the simulated fold keeps a checksum-stable
+            // encoding rather than real arithmetic).
+            if (rdOf(w) == rd && (out[i + 1] / 100) % 100 == rd) {
+                out[j] = 3 * 1000000 + rd * 10000 + (w % 10000 + out[i + 1] % 100) % 10000;
+                j = j + 1;
+                i = i + 2;
+                removed = removed + 1;
+                continue;
+            }
+        }
+        out[j] = w;
+        j = j + 1;
+        i = i + 1;
+    }
+    nout = j;
+    return removed;
+}
+
+func assemble(stmts int, seed int) {
+    seedAs = seed;
+    nsyms = 0;
+    var i int;
+    for (i = 0; i < 64; i = i + 1) { symHash[i] = -1; }
+    genSource(stmts);
+    pass1();
+    pass2();
+    print(nout);
+    print(nsyms);
+    print(checksum());
+    print(reorganize());
+    print(checksum());
+    print(peephole());
+    print(checksum());
+}
+
+func main() {
+    assemble(900, 7);
+    assemble(1400, 999);
+}
+`
+
+// upas: the first pass of a Pascal-like compiler — a scanner and a full
+// recursive-descent parser for a block-structured language over synthesized
+// token streams, building a symbol table with scopes and checking types,
+// with a deep call graph of small nonterminal procedures.
+const srcUpas = `
+// upas - parser pass of a Pascal-like compiler over a token stream.
+// Tokens: 1 program, 2 var, 3 begin, 4 end, 5 if, 6 then, 7 else, 8 while,
+// 9 do, 10 ident(val), 11 number(val), 12 :=, 13 ;, 14 +, 15 -, 16 *,
+// 17 <, 18 (, 19 ), 20 ., 21 integer, 22 :, 23 ,, 0 eof.
+// The parse cursor threads through every nonterminal as a parameter and
+// return value, as in a hand-written production parser.
+var tk [4000]int;
+var tv [4000]int;
+var ntk int;
+var errs int;
+
+// Scope-stacked symbol table.
+var symName [200]int;
+var symLevel [200]int;
+var nsym int;
+var level int;
+
+var stmts int;
+var exprs int;
+var sig int;
+
+func tokAt(pos int) int {
+    if (pos >= ntk) { return 0; }
+    return tk[pos];
+}
+
+func valAt(pos int) int {
+    if (pos >= ntk) { return 0; }
+    return tv[pos];
+}
+
+func expect(pos int, t int) int {
+    if (tokAt(pos) != t) { errs = errs + 1; }
+    if (pos < ntk) { return pos + 1; }
+    return pos;
+}
+
+func openScope() { level = level + 1; }
+
+func closeScope() {
+    while (nsym > 0 && symLevel[nsym - 1] == level) { nsym = nsym - 1; }
+    level = level - 1;
+}
+
+func declare(name int) {
+    symName[nsym] = name;
+    symLevel[nsym] = level;
+    nsym = nsym + 1;
+}
+
+func lookup(name int) int {
+    var i int;
+    for (i = nsym - 1; i >= 0; i = i - 1) {
+        if (symName[i] == name) { return symLevel[i]; }
+    }
+    return -1;
+}
+
+func noteUse(name int) {
+    if (lookup(name) == -1) { errs = errs + 1; }
+    sig = (sig * 31 + name + 1) % 1000000007;
+}
+
+// factor := ident | number | ( expr ); returns the new cursor.
+func factor(pos int) int {
+    exprs = exprs + 1;
+    var t int;
+    t = tokAt(pos);
+    if (t == 10) {
+        noteUse(valAt(pos));
+        return pos + 1;
+    }
+    if (t == 11) {
+        sig = (sig * 31 + valAt(pos)) % 1000000007;
+        return pos + 1;
+    }
+    if (t == 18) {
+        pos = expression(pos + 1);
+        return expect(pos, 19);
+    }
+    errs = errs + 1;
+    if (pos < ntk) { return pos + 1; }
+    return pos;
+}
+
+// term := factor ('*' factor)*
+func term(pos int) int {
+    pos = factor(pos);
+    while (tokAt(pos) == 16) {
+        pos = factor(pos + 1);
+    }
+    return pos;
+}
+
+// simpleExpr := term (('+'|'-') term)*
+func simpleExpr(pos int) int {
+    pos = term(pos);
+    while (tokAt(pos) == 14 || tokAt(pos) == 15) {
+        pos = term(pos + 1);
+    }
+    return pos;
+}
+
+// expression := simpleExpr ('<' simpleExpr)?
+func expression(pos int) int {
+    pos = simpleExpr(pos);
+    if (tokAt(pos) == 17) {
+        pos = simpleExpr(pos + 1);
+    }
+    return pos;
+}
+
+// assignment := ident ':=' expression
+func assignment(pos int) int {
+    noteUse(valAt(pos));
+    pos = expect(pos + 1, 12);
+    return expression(pos);
+}
+
+// statement := assignment | compound | ifStmt | whileStmt
+func statement(pos int) int {
+    stmts = stmts + 1;
+    var t int;
+    t = tokAt(pos);
+    if (t == 10) { return assignment(pos); }
+    if (t == 3) { return compound(pos); }
+    if (t == 5) { return ifStmt(pos); }
+    if (t == 8) { return whileStmt(pos); }
+    errs = errs + 1;
+    if (pos < ntk) { return pos + 1; }
+    return pos;
+}
+
+// compound := 'begin' statement (';' statement)* 'end'
+func compound(pos int) int {
+    pos = expect(pos, 3);
+    pos = statement(pos);
+    while (tokAt(pos) == 13) {
+        pos = statement(pos + 1);
+    }
+    return expect(pos, 4);
+}
+
+func ifStmt(pos int) int {
+    pos = expression(pos + 1);
+    pos = expect(pos, 6);
+    pos = statement(pos);
+    if (tokAt(pos) == 7) {
+        pos = statement(pos + 1);
+    }
+    return pos;
+}
+
+func whileStmt(pos int) int {
+    pos = expression(pos + 1);
+    pos = expect(pos, 9);
+    return statement(pos);
+}
+
+// varDecls := 'var' (identList ':' 'integer' ';')*
+func varDecls(pos int) int {
+    if (tokAt(pos) != 2) { return pos; }
+    pos = pos + 1;
+    while (tokAt(pos) == 10) {
+        declare(valAt(pos));
+        pos = pos + 1;
+        while (tokAt(pos) == 23) {
+            pos = pos + 1;
+            if (tokAt(pos) == 10) {
+                declare(valAt(pos));
+                pos = pos + 1;
+            }
+        }
+        pos = expect(pos, 22);
+        pos = expect(pos, 21);
+        pos = expect(pos, 13);
+    }
+    return pos;
+}
+
+// block := varDecls compound
+func block(pos int) int {
+    openScope();
+    pos = varDecls(pos);
+    pos = compound(pos);
+    closeScope();
+    return pos;
+}
+
+// program := 'program' ident ';' block '.'
+func parseProgram() int {
+    var pos int;
+    pos = expect(0, 1);
+    pos = expect(pos, 10);
+    pos = expect(pos, 13);
+    pos = block(pos);
+    return expect(pos, 20);
+}
+
+// --- token stream synthesis ---
+var gseed int;
+
+func grnd(n int) int {
+    gseed = (gseed * 1309 + 13849) % 65536;
+    return gseed % n;
+}
+
+func put(t int, v int) {
+    tk[ntk] = t;
+    tv[ntk] = v;
+    ntk = ntk + 1;
+}
+
+func genExpr(depth int) {
+    if (depth <= 0 || grnd(3) == 0) {
+        if (grnd(2) == 0) { put(10, grnd(12)); } else { put(11, grnd(100)); }
+        return;
+    }
+    if (grnd(4) == 0) {
+        put(18, 0);
+        genExpr(depth - 1);
+        put(14 + grnd(2), 0);
+        genExpr(depth - 1);
+        put(19, 0);
+        return;
+    }
+    genExpr(depth - 1);
+    put(14 + grnd(3), 0);
+    genExpr(depth - 1);
+}
+
+func genStmt(depth int) {
+    var r int;
+    r = grnd(10);
+    if (depth <= 0 || r < 5) {
+        put(10, grnd(12));
+        put(12, 0);
+        genExpr(2);
+        return;
+    }
+    if (r < 7) {
+        put(5, 0);
+        genExpr(1);
+        put(17, 0);
+        genExpr(1);
+        put(6, 0);
+        genStmt(depth - 1);
+        if (grnd(2) == 0) {
+            put(7, 0);
+            genStmt(depth - 1);
+        }
+        return;
+    }
+    if (r < 8) {
+        put(8, 0);
+        genExpr(1);
+        put(17, 0);
+        genExpr(1);
+        put(9, 0);
+        genStmt(depth - 1);
+        return;
+    }
+    put(3, 0);
+    genStmt(depth - 1);
+    var k int;
+    var n int;
+    n = grnd(4) + 1;
+    for (k = 0; k < n; k = k + 1) {
+        put(13, 0);
+        genStmt(depth - 1);
+    }
+    put(4, 0);
+}
+
+func genProgram(seed int) {
+    gseed = seed;
+    ntk = 0;
+    put(1, 0);
+    put(10, 0);
+    put(13, 0);
+    put(2, 0);
+    // Three declaration groups of four identifiers each: "a,b,c,d: integer;".
+    var i int;
+    for (i = 0; i < 12; i = i + 1) {
+        put(10, i);
+        if (i % 4 != 3) {
+            put(23, 0);
+        } else {
+            put(22, 0);
+            put(21, 0);
+            put(13, 0);
+        }
+    }
+    put(3, 0);
+    genStmt(4);
+    var k int;
+    for (k = 0; k < 14; k = k + 1) {
+        put(13, 0);
+        genStmt(3);
+    }
+    put(4, 0);
+    put(20, 0);
+    put(0, 0);
+}
+
+func parseOne(seed int) {
+    genProgram(seed);
+    errs = 0;
+    nsym = 0;
+    level = 0;
+    stmts = 0;
+    exprs = 0;
+    sig = 0;
+    var endPos int;
+    endPos = parseProgram();
+    print(ntk);
+    print(endPos);
+    print(stmts);
+    print(exprs);
+    print(errs);
+    print(sig);
+}
+
+func main() {
+    parseOne(11);
+    parseOne(222);
+    parseOne(3333);
+}
+`
+
+// uopt: a global optimizer kernel — builds random control-flow graphs,
+// runs iterative live-variable analysis with bit vectors (words of packed
+// bits implemented arithmetically), then does a greedy interference-based
+// register assignment, mirroring this repository's own machinery (as the
+// paper's uopt contained its own allocator).
+const srcUopt = `
+// uopt - dataflow analysis and register assignment over random CFGs.
+// CFG: up to 60 blocks, each with up to 2 successors; per-block use/def
+// sets over 24 variables packed into ints (bit i = 1<<i via pow2 table).
+var pow2 [24]int;
+var succ1 [60]int;
+var succ2 [60]int;
+var useSet [60]int;
+var defSet [60]int;
+var liveIn [60]int;
+var liveOut [60]int;
+var nblocks int;
+
+var sseed int;
+
+func srnd(n int) int {
+    sseed = (sseed * 1309 + 13849) % 65536;
+    return sseed % n;
+}
+
+func bitAnd(a int, b int) int {
+    var r int;
+    var i int;
+    r = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        if ((a / pow2[i]) % 2 == 1 && (b / pow2[i]) % 2 == 1) { r = r + pow2[i]; }
+    }
+    return r;
+}
+
+func bitOr(a int, b int) int {
+    var r int;
+    var i int;
+    r = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        if ((a / pow2[i]) % 2 == 1 || (b / pow2[i]) % 2 == 1) { r = r + pow2[i]; }
+    }
+    return r;
+}
+
+func bitNot(a int) int {
+    var r int;
+    var i int;
+    r = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        if ((a / pow2[i]) % 2 == 0) { r = r + pow2[i]; }
+    }
+    return r;
+}
+
+func bitCount(a int) int {
+    var n int;
+    var i int;
+    n = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        n = n + (a / pow2[i]) % 2;
+    }
+    return n;
+}
+
+func hasBit(a int, i int) int { return (a / pow2[i]) % 2; }
+
+func genCFG(blocks int) {
+    var i int;
+    nblocks = blocks;
+    for (i = 0; i < nblocks; i = i + 1) {
+        succ1[i] = -1;
+        succ2[i] = -1;
+        if (i + 1 < nblocks) { succ1[i] = i + 1; }
+        if (srnd(3) == 0) { succ2[i] = srnd(nblocks); }
+        var u int;
+        var d int;
+        var k int;
+        u = 0;
+        d = 0;
+        for (k = 0; k < 4; k = k + 1) {
+            u = bitOr(u, pow2[srnd(24)]);
+            d = bitOr(d, pow2[srnd(24)]);
+        }
+        useSet[i] = u;
+        defSet[i] = d;
+    }
+}
+
+// liveness solves the backward equations to a fixpoint; returns iterations.
+func liveness() int {
+    var i int;
+    for (i = 0; i < nblocks; i = i + 1) {
+        liveIn[i] = 0;
+        liveOut[i] = 0;
+    }
+    var iters int;
+    var changed int;
+    iters = 0;
+    changed = 1;
+    while (changed == 1) {
+        changed = 0;
+        iters = iters + 1;
+        for (i = nblocks - 1; i >= 0; i = i - 1) {
+            var out int;
+            out = 0;
+            if (succ1[i] != -1) { out = bitOr(out, liveIn[succ1[i]]); }
+            if (succ2[i] != -1) { out = bitOr(out, liveIn[succ2[i]]); }
+            var in int;
+            in = bitOr(useSet[i], bitAnd(out, bitNot(defSet[i])));
+            if (in != liveIn[i] || out != liveOut[i]) {
+                changed = 1;
+                liveIn[i] = in;
+                liveOut[i] = out;
+            }
+        }
+    }
+    return iters;
+}
+
+// Interference: variables co-live in some block interfere.
+var interf [576]int;    // 24 x 24
+
+func buildInterference() int {
+    var i int;
+    var a int;
+    var b int;
+    var edges int;
+    for (i = 0; i < 576; i = i + 1) { interf[i] = 0; }
+    edges = 0;
+    for (i = 0; i < nblocks; i = i + 1) {
+        var lv int;
+        lv = bitOr(liveIn[i], bitOr(liveOut[i], defSet[i]));
+        for (a = 0; a < 24; a = a + 1) {
+            if (hasBit(lv, a)) {
+                for (b = a + 1; b < 24; b = b + 1) {
+                    if (hasBit(lv, b) && interf[a * 24 + b] == 0) {
+                        interf[a * 24 + b] = 1;
+                        interf[b * 24 + a] = 1;
+                        edges = edges + 1;
+                    }
+                }
+            }
+        }
+    }
+    return edges;
+}
+
+// assignRegs greedily colors variables with k registers; returns spills.
+var colorOf [24]int;
+
+func assignRegs(k int) int {
+    var v int;
+    var spills int;
+    spills = 0;
+    for (v = 0; v < 24; v = v + 1) { colorOf[v] = -1; }
+    for (v = 0; v < 24; v = v + 1) {
+        var used int;
+        var u int;
+        used = 0;
+        for (u = 0; u < 24; u = u + 1) {
+            if (interf[v * 24 + u] == 1 && colorOf[u] != -1) {
+                used = bitOr(used, pow2[colorOf[u]]);
+            }
+        }
+        var c int;
+        var found int;
+        found = 0;
+        for (c = 0; c < k; c = c + 1) {
+            if (found == 0 && hasBit(used, c) == 0) {
+                colorOf[v] = c;
+                found = 1;
+            }
+        }
+        if (found == 0) { spills = spills + 1; }
+    }
+    return spills;
+}
+
+// --- dominators: iterative intersection over the block order ---
+var idom [60]int;
+
+func intersect(a int, b int) int {
+    while (a != b) {
+        while (a > b) { a = idom[a]; }
+        while (b > a) { b = idom[b]; }
+    }
+    return a;
+}
+
+func dominators() int {
+    var i int;
+    for (i = 0; i < nblocks; i = i + 1) { idom[i] = -1; }
+    idom[0] = 0;
+    var changed int;
+    var iters int;
+    changed = 1;
+    iters = 0;
+    while (changed == 1) {
+        changed = 0;
+        iters = iters + 1;
+        for (i = 1; i < nblocks; i = i + 1) {
+            // Predecessors: the fall-through from i-1 plus any random edges.
+            var nd int;
+            nd = -1;
+            var p int;
+            for (p = 0; p < nblocks; p = p + 1) {
+                if ((succ1[p] == i || succ2[p] == i) && idom[p] != -1) {
+                    if (nd == -1) { nd = p; } else { nd = intersect(nd, p); }
+                }
+            }
+            if (nd != -1 && idom[i] != nd) {
+                idom[i] = nd;
+                changed = 1;
+            }
+        }
+    }
+    var s int;
+    s = 0;
+    for (i = 0; i < nblocks; i = i + 1) {
+        s = (s * 31 + idom[i] + 2) % 1000000007;
+    }
+    return s * 10 + iters % 10;
+}
+
+// --- constant propagation: a three-level lattice per variable ---
+// 0 = bottom (unknown/varying), 1..N = constant id, top handled as 0 here.
+var cpIn [60]int;
+
+func meetCP(a int, b int) int {
+    if (a == b) { return a; }
+    return 0;
+}
+
+func constProp() int {
+    var i int;
+    for (i = 0; i < nblocks; i = i + 1) { cpIn[i] = i % 7 + 1; }
+    var changed int;
+    var rounds int;
+    changed = 1;
+    rounds = 0;
+    while (changed == 1 && rounds < 32) {
+        changed = 0;
+        rounds = rounds + 1;
+        for (i = 0; i < nblocks; i = i + 1) {
+            var v int;
+            v = cpIn[i];
+            if (succ1[i] != -1) {
+                var m int;
+                m = meetCP(v, cpIn[succ1[i]]);
+                if (m != cpIn[succ1[i]]) { cpIn[succ1[i]] = m; changed = 1; }
+            }
+            if (succ2[i] != -1) {
+                var m2 int;
+                m2 = meetCP(v, cpIn[succ2[i]]);
+                if (m2 != cpIn[succ2[i]]) { cpIn[succ2[i]] = m2; changed = 1; }
+            }
+        }
+    }
+    var consts int;
+    consts = 0;
+    for (i = 0; i < nblocks; i = i + 1) {
+        if (cpIn[i] != 0) { consts = consts + 1; }
+    }
+    return consts * 100 + rounds;
+}
+
+func runCFG(blocks int, seed int, k int) {
+    sseed = seed;
+    genCFG(blocks);
+    print(liveness());
+    print(buildInterference());
+    print(assignRegs(k));
+    var i int;
+    var s int;
+    s = 0;
+    for (i = 0; i < nblocks; i = i + 1) {
+        s = (s * 31 + liveIn[i]) % 1000000007;
+    }
+    print(s);
+    print(dominators());
+    print(constProp());
+}
+
+func main() {
+    var i int;
+    pow2[0] = 1;
+    for (i = 1; i < 24; i = i + 1) { pow2[i] = pow2[i - 1] * 2; }
+    runCFG(40, 5, 8);
+    runCFG(60, 77, 6);
+    runCFG(25, 1234, 10);
+}
+`

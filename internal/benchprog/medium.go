@@ -1,0 +1,751 @@
+package benchprog
+
+// dhrystone: a faithful-in-spirit port of the classic synthetic benchmark:
+// record assignments (via parallel arrays), string comparison, character
+// handling, and the well-known Proc1..Proc8/Func1..Func3 call structure.
+const srcDhrystone = `
+// dhrystone - synthetic systems-programming benchmark.
+// Record type: [discr, enumComp, intComp, strComp(8 chars)] in parallel
+// arrays, two records: 0 = PtrGlob, 1 = PtrGlobNext.
+var recDiscr [2]int;
+var recEnum [2]int;
+var recInt [2]int;
+var recStr [16]int;     // two 8-char strings
+var ptrGlob int;
+var ptrGlobNext int;
+var intGlob int;
+var boolGlob int;
+var ch1Glob int;
+var ch2Glob int;
+var arr1Glob [50]int;
+var arr2Glob [2500]int; // 50 x 50
+var str1Loc [8]int;
+var str2Loc [8]int;
+
+func setStr(base int, seed int) {
+    var i int;
+    for (i = 0; i < 8; i = i + 1) {
+        recStr[base * 8 + i] = 65 + ((seed + i * 3) % 26);
+    }
+}
+
+func strCmpRec(a int, b int) int {
+    var i int;
+    for (i = 0; i < 8; i = i + 1) {
+        if (recStr[a * 8 + i] != recStr[b * 8 + i]) {
+            return recStr[a * 8 + i] - recStr[b * 8 + i];
+        }
+    }
+    return 0;
+}
+
+func func1(ch1 int, ch2 int) int {
+    var chLoc1 int;
+    var chLoc2 int;
+    chLoc1 = ch1;
+    chLoc2 = chLoc1;
+    if (chLoc2 != ch2) { return 0; }
+    ch1Glob = chLoc1;
+    return 1;
+}
+
+func func2(s1 int, s2 int) int {
+    var intLoc int;
+    var chLoc int;
+    intLoc = 2;
+    chLoc = 65;
+    while (intLoc <= 2) {
+        if (func1(str1Loc[intLoc], str2Loc[intLoc + 1]) == 0) {
+            chLoc = 65;
+            intLoc = intLoc + 1;
+        } else {
+            break;
+        }
+    }
+    if (chLoc >= 87 && chLoc < 90) { intLoc = 7; }
+    if (chLoc == 82) { return 1; }
+    if (cmpLocalStrings() > 0) {
+        intLoc = intLoc + 7;
+        intGlob = intLoc;
+        return 1;
+    }
+    return 0;
+}
+
+func cmpLocalStrings() int {
+    var i int;
+    for (i = 0; i < 8; i = i + 1) {
+        if (str1Loc[i] != str2Loc[i]) { return str1Loc[i] - str2Loc[i]; }
+    }
+    return 0;
+}
+
+func func3(enumPar int) int {
+    var enumLoc int;
+    enumLoc = enumPar;
+    if (enumLoc == 2) { return 1; }
+    return 0;
+}
+
+func proc8(base1 int, base2 int, intPar1 int, intPar2 int) {
+    var intLoc int;
+    var i int;
+    intLoc = intPar1 + 5;
+    arr1Glob[intLoc] = intPar2;
+    arr1Glob[intLoc + 1] = arr1Glob[intLoc];
+    arr1Glob[intLoc + 30] = intLoc;
+    for (i = intLoc; i <= intLoc + 1; i = i + 1) {
+        arr2Glob[intLoc * 50 + i] = intLoc;
+    }
+    arr2Glob[intLoc * 50 + intLoc - 1] = arr2Glob[intLoc * 50 + intLoc - 1] + 1;
+    arr2Glob[(intLoc + 20) * 50 + intLoc] = arr1Glob[intLoc];
+    intGlob = 5;
+}
+
+func proc7(intPar1 int, intPar2 int) int {
+    var intLoc int;
+    intLoc = intPar1 + 2;
+    return intPar2 + intLoc;
+}
+
+func proc6(enumPar int) int {
+    var enumLoc int;
+    enumLoc = enumPar;
+    if (func3(enumPar) == 0) { enumLoc = 3; }
+    if (enumPar == 0) { return 0; }
+    if (enumPar == 1) {
+        if (intGlob > 100) { return 0; }
+        return 3;
+    }
+    if (enumPar == 2) { return 1; }
+    if (enumPar == 3) { return 2; }
+    return enumLoc;
+}
+
+func proc5() {
+    ch1Glob = 65;
+    boolGlob = 0;
+}
+
+func proc4() {
+    var boolLoc int;
+    boolLoc = ch1Glob == 65;
+    boolLoc = boolLoc || boolGlob;
+    ch2Glob = 66;
+}
+
+func proc3(recIdx int) int {
+    if (ptrGlob != -1) {
+        return recInt[ptrGlob];
+    }
+    intGlob = 100;
+    return proc7(10, intGlob);
+}
+
+func proc2(intPar int) int {
+    var intLoc int;
+    var enumLoc int;
+    intLoc = intPar + 10;
+    enumLoc = 0;
+    while (1) {
+        if (ch1Glob == 65) {
+            intLoc = intLoc - 1;
+            intLoc = intLoc - intGlob;
+            enumLoc = 1;
+        }
+        if (enumLoc == 1) { break; }
+    }
+    return intLoc;
+}
+
+func proc1(recIdx int) {
+    var next int;
+    next = recIdx + 1;
+    if (next > 1) { next = 1; }
+    recDiscr[next] = recDiscr[recIdx];
+    recInt[next] = 5;
+    recEnum[next] = recEnum[recIdx];
+    recInt[next] = proc7(recInt[next], 10);
+    if (recDiscr[next] == 0) {
+        recInt[next] = 6;
+        recEnum[next] = proc6(recEnum[recIdx]);
+        recInt[next] = proc7(recInt[next], intGlob);
+    } else {
+        recDiscr[recIdx] = recDiscr[next];
+    }
+}
+
+func main() {
+    var runs int;
+    var i int;
+    ptrGlob = 0;
+    ptrGlobNext = 1;
+    recDiscr[0] = 0;
+    recEnum[0] = 2;
+    recInt[0] = 40;
+    setStr(0, 3);
+    setStr(1, 3);
+    for (i = 0; i < 8; i = i + 1) {
+        str1Loc[i] = 68 + (i % 5);
+        str2Loc[i] = 68 + (i % 5);
+    }
+    str2Loc[2] = 70;
+    arr1Glob[8] = 10;
+
+    var sum int;
+    sum = 0;
+    for (runs = 0; runs < 300; runs = runs + 1) {
+        proc5();
+        proc4();
+        var intLoc1 int;
+        var intLoc2 int;
+        var intLoc3 int;
+        intLoc1 = 2;
+        intLoc2 = 3;
+        if (func2(0, 0) == 0) { boolGlob = 1; } else { boolGlob = 0; }
+        while (intLoc1 < intLoc2) {
+            intLoc3 = 5 * intLoc1 - intLoc2;
+            intLoc3 = proc7(intLoc1, intLoc2);
+            intLoc1 = intLoc1 + 1;
+        }
+        proc8(0, 0, intLoc1, intLoc3);
+        proc1(0);
+        var chIdx int;
+        for (chIdx = 65; chIdx <= 66; chIdx = chIdx + 1) {
+            if (func1(chIdx, 67)) {
+                intLoc3 = proc6(0) + intLoc3;
+            }
+        }
+        intLoc3 = proc2(intLoc1) + proc3(0);
+        sum = (sum + intLoc3 + intGlob + recInt[1]) % 1000000007;
+    }
+    print(sum);
+    print(intGlob);
+    print(boolGlob);
+    print(ch1Glob);
+    print(ch2Glob);
+    print(arr1Glob[7]);
+    print(arr2Glob[8 * 50 + 7]);
+    print(recInt[1]);
+}
+`
+
+// stanford: the integer kernels of Hennessy's Stanford suite — Perm,
+// Towers, Queens, Intmm, Bubble, Quicksort, Treesort (array-encoded tree).
+const srcStanford = `
+// stanford - integer benchmark suite.
+var permArr [11]int;
+
+func swapPerm(i int, j int) {
+    var t int;
+    t = permArr[i];
+    permArr[i] = permArr[j];
+    permArr[j] = t;
+}
+
+// permute returns the number of permutation-tree nodes visited.
+func permute(n int) int {
+    var count int;
+    count = 1;
+    if (n != 1) {
+        count = count + permute(n - 1);
+        var k int;
+        for (k = n - 1; k >= 1; k = k - 1) {
+            swapPerm(n, k);
+            count = count + permute(n - 1);
+            swapPerm(n, k);
+        }
+    }
+    return count;
+}
+
+// towers returns the number of disc moves.
+func towers(n int, from int, to int, via int) int {
+    if (n == 1) { return 1; }
+    var a int;
+    var b int;
+    a = towers(n - 1, from, via, to);
+    b = towers(n - 1, via, to, from);
+    return a + b + 1;
+}
+
+var qRow [9]int;
+var qD1 [17]int;
+var qD2 [17]int;
+
+func qFree(row int, col int) int {
+    return qRow[row] == 0 && qD1[row + col] == 0 && qD2[row - col + 8] == 0;
+}
+
+func qPlace(row int, col int, v int) {
+    qRow[row] = v;
+    qD1[row + col] = v;
+    qD2[row - col + 8] = v;
+}
+
+// queens returns the number of solutions below this column.
+func queens(col int) int {
+    var row int;
+    var found int;
+    found = 0;
+    for (row = 0; row < 8; row = row + 1) {
+        if (qFree(row, col)) {
+            qPlace(row, col, 1);
+            if (col == 7) {
+                found = found + 1;
+            } else {
+                found = found + queens(col + 1);
+            }
+            qPlace(row, col, 0);
+        }
+    }
+    return found;
+}
+
+var ma [256]int;
+var mb [256]int;
+var mr [256]int;
+
+func innerProduct(row int, col int) int {
+    var s int;
+    var k int;
+    s = 0;
+    for (k = 0; k < 16; k = k + 1) {
+        s = s + ma[row * 16 + k] * mb[k * 16 + col];
+    }
+    return s;
+}
+
+func intmm() int {
+    var i int;
+    var j int;
+    for (i = 0; i < 256; i = i + 1) {
+        ma[i] = (i % 7) - 3;
+        mb[i] = (i % 5) - 2;
+    }
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 0; j < 16; j = j + 1) {
+            mr[i * 16 + j] = innerProduct(i, j);
+        }
+    }
+    var sig int;
+    sig = 0;
+    for (i = 0; i < 256; i = i + 1) { sig = (sig * 31 + mr[i] + 1000) % 1000000007; }
+    return sig;
+}
+
+var sortArr [200]int;
+
+func fillSort(seed int) {
+    var i int;
+    var v int;
+    v = seed;
+    for (i = 0; i < 200; i = i + 1) {
+        v = (v * 1309 + 13849) % 65536;
+        sortArr[i] = v;
+    }
+}
+
+func bubble() int {
+    var i int;
+    var top int;
+    fillSort(74755);
+    for (top = 199; top > 0; top = top - 1) {
+        for (i = 0; i < top; i = i + 1) {
+            if (sortArr[i] > sortArr[i + 1]) {
+                var t int;
+                t = sortArr[i];
+                sortArr[i] = sortArr[i + 1];
+                sortArr[i + 1] = t;
+            }
+        }
+    }
+    return sortArr[0] + sortArr[199] * 3 + sortArr[100];
+}
+
+func quickPartition(lo int, hi int) int {
+    var pivot int;
+    var i int;
+    var j int;
+    pivot = sortArr[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (sortArr[i] < pivot) { i = i + 1; }
+        while (sortArr[j] > pivot) { j = j - 1; }
+        if (i <= j) {
+            var t int;
+            t = sortArr[i];
+            sortArr[i] = sortArr[j];
+            sortArr[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    return i;
+}
+
+func quicksort(lo int, hi int) {
+    if (lo >= hi) { return; }
+    var m int;
+    m = quickPartition(lo, hi);
+    quicksort(lo, m - 1);
+    quicksort(m, hi);
+}
+
+func quick() int {
+    fillSort(74755);
+    quicksort(0, 199);
+    return sortArr[0] + sortArr[199] * 3 + sortArr[100];
+}
+
+// Treesort via an array-encoded binary search tree.
+var treeKey [512]int;
+var treeLeft [512]int;
+var treeRight [512]int;
+var treeTop int;
+
+func treeInsert(root int, key int) int {
+    if (root == -1) {
+        var n int;
+        n = treeTop;
+        treeTop = treeTop + 1;
+        treeKey[n] = key;
+        treeLeft[n] = -1;
+        treeRight[n] = -1;
+        return n;
+    }
+    if (key < treeKey[root]) {
+        treeLeft[root] = treeInsert(treeLeft[root], key);
+    } else {
+        treeRight[root] = treeInsert(treeRight[root], key);
+    }
+    return root;
+}
+
+// treeWalk folds the keys in order into the signature it is handed.
+func treeWalk(root int, sig int) int {
+    if (root == -1) { return sig; }
+    sig = treeWalk(treeLeft[root], sig);
+    sig = (sig * 37 + treeKey[root]) % 1000000007;
+    return treeWalk(treeRight[root], sig);
+}
+
+func treesort() int {
+    var i int;
+    var v int;
+    var root int;
+    treeTop = 0;
+    root = -1;
+    v = 74755;
+    for (i = 0; i < 300; i = i + 1) {
+        v = (v * 1309 + 13849) % 65536;
+        root = treeInsert(root, v);
+    }
+    return treeWalk(root, 0);
+}
+
+func main() {
+    var i int;
+    for (i = 0; i <= 10; i = i + 1) { permArr[i] = i; }
+    print(permute(6));
+    print(towers(12, 1, 3, 2));
+    print(queens(0));
+    print(intmm());
+    print(bubble());
+    print(quick());
+    print(treesort());
+}
+`
+
+// pf: a pretty-printer — reads a token stream (encoded program), tracks
+// nesting and breaks lines at a right margin, emitting per-line indentation
+// checksums. Call pattern mirrors a printer with many small emit helpers.
+const srcPf = `
+// pf - pretty-printer for a token stream.
+// Token kinds: 1 ident, 2 number, 3 lbrace, 4 rbrace, 5 semi, 6 keyword,
+// 7 lparen, 8 rparen, 9 operator, 10 comma.
+var toks [2200]int;
+var ntoks int;
+var col int;
+var indent int;
+var line int;
+var sig int;
+var margin int;
+
+func tokWidth(kind int) int {
+    if (kind == 1) { return 6; }
+    if (kind == 2) { return 4; }
+    if (kind == 6) { return 5; }
+    if (kind == 9) { return 2; }
+    return 1;
+}
+
+func emitChar(n int) {
+    col = col + n;
+    sig = (sig * 31 + col) % 1000000007;
+}
+
+func newline() {
+    sig = (sig * 131 + col * 7 + line) % 1000000007;
+    line = line + 1;
+    col = indent * 4;
+}
+
+func needBreak(w int) int {
+    return col + w > margin;
+}
+
+func emitTok(kind int) {
+    var w int;
+    w = tokWidth(kind);
+    if (needBreak(w)) { newline(); }
+    emitChar(w);
+    emitChar(1);    // following space
+}
+
+func openBlock() {
+    emitTok(3);
+    indent = indent + 1;
+    newline();
+}
+
+func closeBlock() {
+    indent = indent - 1;
+    newline();
+    emitTok(4);
+    newline();
+}
+
+func semi() {
+    emitTok(5);
+    newline();
+}
+
+func format(i int) int {
+    while (i < ntoks) {
+        var k int;
+        k = toks[i];
+        if (k == 3) {
+            openBlock();
+            i = format(i + 1);
+        } else if (k == 4) {
+            closeBlock();
+            return i + 1;
+        } else if (k == 5) {
+            semi();
+            i = i + 1;
+        } else {
+            emitTok(k);
+            i = i + 1;
+        }
+    }
+    return i;
+}
+
+// genProgram synthesizes a deterministic token stream with nested blocks.
+func genProgram(seed int) {
+    var v int;
+    var depth int;
+    ntoks = 0;
+    depth = 0;
+    v = seed;
+    while (ntoks < 2000) {
+        v = (v * 1309 + 13849) % 65536;
+        var r int;
+        r = v % 12;
+        if (r == 0 && depth < 6) {
+            toks[ntoks] = 3;
+            depth = depth + 1;
+        } else if (r == 1 && depth > 0) {
+            toks[ntoks] = 4;
+            depth = depth - 1;
+        } else if (r < 5) {
+            toks[ntoks] = 1;
+        } else if (r < 7) {
+            toks[ntoks] = 2;
+        } else if (r < 8) {
+            toks[ntoks] = 5;
+        } else if (r < 9) {
+            toks[ntoks] = 6;
+        } else if (r < 10) {
+            toks[ntoks] = 9;
+        } else {
+            toks[ntoks] = 10;
+        }
+        ntoks = ntoks + 1;
+    }
+    while (depth > 0) {
+        toks[ntoks] = 4;
+        ntoks = ntoks + 1;
+        depth = depth - 1;
+    }
+}
+
+// fillStyle is an alternative one-pass layout: it never breaks before
+// operators and collapses runs of commas, measuring how many tokens land
+// per line (a pretty-printer's "fill" mode).
+func fillStyle() int {
+    var i int;
+    var c int;
+    var lines int;
+    var onLine int;
+    var fsig int;
+    c = 0;
+    lines = 1;
+    onLine = 0;
+    fsig = 0;
+    for (i = 0; i < ntoks; i = i + 1) {
+        var k int;
+        var w int;
+        k = toks[i];
+        w = tokWidth(k) + 1;
+        if (c + w > margin && k != 9 && k != 10 && onLine > 0) {
+            fsig = (fsig * 131 + onLine) % 1000000007;
+            lines = lines + 1;
+            c = 0;
+            onLine = 0;
+        }
+        c = c + w;
+        onLine = onLine + 1;
+        if (k == 5) {
+            fsig = (fsig * 131 + onLine) % 1000000007;
+            lines = lines + 1;
+            c = 0;
+            onLine = 0;
+        }
+    }
+    return fsig * 7 + lines;
+}
+
+func run(seed int, m int) {
+    genProgram(seed);
+    col = 0;
+    indent = 0;
+    line = 1;
+    sig = 0;
+    margin = m;
+    format(0);
+    print(line);
+    print(sig);
+    print(fillStyle());
+}
+
+func main() {
+    run(7, 72);
+    run(99, 40);
+    run(12345, 100);
+}
+`
+
+// awk: pattern scanning — synthesized input records with fields, a set of
+// patterns (field comparisons and range patterns), and per-pattern actions,
+// like an awk program over a log file. The per-record state travels through
+// parameters and the accumulators live in the driver's locals, mirroring
+// how the original awk's interpreter loop keeps its cell registers.
+const srcAwk = `
+// awk - pattern scanning and processing.
+// Records have 4 fields, synthesized deterministically from the record
+// number; all per-pass state lives in runPass's locals.
+var histo [10]int;
+
+func recordValue(seed int, nr int) int {
+    return (seed + nr * 2654435761) % 1000003;
+}
+
+func field0(v int) int { return v % 100; }
+func field1(v int) int { return (v / 100) % 50; }
+func field2(v int) int { return (v / 5000) % 20; }
+func field3(v int) int { return v % 7; }
+
+func matchEq(field int, val int) int { return field == val; }
+func matchGt(field int, val int) int { return field > val; }
+func matchMod(field int, m int, r int) int { return field % m == r; }
+
+func action2(sum2 int, a int, c int) int {
+    return (sum2 + a * c) % 1000000007;
+}
+
+func bumpHisto(b int) {
+    histo[b % 10] = histo[b % 10] + 1;
+}
+
+// rangeStep advances a /start/,/stop/ range pattern: returns the new state
+// (0 or 1) packed with whether the line was inside (state*2 + inside).
+func rangeStep(state int, startHit int, stopHit int) int {
+    var inside int;
+    inside = 0;
+    if (state == 0) {
+        if (startHit) { state = 1; }
+    }
+    if (state == 1) {
+        inside = 1;
+        if (stopHit) { state = 0; }
+    }
+    return state * 2 + inside;
+}
+
+func runPass(seed int) {
+    var nr int;
+    var count1 int;
+    var sum1 int;
+    var count2 int;
+    var sum2 int;
+    var count3 int;
+    var range1 int;
+    var range2 int;
+    var lines1 int;
+    var lines2 int;
+    var i int;
+    nr = 0; count1 = 0; sum1 = 0; count2 = 0; sum2 = 0; count3 = 0;
+    range1 = 0; range2 = 0; lines1 = 0; lines2 = 0;
+    for (i = 0; i < 10; i = i + 1) { histo[i] = 0; }
+    while (nr < 900) {
+        nr = nr + 1;
+        var v int;
+        var a int;
+        var b int;
+        var c int;
+        var d int;
+        v = recordValue(seed, nr);
+        a = field0(v);
+        b = field1(v);
+        c = field2(v);
+        d = field3(v);
+        if (matchGt(a, 50)) {
+            count1 = count1 + 1;
+            sum1 = sum1 + b;
+        }
+        if (matchMod(b, 3, 1) && matchEq(d, 2)) {
+            count2 = count2 + 1;
+            sum2 = action2(sum2, a, c);
+        }
+        if (matchEq(c, 7) || matchEq(c, 13)) { count3 = count3 + 1; }
+        bumpHisto(b);
+        var st int;
+        st = rangeStep(range1, matchEq(d, 0), matchEq(d, 6));
+        range1 = st / 2;
+        lines1 = lines1 + st % 2;
+        st = rangeStep(range2, matchGt(a, 90), matchGt(b, 45));
+        range2 = st / 2;
+        lines2 = lines2 + st % 2;
+    }
+    print(nr);
+    print(count1);
+    print(sum1);
+    print(count2);
+    print(sum2);
+    print(count3);
+    print(lines1);
+    print(lines2);
+    var hsig int;
+    hsig = 0;
+    for (i = 0; i < 10; i = i + 1) { hsig = hsig * 1000 + histo[i] % 1000; }
+    print(hsig);
+}
+
+func main() {
+    runPass(17);
+    runPass(23456);
+}
+`

@@ -1,0 +1,686 @@
+package benchprog
+
+// nim: recursive game-tree search for the game of Nim (three heaps, normal
+// play), plus a played-out game against the optimal strategy. Very
+// call-intensive with tiny leaf procedures, like the paper's nim
+// (43 cycles/call).
+const srcNim = `
+// nim - play the game of Nim with three heaps.
+var wins int;
+var losses int;
+var probes int;
+
+func max2(a int, b int) int {
+    if (a > b) { return a; }
+    return b;
+}
+
+func min2(a int, b int) int {
+    if (a < b) { return a; }
+    return b;
+}
+
+func isZero(a int, b int, c int) int {
+    return a == 0 && b == 0 && c == 0;
+}
+
+func note(win int) int {
+    if (win == 1) { wins = wins + 1; } else { losses = losses + 1; }
+    return win;
+}
+
+// winning returns 1 when the position (a,b,c) with the current player to
+// move is a first-player win under normal play.
+func winning(a int, b int, c int) int {
+    probes = probes + 1;
+    if (isZero(a, b, c)) { return note(0); }
+    var k int;
+    for (k = 1; k <= a; k = k + 1) {
+        if (!winning(a - k, b, c)) { return note(1); }
+    }
+    for (k = 1; k <= b; k = k + 1) {
+        if (!winning(a, b - k, c)) { return note(1); }
+    }
+    for (k = 1; k <= c; k = k + 1) {
+        if (!winning(a, b, c - k)) { return note(1); }
+    }
+    return note(0);
+}
+
+// xorHeaps computes the nim-sum without bitwise operators.
+func xorBit(a int, b int, bit int) int {
+    var x int;
+    var y int;
+    x = (a / bit) % 2;
+    y = (b / bit) % 2;
+    if (x != y) { return bit; }
+    return 0;
+}
+
+func nimXor(a int, b int) int {
+    var s int;
+    var bit int;
+    s = 0;
+    for (bit = 1; bit <= 8; bit = bit * 2) {
+        s = s + xorBit(a, b, bit);
+    }
+    return s;
+}
+
+var mvA int;
+var mvB int;
+var mvC int;
+
+// bestMove finds an optimal move from (a,b,c), storing the new position.
+func bestMove(a int, b int, c int) int {
+    var k int;
+    for (k = 1; k <= a; k = k + 1) {
+        if (nimXor(nimXor(a - k, b), c) == 0) { mvA = a - k; mvB = b; mvC = c; return 1; }
+    }
+    for (k = 1; k <= b; k = k + 1) {
+        if (nimXor(nimXor(a, b - k), c) == 0) { mvA = a; mvB = b - k; mvC = c; return 1; }
+    }
+    for (k = 1; k <= c; k = k + 1) {
+        if (nimXor(nimXor(a, b), c - k) == 0) { mvA = a; mvB = b; mvC = c - k; return 1; }
+    }
+    // Losing position: take one from the biggest heap.
+    if (a >= b && a >= c) { mvA = a - 1; mvB = b; mvC = c; return 0; }
+    if (b >= a && b >= c) { mvA = a; mvB = b - 1; mvC = c; return 0; }
+    mvA = a; mvB = b; mvC = c - 1;
+    return 0;
+}
+
+// playGame plays both sides optimally from (a,b,c); returns the number of
+// moves made.
+func playGame(a int, b int, c int) int {
+    var moves int;
+    moves = 0;
+    while (!isZero(a, b, c)) {
+        bestMove(a, b, c);
+        a = mvA; b = mvB; c = mvC;
+        moves = moves + 1;
+    }
+    return moves;
+}
+
+// tournament plays many games from systematically varied positions,
+// keeping its running totals in locals across the long call chains.
+func tournament(limit int) int {
+    var a int;
+    var total int;
+    var checks int;
+    total = 0;
+    checks = 0;
+    for (a = 1; a <= limit; a = a + 1) {
+        var b int;
+        for (b = 1; b <= limit; b = b + 1) {
+            var c int;
+            for (c = 1; c <= limit; c = c + 1) {
+                var moves int;
+                var theory int;
+                moves = playGame(a, b, c);
+                theory = nimXor(nimXor(a, b), c);
+                if (theory == 0) { checks = checks + 1; }
+                total = total + moves * 3 + max2(a, min2(b, c)) + checks;
+            }
+        }
+    }
+    return total;
+}
+
+func main() {
+    var a int;
+    var b int;
+    // Solve all positions up to (3,3,3) by brute force.
+    for (a = 0; a <= 3; a = a + 1) {
+        for (b = 0; b <= 3; b = b + 1) {
+            var c int;
+            for (c = 0; c <= 3; c = c + 1) {
+                var w int;
+                w = winning(a, b, c);
+                // Cross-check against nim-sum theory.
+                if (w != (nimXor(nimXor(a, b), c) != 0)) { print(-999); }
+            }
+        }
+    }
+    print(wins);
+    print(losses);
+    print(probes);
+    print(playGame(7, 11, 13));
+    print(tournament(9));
+}
+`
+
+// map: backtracking 4-coloring of a planar map (a fixed 17-region adjacency
+// graph), counting solutions (capped) and search nodes.
+const srcMap = `
+// map - find 4-colorings of a map by backtracking.
+var adj [289]int;   // 17 x 17 adjacency matrix
+var color [17]int;
+var regions int;
+var nodes int;
+var solutions int;
+var firstSig int;
+var solutionCap int;
+
+func setAdj(i int, j int) {
+    adj[i * 17 + j] = 1;
+    adj[j * 17 + i] = 1;
+}
+
+// ring builds a cycle of n regions starting at base.
+func ring(base int, n int) {
+    var i int;
+    for (i = 0; i < n; i = i + 1) {
+        setAdj(base + i, base + ((i + 1) % n));
+    }
+}
+
+func buildMap() {
+    regions = 17;
+    // Hub-and-ring structure: center 0, inner ring 1..8, outer 9..16,
+    // with spokes and diagonal braces.
+    var i int;
+    for (i = 1; i <= 8; i = i + 1) { setAdj(0, i); }
+    ring(1, 8);
+    ring(9, 8);
+    for (i = 0; i < 8; i = i + 1) { setAdj(1 + i, 9 + i); }
+    for (i = 0; i < 8; i = i + 1) { setAdj(1 + i, 9 + ((i + 1) % 8)); }
+}
+
+// okColor checks whether region r may take color c.
+func okColor(r int, c int) int {
+    var j int;
+    for (j = 0; j < r; j = j + 1) {
+        if (adj[r * 17 + j] == 1 && color[j] == c) { return 0; }
+    }
+    return 1;
+}
+
+// signature folds the first solution's colors into one value.
+func signature() int {
+    var s int;
+    var i int;
+    s = 0;
+    for (i = 0; i < regions; i = i + 1) { s = s * 4 + color[i]; }
+    return s % 1000000007;
+}
+
+// tryRegion extends a partial coloring to region r, stopping at the
+// solution cap.
+func tryRegion(r int) {
+    if (solutions >= solutionCap) { return; }
+    nodes = nodes + 1;
+    if (r == regions) {
+        solutions = solutions + 1;
+        if (solutions == 1) { firstSig = signature(); }
+        return;
+    }
+    var c int;
+    var limit int;
+    limit = 4;
+    if (r == 0) { limit = 1; }    // fix the first color: mod out symmetry
+    for (c = 0; c < limit; c = c + 1) {
+        if (okColor(r, c)) {
+            color[r] = c;
+            tryRegion(r + 1);
+            color[r] = -1;
+        }
+    }
+}
+
+func countEdges() int {
+    var n int;
+    var i int;
+    var nn int;
+    n = 0;
+    nn = regions * regions;
+    for (i = 0; i < nn; i = i + 1) { n = n + adj[i]; }
+    return n / 2;
+}
+
+// --- verification phase: iterative, closed-call-intensive ---
+
+func adjacent(i int, j int) int { return adj[i * 17 + j]; }
+
+func colorOf(i int) int { return color[i]; }
+
+func conflictsAt(r int) int {
+    var j int;
+    var n int;
+    n = 0;
+    for (j = 0; j < 17; j = j + 1) {
+        if (j != r && adjacent(r, j) == 1 && colorOf(j) == colorOf(r)) {
+            n = n + 1;
+        }
+    }
+    return n;
+}
+
+func scoreColoring() int {
+    var r int;
+    var bad int;
+    var score int;
+    bad = 0;
+    score = 0;
+    for (r = 0; r < 17; r = r + 1) {
+        bad = bad + conflictsAt(r);
+        score = score * 4 + colorOf(r);
+        score = score % 1000000007;
+    }
+    return score + bad * 1000000;
+}
+
+// greedyColor colors the map greedily (first legal color), iteratively.
+func greedyColor() int {
+    var r int;
+    var recolored int;
+    recolored = 0;
+    for (r = 0; r < 17; r = r + 1) {
+        var c int;
+        for (c = 0; c < 4; c = c + 1) {
+            if (okColor(r, c)) {
+                color[r] = c;
+                recolored = recolored + 1;
+                c = 4;
+            }
+        }
+    }
+    return recolored;
+}
+
+func main() {
+    buildMap();
+    var i int;
+    for (i = 0; i < 17; i = i + 1) { color[i] = -1; }
+    solutionCap = 1500;
+    print(countEdges());
+    tryRegion(0);
+    print(solutions);
+    print(nodes);
+    print(firstSig);
+
+    // Re-color greedily many times (resetting between rounds) and verify;
+    // this phase is iterative and dominated by calls to closed helpers.
+    var round int;
+    var sig int;
+    sig = 0;
+    for (round = 0; round < 60; round = round + 1) {
+        for (i = 0; i < 17; i = i + 1) { color[i] = -1; }
+        color[0] = round % 4;
+        sig = (sig * 31 + greedyColor() + scoreColoring()) % 1000000007;
+    }
+    print(sig);
+}
+`
+
+// calcc: variable-length string manipulation over a string heap — the
+// paper's calcc manipulates dynamic strings. Strings are length-prefixed
+// int sequences in a global pool; a small calculator parses and evaluates
+// textual expressions.
+const srcCalcc = `
+// calcc - dynamic variable-length string manipulation and a string
+// calculator. A string is a pool offset; pool[s] is the length.
+var pool [4096]int;
+var poolTop int;
+
+func newStr() int {
+    var s int;
+    s = poolTop;
+    pool[s] = 0;
+    poolTop = poolTop + 1;
+    return s;
+}
+
+func strLen(s int) int { return pool[s]; }
+func strAt(s int, i int) int { return pool[s + 1 + i]; }
+
+func pushChar(s int, c int) {
+    // Only valid for the most recently created string.
+    pool[s + 1 + pool[s]] = c;
+    pool[s] = pool[s] + 1;
+    poolTop = poolTop + 1;
+}
+
+// concat makes a fresh string holding a ++ b.
+func concat(a int, b int) int {
+    var s int;
+    var i int;
+    s = newStr();
+    for (i = 0; i < strLen(a); i = i + 1) { pushChar(s, strAt(a, i)); }
+    for (i = 0; i < strLen(b); i = i + 1) { pushChar(s, strAt(b, i)); }
+    return s;
+}
+
+// reverse makes a fresh reversed copy.
+func reverse(a int) int {
+    var s int;
+    var i int;
+    s = newStr();
+    for (i = strLen(a) - 1; i >= 0; i = i - 1) { pushChar(s, strAt(a, i)); }
+    return s;
+}
+
+// cmp compares lexicographically: -1, 0, 1.
+func cmp(a int, b int) int {
+    var i int;
+    var n int;
+    n = strLen(a);
+    if (strLen(b) < n) { n = strLen(b); }
+    for (i = 0; i < n; i = i + 1) {
+        if (strAt(a, i) < strAt(b, i)) { return -1; }
+        if (strAt(a, i) > strAt(b, i)) { return 1; }
+    }
+    if (strLen(a) < strLen(b)) { return -1; }
+    if (strLen(a) > strLen(b)) { return 1; }
+    return 0;
+}
+
+func hash(a int) int {
+    var h int;
+    var i int;
+    h = 5381;
+    for (i = 0; i < strLen(a); i = i + 1) {
+        h = (h * 33 + strAt(a, i)) % 1000000007;
+    }
+    return h;
+}
+
+// itoa renders a nonnegative number as a digit string.
+func itoa(v int) int {
+    var s int;
+    var r int;
+    s = newStr();
+    if (v == 0) { pushChar(s, 48); return s; }
+    r = newStr();
+    while (v > 0) {
+        pushChar(r, 48 + v % 10);
+        v = v / 10;
+    }
+    return reverse(r);
+}
+
+// atoi parses a digit string.
+func atoi(s int) int {
+    var v int;
+    var i int;
+    v = 0;
+    for (i = 0; i < strLen(s); i = i + 1) {
+        v = v * 10 + (strAt(s, i) - 48);
+    }
+    return v;
+}
+
+// calc evaluates "a op b" written as a string: digits, one of +-*, digits.
+func calc(e int) int {
+    var i int;
+    var lhs int;
+    var op int;
+    var rhs int;
+    lhs = 0;
+    i = 0;
+    while (i < strLen(e) && strAt(e, i) >= 48 && strAt(e, i) <= 57) {
+        lhs = lhs * 10 + (strAt(e, i) - 48);
+        i = i + 1;
+    }
+    op = strAt(e, i);
+    i = i + 1;
+    rhs = 0;
+    while (i < strLen(e)) {
+        rhs = rhs * 10 + (strAt(e, i) - 48);
+        i = i + 1;
+    }
+    if (op == 43) { return lhs + rhs; }
+    if (op == 45) { return lhs - rhs; }
+    return lhs * rhs;
+}
+
+// buildExpr makes the string "<a> <op> <b>" (without spaces).
+func buildExpr(a int, op int, b int) int {
+    var s int;
+    var t int;
+    s = itoa(a);
+    t = newStr();
+    pushChar(t, op);
+    return concat(concat(s, t), itoa(b));
+}
+
+// indexOf finds the first occurrence of needle in hay (naive search).
+func indexOf(hay int, needle int) int {
+    var i int;
+    var j int;
+    var n int;
+    var m int;
+    n = strLen(hay);
+    m = strLen(needle);
+    for (i = 0; i + m <= n; i = i + 1) {
+        var ok int;
+        ok = 1;
+        for (j = 0; j < m; j = j + 1) {
+            if (strAt(hay, i + j) != strAt(needle, j)) { ok = 0; j = m; }
+        }
+        if (ok) { return i; }
+    }
+    return -1;
+}
+
+// rle run-length encodes a string into a fresh one: pairs (count, char).
+func rle(a int) int {
+    var s int;
+    var i int;
+    var n int;
+    s = newStr();
+    n = strLen(a);
+    i = 0;
+    while (i < n) {
+        var c int;
+        var run int;
+        c = strAt(a, i);
+        run = 1;
+        while (i + run < n && strAt(a, i + run) == c) { run = run + 1; }
+        pushChar(s, 48 + run % 10);
+        pushChar(s, c);
+        i = i + run;
+    }
+    return s;
+}
+
+func main() {
+    var total int;
+    var i int;
+    total = 0;
+    for (i = 1; i <= 40; i = i + 1) {
+        var e int;
+        e = buildExpr(i * 7, 43, i * 3);        // +
+        total = total + calc(e);
+        e = buildExpr(i * 11, 45, i);           // -
+        total = total + calc(e);
+        e = buildExpr(i, 42, i + 1);            // *
+        total = total + calc(e);
+        poolTop = 0;                            // reset the heap
+    }
+    print(total);
+
+    // String algebra checks.
+    var a int;
+    var b int;
+    a = itoa(12345);
+    b = itoa(678);
+    print(cmp(a, b));
+    print(cmp(a, a));
+    print(atoi(concat(a, b)));
+    print(atoi(reverse(a)));
+    print(hash(concat(b, reverse(a))));
+
+    // Sort ten numeric strings by repeated minimum using cmp.
+    var keys [10]int;
+    for (i = 0; i < 10; i = i + 1) {
+        keys[i] = itoa(((i * 37) % 11) * 13 + i);
+    }
+    var pass int;
+    for (pass = 0; pass < 9; pass = pass + 1) {
+        for (i = 0; i < 9; i = i + 1) {
+            if (cmp(keys[i], keys[i + 1]) > 0) {
+                var t2 int;
+                t2 = keys[i];
+                keys[i] = keys[i + 1];
+                keys[i + 1] = t2;
+            }
+        }
+    }
+    var sig int;
+    sig = 0;
+    for (i = 0; i < 10; i = i + 1) { sig = (sig * 131 + atoi(keys[i])) % 1000000007; }
+    print(sig);
+
+    // Substring search and run-length coding over generated strings.
+    var hay int;
+    var needle int;
+    hay = concat(itoa(123123123), itoa(456456));
+    needle = itoa(23);
+    print(indexOf(hay, needle));
+    print(indexOf(hay, itoa(999)));
+    var searchSig int;
+    searchSig = 0;
+    for (i = 1; i <= 25; i = i + 1) {
+        var h int;
+        h = concat(itoa(i * 111), itoa(i * 7));
+        searchSig = (searchSig * 31 + indexOf(h, itoa(i)) + 2) % 1000000007;
+    }
+    print(searchSig);
+    print(hash(rle(concat(itoa(11122333), itoa(4445555)))));
+}
+`
+
+// diff: file comparison via the classic longest-common-subsequence dynamic
+// program plus hunk extraction, on two synthesized integer "files".
+const srcDiff = `
+// diff - compare two files of lines (lines are hashed ints).
+var fileA [64]int;
+var fileB [64]int;
+var lenA int;
+var lenB int;
+var lcs [4225]int;    // (64+1) x (64+1) DP table
+var outSig int;
+
+func lineHash(doc int, n int) int {
+    // Deterministic pseudo-line content.
+    return (doc * 31 + n * n * 7 + n * 13) % 97;
+}
+
+func buildFiles() {
+    var i int;
+    lenA = 60;
+    lenB = 58;
+    for (i = 0; i < lenA; i = i + 1) { fileA[i] = lineHash(1, i); }
+    // B: same as A but with edits: delete 5..9, change 20..24, insert at 40.
+    var j int;
+    j = 0;
+    for (i = 0; i < lenA; i = i + 1) {
+        if (i >= 5 && i < 10) { continue; }
+        if (i >= 20 && i < 25) {
+            fileB[j] = lineHash(2, i);
+            j = j + 1;
+            continue;
+        }
+        if (i == 40) {
+            fileB[j] = lineHash(3, 0);
+            j = j + 1;
+            if (j >= 58) { break; }
+            fileB[j] = lineHash(3, 1);
+            j = j + 1;
+        }
+        if (j >= 58) { break; }
+        fileB[j] = fileA[i];
+        j = j + 1;
+        if (j >= 58) { break; }
+    }
+    lenB = j;
+}
+
+func idx(i int, j int) int { return i * 65 + j; }
+
+func lineEq(i int, j int) int { return fileA[i] == fileB[j]; }
+
+func maxv(a int, b int) int {
+    if (a > b) { return a; }
+    return b;
+}
+
+// buildLCS fills the DP table bottom-up. The bounds live in locals and the
+// cell recurrence goes through small helper calls, as a real diff would
+// factor its line comparison.
+func buildLCS() {
+    var i int;
+    var j int;
+    var na int;
+    var nb int;
+    na = lenA;
+    nb = lenB;
+    for (i = na - 1; i >= 0; i = i - 1) {
+        for (j = nb - 1; j >= 0; j = j - 1) {
+            if (lineEq(i, j)) {
+                lcs[idx(i, j)] = lcs[idx(i + 1, j + 1)] + 1;
+            } else {
+                lcs[idx(i, j)] = maxv(lcs[idx(i + 1, j)], lcs[idx(i, j + 1)]);
+            }
+        }
+    }
+}
+
+func emit(sig int, kind int, a int, b int) int {
+    return (sig * 131 + kind * 7 + a * 31 + b) % 1000000007;
+}
+
+// walk traces the LCS emitting edit operations (1=del, 2=ins, 3=keep).
+// Its cursor and signature state stays in locals, live across every call.
+func walk() int {
+    var i int;
+    var j int;
+    var na int;
+    var nb int;
+    var edits int;
+    var sig int;
+    i = 0;
+    j = 0;
+    na = lenA;
+    nb = lenB;
+    edits = 0;
+    sig = outSig;
+    while (i < na && j < nb) {
+        if (lineEq(i, j)) {
+            sig = emit(sig, 3, i, j);
+            i = i + 1;
+            j = j + 1;
+        } else if (lcs[idx(i + 1, j)] >= lcs[idx(i, j + 1)]) {
+            sig = emit(sig, 1, i, 0);
+            i = i + 1;
+            edits = edits + 1;
+        } else {
+            sig = emit(sig, 2, 0, j);
+            j = j + 1;
+            edits = edits + 1;
+        }
+    }
+    while (i < na) { sig = emit(sig, 1, i, 0); i = i + 1; edits = edits + 1; }
+    while (j < nb) { sig = emit(sig, 2, 0, j); j = j + 1; edits = edits + 1; }
+    outSig = sig;
+    return edits;
+}
+
+func main() {
+    var round int;
+    for (round = 0; round < 4; round = round + 1) {
+        buildFiles();
+        // Perturb B a little more each round.
+        var k int;
+        for (k = 0; k < round * 3; k = k + 1) {
+            fileB[(k * 17) % lenB] = lineHash(4, k + round);
+        }
+        buildLCS();
+        print(lcs[idx(0, 0)]);
+        print(walk());
+    }
+    print(outSig);
+}
+`

@@ -1,0 +1,725 @@
+// Package codegen translates allocated IR into executable machine code.
+//
+// It realizes every decision of the allocation plan: temps live in their
+// assigned registers or frame slots; callee-saved registers are saved and
+// restored exactly where the shrink-wrap plan says; caller-saved registers
+// holding values live across a call are saved/restored around it only when
+// the callee (per its summary) may actually destroy them; and outgoing
+// arguments are marshalled into the registers the callee expects — the
+// paper's parameter-passing optimization falls out as vanished moves.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+	"chow88/internal/mcode"
+	"chow88/internal/regalloc"
+)
+
+// Generate produces a linked program image from the allocation plan.
+func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
+	prog := &mcode.Program{DataSize: pp.Module.DataSize()}
+
+	// Startup stub: call main, then exit.
+	prog.Code = append(prog.Code, mcode.Instr{Op: mcode.JAL}, mcode.Instr{Op: mcode.EXIT})
+
+	type pending struct {
+		fi    *mcode.FuncInfo
+		fixes []fixup
+		base  int
+	}
+	var fixAll []pending
+	for _, f := range pp.Module.Funcs {
+		fi := &mcode.FuncInfo{Name: f.Name, Extern: f.Extern}
+		prog.Funcs = append(prog.Funcs, fi)
+		if f.Extern {
+			fi.Entry = -1
+			continue
+		}
+		fp := pp.Funcs[f]
+		if fp == nil {
+			return nil, fmt.Errorf("codegen: no plan for %s", f.Name)
+		}
+		g := newFngen(pp, fp)
+		if err := g.run(); err != nil {
+			return nil, fmt.Errorf("codegen %s: %w", f.Name, err)
+		}
+		fi.Entry = len(prog.Code)
+		fi.FrameSize = g.frameSize
+		prog.Code = append(prog.Code, g.code...)
+		fi.End = len(prog.Code)
+		for _, blk := range f.Blocks {
+			fi.Blocks = append(fi.Blocks, mcode.BlockSpan{
+				BlockID: blk.ID,
+				Start:   fi.Entry + g.blockStart[blk],
+			})
+		}
+		fixAll = append(fixAll, pending{fi: fi, fixes: g.fixes, base: fi.Entry})
+	}
+
+	// Resolve intra-function branch targets.
+	for _, p := range fixAll {
+		for _, fx := range p.fixes {
+			start, ok := fx.g.blockStart[fx.blk]
+			if !ok {
+				return nil, fmt.Errorf("codegen: unresolved block %s", fx.blk.Name)
+			}
+			prog.Code[p.base+fx.at].Target = p.base + start
+		}
+	}
+	// Resolve JAL targets (including the startup stub).
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Op == mcode.JAL && in.Imm != 0 {
+			idx := int(in.Imm) - 1
+			if idx < 0 || idx >= len(prog.Funcs) {
+				return nil, fmt.Errorf("codegen: jal to unknown function %d", in.Imm)
+			}
+			// Calls to extern functions trap at run time (as in the
+			// interpreter); jumping to -1 leaves the code image.
+			in.Target = prog.Funcs[idx].Entry
+		}
+	}
+	// The stub calls main.
+	mainIdx := -1
+	for i, f := range pp.Module.Funcs {
+		if f.Name == "main" {
+			mainIdx = i
+		}
+	}
+	if mainIdx < 0 {
+		return nil, fmt.Errorf("codegen: no main")
+	}
+	prog.Code[0].Target = prog.Funcs[mainIdx].Entry
+	return prog, nil
+}
+
+type fixup struct {
+	at  int // index into g.code
+	blk *ir.Block
+	g   *fngen
+}
+
+type fngen struct {
+	pp  *core.ProgramPlan
+	fp  *core.FuncPlan
+	f   *ir.Func
+	cfg *mach.Config
+
+	code       []mcode.Instr
+	blockStart map[*ir.Block]int
+	fixes      []fixup
+
+	frameSize int
+	outArgs   int
+	arrOffset map[*ir.LocalArray]int
+	tempHome  map[int]int // temp ID -> frame offset (memory temps)
+	// saveSlot holds the preserved-on-entry values of callee-saved
+	// registers (the shrink-wrap plan); callSlot holds transient
+	// around-call saves of live values. A register may need both at once —
+	// its caller's original value and a current live value — so the pools
+	// are disjoint.
+	saveSlot   map[mach.Reg]int
+	callSlot   map[mach.Reg]int
+	raSlot     int
+	isLeaf     bool
+	paramIndex map[int]int // temp ID -> parameter position
+
+	// liveAcross maps each call instruction to the registers holding values
+	// that must survive it.
+	liveAcross map[*ir.Instr]mach.RegSet
+	// savesByBlock / restoresByBlock invert the shrink-wrap plan.
+	savesByBlock    map[*ir.Block][]mach.Reg
+	restoresByBlock map[*ir.Block][]mach.Reg
+}
+
+func newFngen(pp *core.ProgramPlan, fp *core.FuncPlan) *fngen {
+	return &fngen{
+		pp:  pp,
+		fp:  fp,
+		f:   fp.F,
+		cfg: pp.Mode.Config,
+
+		blockStart:      map[*ir.Block]int{},
+		arrOffset:       map[*ir.LocalArray]int{},
+		tempHome:        map[int]int{},
+		saveSlot:        map[mach.Reg]int{},
+		callSlot:        map[mach.Reg]int{},
+		paramIndex:      map[int]int{},
+		liveAcross:      map[*ir.Instr]mach.RegSet{},
+		savesByBlock:    map[*ir.Block][]mach.Reg{},
+		restoresByBlock: map[*ir.Block][]mach.Reg{},
+	}
+}
+
+func (g *fngen) emit(in mcode.Instr) { g.code = append(g.code, in) }
+
+func (g *fngen) emitBranch(op mcode.OpCode, rs mach.Reg, blk *ir.Block) {
+	g.fixes = append(g.fixes, fixup{at: len(g.code), blk: blk, g: g})
+	g.emit(mcode.Instr{Op: op, Rs: rs})
+}
+
+func (g *fngen) loc(t *ir.Temp) regalloc.Loc { return g.fp.Alloc.Locs[t.ID] }
+
+func (g *fngen) homeClass(t *ir.Temp) mcode.MemClass {
+	if t.IsVar {
+		return mcode.ClassScalar
+	}
+	return mcode.ClassSpill
+}
+
+func (g *fngen) run() error {
+	g.layout()
+	g.prologue()
+	for bi, b := range g.f.Blocks {
+		g.blockStart[b] = len(g.code)
+		if b == g.f.Entry() {
+			// Entry-block saves and parameter moves were emitted by the
+			// prologue, which is part of this block's code span.
+			g.blockStart[b] = 0
+		}
+		for _, r := range g.savesByBlock[b] {
+			if b != g.f.Entry() {
+				g.emitSave(r)
+			}
+		}
+		var next *ir.Block
+		if bi+1 < len(g.f.Blocks) {
+			next = g.f.Blocks[bi+1]
+		}
+		for ii, in := range b.Instrs {
+			isTerm := ii == len(b.Instrs)-1
+			if err := g.instr(b, in, isTerm, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// layout assigns the frame: [outgoing args][local arrays][memory temps]
+// [register save slots]. Incoming argument i of this function lives at
+// frameSize + i (the caller's outgoing area).
+func (g *fngen) layout() {
+	for i, p := range g.f.Params {
+		g.paramIndex[p.ID] = i
+	}
+	g.isLeaf = g.f.IsLeaf()
+
+	// Outgoing argument area.
+	for _, cs := range g.f.CallSites() {
+		for _, al := range g.pp.Oracle.ArgLocs(cs.Instr) {
+			if !al.InReg && al.Slot+1 > g.outArgs {
+				g.outArgs = al.Slot + 1
+			}
+		}
+	}
+	off := g.outArgs
+	for _, arr := range g.f.LocalArrays {
+		g.arrOffset[arr] = off
+		off += arr.Size
+	}
+	// Memory temps (stack-passed parameters use their incoming slots, fixed
+	// up after the frame size is known).
+	var stackParams []int
+	for _, t := range g.f.Temps() {
+		l := g.loc(t)
+		if l.Kind != regalloc.LocMem {
+			continue
+		}
+		if pi, isParam := g.paramIndex[t.ID]; isParam && g.incomingIsStack(pi) {
+			stackParams = append(stackParams, t.ID)
+			continue
+		}
+		g.tempHome[t.ID] = off
+		off++
+	}
+	// Save slots: one pool for the shrink-wrap plan's preserved values,
+	// a disjoint pool for transient around-call saves.
+	planRegs := g.fp.Plan.Regs()
+	var needCallSlot mach.RegSet
+	for _, rng := range g.fp.Alloc.Ranges {
+		l := g.fp.Alloc.Locs[rng.Temp.ID]
+		if l.Kind != regalloc.LocReg {
+			continue
+		}
+		for _, cs := range rng.Calls {
+			g.liveAcross[cs.Instr] = g.liveAcross[cs.Instr].Add(l.Reg)
+			if g.pp.Oracle.Clobbered(cs.Instr).Has(l.Reg) {
+				needCallSlot = needCallSlot.Add(l.Reg)
+			}
+		}
+	}
+	planRegs.ForEach(func(r mach.Reg) {
+		g.saveSlot[r] = off
+		off++
+	})
+	needCallSlot.ForEach(func(r mach.Reg) {
+		g.callSlot[r] = off
+		off++
+	})
+	if !g.isLeaf {
+		g.raSlot = off
+		off++
+	}
+	g.frameSize = off
+	for _, id := range stackParams {
+		g.tempHome[id] = g.frameSize + g.paramIndex[id]
+	}
+	// Invert the save plan for per-block emission, deterministic order.
+	for r, blks := range g.fp.Plan.SaveAt {
+		for _, b := range blks {
+			g.savesByBlock[b] = append(g.savesByBlock[b], r)
+		}
+	}
+	for r, blks := range g.fp.Plan.RestoreAt {
+		for _, b := range blks {
+			g.restoresByBlock[b] = append(g.restoresByBlock[b], r)
+		}
+	}
+	for _, m := range []map[*ir.Block][]mach.Reg{g.savesByBlock, g.restoresByBlock} {
+		for _, regs := range m {
+			sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		}
+	}
+}
+
+// incomingIsStack reports whether parameter i of this function arrives on
+// the stack under the convention this function was compiled with.
+func (g *fngen) incomingIsStack(i int) bool {
+	if g.pp.Mode.IPRA && !g.fp.Open {
+		// Closed procedure: the published location is wherever the param
+		// temp settled; memory temps are stack-passed.
+		return true
+	}
+	return i >= len(g.cfg.Params)
+}
+
+func (g *fngen) emitSave(r mach.Reg) {
+	g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: r, Imm: int64(g.saveSlot[r]), Class: mcode.ClassSaveRestore})
+}
+
+func (g *fngen) emitRestore(r mach.Reg) {
+	g.emit(mcode.Instr{Op: mcode.LW, Rd: r, Rs: mach.SP, Imm: int64(g.saveSlot[r]), Class: mcode.ClassSaveRestore})
+}
+
+func (g *fngen) prologue() {
+	if g.frameSize > 0 {
+		g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: int64(-g.frameSize)})
+	}
+	if !g.isLeaf {
+		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: mach.RA, Imm: int64(g.raSlot), Class: mcode.ClassSaveRestore})
+	}
+	for _, r := range g.savesByBlock[g.f.Entry()] {
+		g.emitSave(r)
+	}
+	g.paramMoves()
+}
+
+// paramMoves places incoming parameters into their allocated homes.
+func (g *fngen) paramMoves() {
+	ipraClosed := g.pp.Mode.IPRA && !g.fp.Open
+	var moves []move
+	for i, p := range g.f.Params {
+		l := g.loc(p)
+		if l.Kind == regalloc.LocNone {
+			continue // parameter never referenced
+		}
+		if ipraClosed {
+			// The argument was delivered directly to the allocated home.
+			continue
+		}
+		if i < len(g.cfg.Params) {
+			src := g.cfg.Params[i]
+			if l.Kind == regalloc.LocReg {
+				if l.Reg != src {
+					moves = append(moves, move{dstReg: l.Reg, srcKind: srcReg, srcReg: src})
+				}
+			} else {
+				// Store the register argument into the memory home first,
+				// before any register-to-register shuffling clobbers it.
+				g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: src, Imm: int64(g.tempHome[p.ID]), Class: mcode.ClassScalar})
+			}
+		} else if l.Kind == regalloc.LocReg {
+			// Stack argument promoted to a register: load it after the
+			// register moves (its target cannot be a source, sources are
+			// only parameter registers).
+			defer func(reg mach.Reg, slot int) {
+				g.emit(mcode.Instr{Op: mcode.LW, Rd: reg, Rs: mach.SP, Imm: int64(slot), Class: mcode.ClassScalar})
+			}(l.Reg, g.frameSize+i)
+		}
+		// Stack argument in memory: its home is its incoming slot; nothing
+		// to do.
+	}
+	g.parallelMoves(moves)
+}
+
+type srcKind int
+
+const (
+	srcReg srcKind = iota
+	srcConst
+	srcMem
+)
+
+type move struct {
+	dstReg   mach.Reg
+	srcKind  srcKind
+	srcReg   mach.Reg
+	srcConst int64
+	srcOff   int
+	srcClass mcode.MemClass
+}
+
+// parallelMoves emits a set of register moves that must appear to happen
+// simultaneously. Register-to-register transfers run first (breaking cycles
+// through $at); constant and memory sources fill in afterwards, since they
+// read no target registers.
+func (g *fngen) parallelMoves(moves []move) {
+	var regMoves []move
+	var rest []move
+	for _, m := range moves {
+		if m.srcKind == srcReg {
+			if m.srcReg != m.dstReg {
+				regMoves = append(regMoves, m)
+			}
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	for len(regMoves) > 0 {
+		emitted := false
+		for i, m := range regMoves {
+			blocked := false
+			for j, o := range regMoves {
+				if i != j && o.srcReg == m.dstReg {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				g.emit(mcode.Instr{Op: mcode.MOVE, Rd: m.dstReg, Rs: m.srcReg})
+				regMoves = append(regMoves[:i], regMoves[i+1:]...)
+				emitted = true
+				break
+			}
+		}
+		if emitted {
+			continue
+		}
+		// Cycle: rotate through the assembler temporary.
+		m := regMoves[0]
+		g.emit(mcode.Instr{Op: mcode.MOVE, Rd: mach.AT, Rs: m.srcReg})
+		for i := range regMoves {
+			if regMoves[i].srcReg == m.srcReg {
+				regMoves[i].srcReg = mach.AT
+			}
+		}
+	}
+	for _, m := range rest {
+		switch m.srcKind {
+		case srcConst:
+			g.emit(mcode.Instr{Op: mcode.LI, Rd: m.dstReg, Imm: m.srcConst})
+		case srcMem:
+			g.emit(mcode.Instr{Op: mcode.LW, Rd: m.dstReg, Rs: mach.SP, Imm: int64(m.srcOff), Class: m.srcClass})
+		}
+	}
+}
+
+// readOp brings an operand's value into a register, using scratch when the
+// value is not already register-resident.
+func (g *fngen) readOp(o ir.Operand, scratch mach.Reg) mach.Reg {
+	if o.IsConst() {
+		g.emit(mcode.Instr{Op: mcode.LI, Rd: scratch, Imm: o.Const})
+		return scratch
+	}
+	l := g.loc(o.Temp)
+	if l.Kind == regalloc.LocReg {
+		return l.Reg
+	}
+	g.emit(mcode.Instr{Op: mcode.LW, Rd: scratch, Rs: mach.SP, Imm: int64(g.tempHome[o.Temp.ID]), Class: g.homeClass(o.Temp)})
+	return scratch
+}
+
+// dstReg returns the register to compute a result into, plus a commit step
+// that stores it home if the temp lives in memory.
+func (g *fngen) dstReg(t *ir.Temp, scratch mach.Reg) (mach.Reg, func()) {
+	l := g.loc(t)
+	if l.Kind == regalloc.LocReg {
+		return l.Reg, func() {}
+	}
+	return scratch, func() {
+		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: scratch, Imm: int64(g.tempHome[t.ID]), Class: g.homeClass(t)})
+	}
+}
+
+// fitsImm reports whether v can be used as an ALU immediate (16-bit signed,
+// as on the R2000).
+func fitsImm(v int64) bool { return v >= -32768 && v <= 32767 }
+
+var aluOp = map[ir.Op]mcode.OpCode{
+	ir.OpAdd: mcode.ADD, ir.OpSub: mcode.SUB, ir.OpMul: mcode.MUL,
+	ir.OpDiv: mcode.DIV, ir.OpRem: mcode.REM,
+	ir.OpCmpEq: mcode.SEQ, ir.OpCmpNe: mcode.SNE,
+	ir.OpCmpLt: mcode.SLT, ir.OpCmpLe: mcode.SLE,
+}
+
+func (g *fngen) instr(b *ir.Block, in *ir.Instr, isTerm bool, next *ir.Block) error {
+	switch in.Op {
+	case ir.OpConst:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.LI, Rd: rd, Imm: in.Imm})
+		commit()
+	case ir.OpCopy:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		rs := g.readOp(in.A, rd)
+		if rs != rd {
+			g.emit(mcode.Instr{Op: mcode.MOVE, Rd: rd, Rs: rs})
+		}
+		commit()
+	case ir.OpNeg:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		rs := g.readOp(in.A, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.SUB, Rd: rd, Rs: mach.Zero, Rt: rs})
+		commit()
+	case ir.OpNot:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		rs := g.readOp(in.A, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.SEQ, Rd: rd, Rs: rs, HasImm: true, Imm: 0})
+		commit()
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe:
+		g.binary(in)
+	case ir.OpLoadG:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.LW, Rd: rd, Rs: mach.Zero, Imm: int64(in.Global.Addr), Class: mcode.ClassScalar})
+		commit()
+	case ir.OpStoreG:
+		rs := g.readOp(in.A, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.Zero, Rt: rs, Imm: int64(in.Global.Addr), Class: mcode.ClassScalar})
+	case ir.OpLoadIdx:
+		g.loadIdx(in)
+	case ir.OpStoreIdx:
+		g.storeIdx(in)
+	case ir.OpFuncAddr:
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.LI, Rd: rd, Imm: g.pp.Module.FuncIndex(in.Callee)})
+		commit()
+	case ir.OpCall, ir.OpCallInd:
+		g.call(in)
+	case ir.OpPrint:
+		rs := g.readOp(in.A, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.PRINT, Rs: rs})
+	case ir.OpJmp:
+		g.emitBlockRestores(b, 0)
+		if in.Target != next {
+			g.emitBranch(mcode.J, 0, in.Target)
+		}
+	case ir.OpBr:
+		cond := g.readOp(in.A, mach.K0)
+		cond = g.emitBlockRestores(b, cond)
+		switch {
+		case in.Else == next:
+			g.emitBranch(mcode.BNEZ, cond, in.Target)
+		case in.Target == next:
+			g.emitBranch(mcode.BEQZ, cond, in.Else)
+		default:
+			g.emitBranch(mcode.BNEZ, cond, in.Target)
+			g.emitBranch(mcode.J, 0, in.Else)
+		}
+	case ir.OpRet:
+		if g.f.Returns {
+			rs := g.readOp(in.A, mach.K0)
+			g.emit(mcode.Instr{Op: mcode.MOVE, Rd: mach.V0, Rs: rs})
+		}
+		g.emitBlockRestores(b, 0)
+		if !g.isLeaf {
+			g.emit(mcode.Instr{Op: mcode.LW, Rd: mach.RA, Rs: mach.SP, Imm: int64(g.raSlot), Class: mcode.ClassSaveRestore})
+		}
+		if g.frameSize > 0 {
+			g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: int64(g.frameSize)})
+		}
+		g.emit(mcode.Instr{Op: mcode.JR, Rs: mach.RA})
+	default:
+		return fmt.Errorf("unhandled IR op %s", in.Op)
+	}
+	_ = isTerm
+	return nil
+}
+
+// emitBlockRestores emits this block's shrink-wrap restores before its
+// terminator. If the branch condition lives in a register being restored,
+// it is first copied to $at; the (possibly relocated) condition register is
+// returned.
+func (g *fngen) emitBlockRestores(b *ir.Block, cond mach.Reg) mach.Reg {
+	regs := g.restoresByBlock[b]
+	if len(regs) == 0 {
+		return cond
+	}
+	for _, r := range regs {
+		if r == cond {
+			g.emit(mcode.Instr{Op: mcode.MOVE, Rd: mach.AT, Rs: cond})
+			cond = mach.AT
+			break
+		}
+	}
+	for _, r := range regs {
+		g.emitRestore(r)
+	}
+	return cond
+}
+
+func (g *fngen) binary(in *ir.Instr) {
+	op := in.Op
+	a, bb := in.A, in.B
+	// Gt/Ge become Lt/Le with swapped operands.
+	if op == ir.OpCmpGt {
+		op, a, bb = ir.OpCmpLt, bb, a
+	} else if op == ir.OpCmpGe {
+		op, a, bb = ir.OpCmpLe, bb, a
+	}
+	rd, commit := g.dstReg(in.Dst, mach.K0)
+	ra := g.readOp(a, mach.K0)
+	// Immediate form when the right operand is a small constant (division
+	// keeps the register form so the zero-divisor trap logic is uniform).
+	if bb.IsConst() && fitsImm(bb.Const) && op != ir.OpDiv && op != ir.OpRem {
+		g.emit(mcode.Instr{Op: aluOp[op], Rd: rd, Rs: ra, HasImm: true, Imm: bb.Const})
+		commit()
+		return
+	}
+	rb := g.readOp(bb, mach.K1)
+	g.emit(mcode.Instr{Op: aluOp[op], Rd: rd, Rs: ra, Rt: rb})
+	commit()
+}
+
+// arrClass classifies an element access: aggregate for real arrays, scalar
+// traffic for the one-word home slots of split live ranges.
+func arrClass(arr ir.ArrayRef) mcode.MemClass {
+	if arr.Local != nil && arr.Local.IsSpill {
+		if arr.Local.SpillVar {
+			return mcode.ClassScalar
+		}
+		return mcode.ClassSpill
+	}
+	return mcode.ClassAggregate
+}
+
+func (g *fngen) loadIdx(in *ir.Instr) {
+	rd, commit := g.dstReg(in.Dst, mach.K0)
+	class := arrClass(in.Arr)
+	g.emitArrayAccess(in.Arr, in.A, func(base mach.Reg, off int64) {
+		g.emit(mcode.Instr{Op: mcode.LW, Rd: rd, Rs: base, Imm: off, Class: class})
+	})
+	commit()
+}
+
+func (g *fngen) storeIdx(in *ir.Instr) {
+	class := arrClass(in.Arr)
+	g.emitArrayAccess(in.Arr, in.A, func(base mach.Reg, off int64) {
+		// The address register is base (possibly $k1); the value may use
+		// $k0 freely — the index value is consumed.
+		rv := g.readOp(in.B, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.SW, Rs: base, Rt: rv, Imm: off, Class: class})
+	})
+}
+
+// emitArrayAccess computes the base register and constant offset for an
+// element access and invokes gen to emit the memory operation.
+func (g *fngen) emitArrayAccess(arr ir.ArrayRef, idx ir.Operand, gen func(base mach.Reg, off int64)) {
+	if arr.Global != nil {
+		base := int64(arr.Global.Addr)
+		if idx.IsConst() {
+			gen(mach.Zero, base+idx.Const)
+			return
+		}
+		ri := g.readOp(idx, mach.K1)
+		gen(ri, base)
+		return
+	}
+	off := int64(g.arrOffset[arr.Local])
+	if idx.IsConst() {
+		gen(mach.SP, off+idx.Const)
+		return
+	}
+	ri := g.readOp(idx, mach.K1)
+	g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.K1, Rs: mach.SP, Rt: ri})
+	gen(mach.K1, off)
+}
+
+// call emits a complete call sequence:
+//  1. save caller-side registers holding values live across the call that
+//     the callee may destroy,
+//  2. marshal outgoing arguments (stack stores, then a parallel register
+//     shuffle, then constant/memory fills),
+//  3. transfer control,
+//  4. restore the saved registers,
+//  5. collect the result.
+func (g *fngen) call(in *ir.Instr) {
+	clob := g.pp.Oracle.Clobbered(in)
+	toSave := g.liveAcross[in] & clob
+	var saved []mach.Reg
+	toSave.ForEach(func(r mach.Reg) {
+		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: r, Imm: int64(g.callSlot[r]), Class: mcode.ClassSaveRestore})
+		saved = append(saved, r)
+	})
+
+	// Indirect target value is fetched into $k1 before argument marshalling
+	// can overwrite its register.
+	if in.Op == ir.OpCallInd {
+		rs := g.readOp(in.A, mach.K1)
+		if rs != mach.K1 {
+			g.emit(mcode.Instr{Op: mcode.MOVE, Rd: mach.K1, Rs: rs})
+		}
+	}
+
+	locs := g.pp.Oracle.ArgLocs(in)
+	var moves []move
+	for i, a := range in.Args {
+		al := locs[i]
+		if !al.InReg {
+			// Stack argument: store now, while all source registers are
+			// still intact.
+			rv := g.readOp(a, mach.K0)
+			g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: rv, Imm: int64(al.Slot), Class: mcode.ClassScalar})
+			continue
+		}
+		m := move{dstReg: al.Reg}
+		switch {
+		case a.IsConst():
+			m.srcKind = srcConst
+			m.srcConst = a.Const
+		default:
+			l := g.loc(a.Temp)
+			if l.Kind == regalloc.LocReg {
+				m.srcKind = srcReg
+				m.srcReg = l.Reg
+			} else {
+				m.srcKind = srcMem
+				m.srcOff = g.tempHome[a.Temp.ID]
+				m.srcClass = g.homeClass(a.Temp)
+			}
+		}
+		moves = append(moves, m)
+	}
+	g.parallelMoves(moves)
+
+	if in.Op == ir.OpCall {
+		// The function index is stashed in Imm for the link step.
+		g.emit(mcode.Instr{Op: mcode.JAL, Imm: g.pp.Module.FuncIndex(in.Callee)})
+	} else {
+		g.emit(mcode.Instr{Op: mcode.JALR, Rs: mach.K1})
+	}
+
+	for _, r := range saved {
+		g.emit(mcode.Instr{Op: mcode.LW, Rd: r, Rs: mach.SP, Imm: int64(g.callSlot[r]), Class: mcode.ClassSaveRestore})
+	}
+	if in.Dst != nil {
+		rd, commit := g.dstReg(in.Dst, mach.K0)
+		g.emit(mcode.Instr{Op: mcode.MOVE, Rd: rd, Rs: mach.V0})
+		commit()
+	}
+}

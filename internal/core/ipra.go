@@ -1,0 +1,237 @@
+package core
+
+import (
+	"chow88/internal/callgraph"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+	"chow88/internal/regalloc"
+)
+
+// Mode selects a compilation configuration, mirroring the paper's
+// measurement matrix (-O2/-O3 × shrink-wrap × register-set restriction).
+type Mode struct {
+	Name string
+	// IPRA enables one-pass inter-procedural allocation (-O3).
+	IPRA bool
+	// ShrinkWrap enables optimized save/restore placement (§5).
+	ShrinkWrap bool
+	// Optimize runs the -O2 scalar optimizer (constant folding, local CSE,
+	// copy propagation, dead-code elimination) before allocation.
+	Optimize bool
+	// Config is the register configuration (full, caller7, callee7).
+	Config *mach.Config
+	// ForceOpen names procedures to treat as open, simulating separate
+	// compilation.
+	ForceOpen []string
+	// DisableSplitting turns off the live-range splitting round (for
+	// ablation; Chow's allocator splits by default).
+	DisableSplitting bool
+}
+
+// The paper's measurement modes. Base is the baseline of all comparisons:
+// -O2 with shrink-wrap disabled.
+func ModeBase() Mode {
+	return Mode{Name: "O2", Optimize: true, Config: mach.Default()}
+}
+
+// ModeA is -O2 with shrink-wrap enabled (Table 1, column A).
+func ModeA() Mode {
+	return Mode{Name: "O2+sw", Optimize: true, ShrinkWrap: true, Config: mach.Default()}
+}
+
+// ModeB is -O3 with shrink-wrap disabled (Table 1, column B).
+func ModeB() Mode {
+	return Mode{Name: "O3", Optimize: true, IPRA: true, Config: mach.Default()}
+}
+
+// ModeC is -O3 with shrink-wrap enabled (Table 1, column C).
+func ModeC() Mode {
+	return Mode{Name: "O3+sw", Optimize: true, IPRA: true, ShrinkWrap: true, Config: mach.Default()}
+}
+
+// ModeD is mode C restricted to 7 caller-saved registers (Table 2, column D).
+func ModeD() Mode {
+	m := ModeC()
+	m.Name = "O3+sw/caller7"
+	m.Config = mach.CallerOnly7()
+	return m
+}
+
+// ModeE is mode C restricted to 7 callee-saved registers (Table 2, column E).
+func ModeE() Mode {
+	m := ModeC()
+	m.Name = "O3+sw/callee7"
+	m.Config = mach.CalleeOnly7()
+	return m
+}
+
+// FuncPlan is the complete allocation decision for one function.
+type FuncPlan struct {
+	F    *ir.Func
+	Open bool
+	// OpenReason explains the open classification (empty for closed).
+	OpenReason string
+	// Alloc is the coloring result.
+	Alloc *regalloc.Result
+	// Plan places the local saves/restores of callee-saved registers.
+	Plan *SavePlan
+	// Summary is what callers see; nil for open procedures and outside
+	// IPRA mode.
+	Summary *Summary
+	// TreeUsed is the register usage of the whole call tree rooted here
+	// (before subtracting locally saved registers).
+	TreeUsed mach.RegSet
+}
+
+// ProgramPlan is the allocation of a whole module.
+type ProgramPlan struct {
+	Module *ir.Module
+	Graph  *callgraph.Graph
+	Mode   Mode
+	Funcs  map[*ir.Func]*FuncPlan
+	// Order is the depth-first bottom-up processing order used.
+	Order []*ir.Func
+	// Oracle answers call-site linkage queries for code generation.
+	Oracle regalloc.Oracle
+}
+
+// PlanModule performs register allocation for every function of m under the
+// given mode: one pass over the call graph in depth-first order, extending
+// the intra-procedural priority-based coloring with callee register-usage
+// summaries exactly as in §2–§4 and §6 of the paper.
+func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
+	forceOpen := map[string]bool{}
+	for _, n := range mode.ForceOpen {
+		forceOpen[n] = true
+	}
+	g := callgraph.Build(m, forceOpen)
+	cfg := mode.Config
+
+	pp := &ProgramPlan{
+		Module: m,
+		Graph:  g,
+		Mode:   mode,
+		Funcs:  map[*ir.Func]*FuncPlan{},
+		Order:  g.PostOrder,
+	}
+	var oracle regalloc.Oracle
+	var summaries map[*ir.Func]*Summary
+	if mode.IPRA {
+		summaries = map[*ir.Func]*Summary{}
+		oracle = &ipraOracle{cfg: cfg, summaries: summaries}
+	} else {
+		oracle = regalloc.DefaultOracle{Config: cfg}
+	}
+	pp.Oracle = oracle
+
+	for _, f := range g.PostOrder {
+		if f.Extern {
+			continue
+		}
+		open := g.Open[f]
+		interMode := mode.IPRA && !open
+
+		// Registers destroyed by the subtrees of this function's calls.
+		var childUsed mach.RegSet
+		for _, cs := range f.CallSites() {
+			childUsed = childUsed.Union(oracle.Clobbered(cs.Instr))
+		}
+
+		opts := regalloc.Options{
+			Config: cfg,
+			Oracle: oracle,
+		}
+		if interMode {
+			opts.Mode = regalloc.Inter
+			// Prefer registers already used in the call tree, minimizing
+			// the tree's register footprint (Fig. 1).
+			opts.Prefer = childUsed
+		} else {
+			opts.Mode = regalloc.Intra
+			opts.ParamIn = regalloc.DefaultArgLocs(cfg, len(f.Params))
+			if mode.IPRA {
+				// An open procedure must save the callee-saved registers
+				// its closed children use without saving; having paid that,
+				// it may use them freely itself (§3).
+				opts.MustSave = childUsed & cfg.CalleeSaved
+			}
+		}
+		alloc := regalloc.Allocate(f, opts)
+		// Live-range splitting (one round): ranges that failed to color are
+		// broken into block-local pieces connected through home slots and
+		// the function re-colored; the rewrite is kept only if the predicted
+		// memory traffic improves.
+		if !mode.DisableSplitting && alloc.Spilled > 0 {
+			alloc = trySplit(f, alloc, opts, oracle)
+		}
+
+		treeUsed := alloc.UsedRegs.Union(childUsed)
+		calleeSavedInTree := treeUsed & cfg.CalleeSaved
+
+		fp := &FuncPlan{
+			F:          f,
+			Open:       open,
+			OpenReason: g.OpenReason[f],
+			Alloc:      alloc,
+			TreeUsed:   treeUsed,
+		}
+
+		if interMode {
+			var localSave mach.RegSet
+			if mode.ShrinkWrap && !calleeSavedInTree.Empty() {
+				// §6: keep the save local (shrink-wrapped) when the usage
+				// range does not span the whole procedure; propagate to the
+				// ancestors when the save would sit at the entry anyway.
+				app := regAPP(f, alloc, oracle, calleeSavedInTree)
+				p := ShrinkWrap(f, app, calleeSavedInTree)
+				calleeSavedInTree.ForEach(func(r mach.Reg) {
+					if p.SaveAtEntryOnly(f, r) {
+						p.Drop(r)
+					} else {
+						localSave = localSave.Add(r)
+					}
+				})
+				fp.Plan = p
+			} else {
+				// Without shrink-wrapping every save/restore propagates up
+				// the call graph (§3).
+				fp.Plan = NewSavePlan()
+			}
+			fp.Summary = &Summary{
+				Used: treeUsed.Minus(localSave),
+				Args: paramLocs(f, alloc),
+			}
+			summaries[f] = fp.Summary
+		} else {
+			// Default linkage: this procedure saves every callee-saved
+			// register its own body uses, plus (under IPRA) those its
+			// closed children use without saving.
+			managed := calleeSavedInTree
+			if mode.ShrinkWrap && !managed.Empty() {
+				app := regAPP(f, alloc, oracle, managed)
+				fp.Plan = ShrinkWrap(f, app, managed)
+			} else {
+				fp.Plan = EntryExitPlan(f, managed)
+			}
+		}
+		pp.Funcs[f] = fp
+	}
+	return pp
+}
+
+// paramLocs derives the published parameter locations of a closed procedure
+// from its allocation: wherever each parameter temp settled is where callers
+// must deliver the argument (§4). Parameters in memory (or never referenced)
+// are passed through their incoming stack slots.
+func paramLocs(f *ir.Func, alloc *regalloc.Result) []regalloc.ArgLoc {
+	out := make([]regalloc.ArgLoc, len(f.Params))
+	for i, p := range f.Params {
+		l := alloc.Locs[p.ID]
+		if l.Kind == regalloc.LocReg {
+			out[i] = regalloc.ArgLoc{InReg: true, Reg: l.Reg}
+		} else {
+			out[i] = regalloc.ArgLoc{Slot: i}
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"chow88/internal/dataflow"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+	"chow88/internal/regalloc"
+)
+
+// SavePlan records where each managed callee-saved register is saved and
+// restored inside one procedure. Saves execute at the entries of the listed
+// blocks; restores execute at their exits, immediately before the
+// terminator.
+type SavePlan struct {
+	SaveAt    map[mach.Reg][]*ir.Block
+	RestoreAt map[mach.Reg][]*ir.Block
+}
+
+// NewSavePlan returns an empty plan.
+func NewSavePlan() *SavePlan {
+	return &SavePlan{SaveAt: map[mach.Reg][]*ir.Block{}, RestoreAt: map[mach.Reg][]*ir.Block{}}
+}
+
+// Regs returns the set of registers the plan manages.
+func (p *SavePlan) Regs() mach.RegSet {
+	var s mach.RegSet
+	for r := range p.SaveAt {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// SaveAtEntryOnly reports whether r's only save site is the procedure's
+// entry block — the §6 criterion for propagating the save/restore to the
+// ancestors instead of keeping it local.
+func (p *SavePlan) SaveAtEntryOnly(f *ir.Func, r mach.Reg) bool {
+	sites := p.SaveAt[r]
+	return len(sites) == 1 && sites[0] == f.Entry()
+}
+
+// Drop removes r from the plan (used when §6 decides to propagate upward).
+func (p *SavePlan) Drop(r mach.Reg) {
+	delete(p.SaveAt, r)
+	delete(p.RestoreAt, r)
+}
+
+// EntryExitPlan places every register of regs at the procedure entry and all
+// exits — the unoptimized convention used when shrink-wrapping is disabled.
+func EntryExitPlan(f *ir.Func, regs mach.RegSet) *SavePlan {
+	p := NewSavePlan()
+	exits := f.ExitBlocks()
+	regs.ForEach(func(r mach.Reg) {
+		p.SaveAt[r] = []*ir.Block{f.Entry()}
+		p.RestoreAt[r] = append([]*ir.Block(nil), exits...)
+	})
+	return p
+}
+
+// regAPP computes the APP attribute (§5): for every block, the set of
+// managed registers active in it. A register is active throughout the live
+// range of every temp assigned to it (its "region of activity" — using the
+// whole live range, not just reference sites, keeps restores from landing
+// inside a region where the register still carries a live value), in blocks
+// whose calls may destroy it according to the callee's summary (the parent
+// answers for its children's unsaved callee-saved usage, §3), and in blocks
+// where an outgoing argument is marshalled into it.
+func regAPP(f *ir.Func, alloc *regalloc.Result, oracle regalloc.Oracle, managed mach.RegSet) map[*ir.Block]mach.RegSet {
+	app := make(map[*ir.Block]mach.RegSet, len(f.Blocks))
+	for _, rng := range alloc.Ranges {
+		l := alloc.Locs[rng.Temp.ID]
+		if l.Kind != regalloc.LocReg || !managed.Has(l.Reg) {
+			continue
+		}
+		for b := range rng.Blocks {
+			app[b] = app[b].Add(l.Reg)
+		}
+	}
+	for _, cs := range f.CallSites() {
+		s := oracle.Clobbered(cs.Instr) & managed
+		for _, al := range oracle.ArgLocs(cs.Instr) {
+			if al.InReg && managed.Has(al.Reg) {
+				s = s.Add(al.Reg)
+			}
+		}
+		if s != 0 {
+			app[cs.Block] = app[cs.Block].Union(s)
+		}
+	}
+	for _, b := range f.Blocks {
+		if _, ok := app[b]; !ok {
+			app[b] = 0
+		}
+	}
+	return app
+}
+
+// ShrinkWrap computes optimized save/restore placement for the managed
+// registers using the anticipability/availability equations (3.1)–(3.6),
+// with the paper's two refinements: usage-range extension to keep insertion
+// points correct without creating new CFG nodes (Fig. 2), and whole-loop
+// APP propagation so a wrapped region never sits strictly inside a loop.
+func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) *SavePlan {
+	plan := NewSavePlan()
+	if managed.Empty() {
+		return plan
+	}
+	loops := dataflow.Loops(f)
+	blocks := f.RPO()
+
+	antIn := map[*ir.Block]mach.RegSet{}
+	antOut := map[*ir.Block]mach.RegSet{}
+	avIn := map[*ir.Block]mach.RegSet{}
+	avOut := map[*ir.Block]mach.RegSet{}
+	isExit := map[*ir.Block]bool{}
+	for _, b := range blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			isExit[b] = true
+		}
+	}
+	entry := f.Entry()
+
+	// Loop rule: a register used anywhere in a loop is treated as used
+	// throughout the loop, so saves/restores never land inside it (§5).
+	extendLoops := func() bool {
+		changed := false
+		for _, l := range loops {
+			var union mach.RegSet
+			for b := range l.Blocks {
+				union = union.Union(app[b])
+			}
+			for b := range l.Blocks {
+				if app[b] != app[b].Union(union) {
+					app[b] = app[b].Union(union)
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for extendLoops() {
+	}
+
+	solve := func() {
+		// Anticipability: backward, all-paths. Initialize interior to the
+		// full set so the intersections converge downward.
+		for _, b := range blocks {
+			if isExit[b] {
+				antOut[b] = 0
+			} else {
+				antOut[b] = managed
+			}
+			antIn[b] = app[b].Union(antOut[b])
+		}
+		for changed := true; changed; {
+			changed = false
+			for i := len(blocks) - 1; i >= 0; i-- {
+				b := blocks[i]
+				if !isExit[b] {
+					out := managed
+					for _, s := range b.Succs {
+						out &= antIn[s]
+					}
+					if out != antOut[b] {
+						antOut[b] = out
+						changed = true
+					}
+				}
+				in := app[b].Union(antOut[b])
+				if in != antIn[b] {
+					antIn[b] = in
+					changed = true
+				}
+			}
+		}
+		// Availability: forward, all-paths.
+		for _, b := range blocks {
+			if b == entry {
+				avIn[b] = 0
+			} else {
+				avIn[b] = managed
+			}
+			avOut[b] = app[b].Union(avIn[b])
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, b := range blocks {
+				if b != entry {
+					in := managed
+					for _, p := range b.Preds {
+						in &= avOut[p]
+					}
+					if in != avIn[b] {
+						avIn[b] = in
+						changed = true
+					}
+				}
+				out := app[b].Union(avIn[b])
+				if out != avOut[b] {
+					avOut[b] = out
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Range extension (Fig. 2): insertion points must have uniform
+	// predecessors (for saves) and successors (for restores); where paths
+	// mix "already covered" with "not covered", extend the usage range into
+	// the uncovered neighbours instead of splitting edges.
+	extendRanges := func() bool {
+		changed := false
+		for _, b := range blocks {
+			// Save side: want to insert where use is anticipated but not
+			// available. A predecessor that neither anticipates nor has the
+			// use available is an uncovered path; if any other predecessor
+			// is covered, extend APP into the uncovered ones.
+			need := antIn[b] &^ avIn[b]
+			if need != 0 && len(b.Preds) > 0 {
+				var covered, uncovered mach.RegSet
+				for _, p := range b.Preds {
+					cov := antIn[p].Union(avOut[p])
+					covered = covered.Union(cov & need)
+					uncovered = uncovered.Union(need &^ cov)
+				}
+				ext := covered & uncovered
+				if ext != 0 {
+					for _, p := range b.Preds {
+						add := ext &^ (antIn[p].Union(avOut[p]))
+						if add != 0 {
+							app[p] = app[p].Union(add)
+							changed = true
+						}
+					}
+				}
+			}
+			// Restore side, symmetric on the reverse graph.
+			need = avOut[b] &^ antOut[b]
+			if need != 0 && len(b.Succs) > 0 {
+				var covered, uncovered mach.RegSet
+				for _, s := range b.Succs {
+					cov := avOut[s].Union(antIn[s])
+					covered = covered.Union(cov & need)
+					uncovered = uncovered.Union(need &^ cov)
+				}
+				ext := covered & uncovered
+				if ext != 0 {
+					for _, s := range b.Succs {
+						add := ext &^ (avOut[s].Union(antIn[s]))
+						if add != 0 {
+							app[s] = app[s].Union(add)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return changed
+	}
+
+	solve()
+	for i := 0; i < 4*len(blocks)+8; i++ {
+		if !extendRanges() {
+			break
+		}
+		for extendLoops() {
+		}
+		solve()
+	}
+
+	// SAVE (3.5): at entries of blocks where the use is anticipated, not
+	// yet available, and not anticipated in any predecessor.
+	for _, b := range blocks {
+		save := antIn[b] &^ avIn[b]
+		for _, p := range b.Preds {
+			save &^= antIn[p].Union(avOut[p])
+		}
+		save.ForEach(func(r mach.Reg) {
+			plan.SaveAt[r] = append(plan.SaveAt[r], b)
+		})
+		// RESTORE (3.6): at exits of blocks where the use is available, no
+		// longer anticipated, and not available in any successor.
+		restore := avOut[b] &^ antOut[b]
+		for _, s := range b.Succs {
+			restore &^= avOut[s].Union(antIn[s])
+		}
+		restore.ForEach(func(r mach.Reg) {
+			plan.RestoreAt[r] = append(plan.RestoreAt[r], b)
+		})
+	}
+	return plan
+}

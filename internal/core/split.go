@@ -1,0 +1,111 @@
+package core
+
+import (
+	"chow88/internal/ir"
+	"chow88/internal/regalloc"
+)
+
+// funcSnapshot captures enough of a function's IR to undo an in-place
+// rewrite: the per-block instruction slices and the instruction values
+// themselves (operand substitution mutates instructions in place), plus the
+// local-array list length.
+type funcSnapshot struct {
+	blocks  [][]*ir.Instr
+	values  []ir.Instr
+	ptrs    []*ir.Instr
+	nArrays int
+	nTemps  int
+}
+
+func snapshotFunc(f *ir.Func) *funcSnapshot {
+	s := &funcSnapshot{nArrays: len(f.LocalArrays), nTemps: f.NumTemps()}
+	for _, b := range f.Blocks {
+		insts := make([]*ir.Instr, len(b.Instrs))
+		copy(insts, b.Instrs)
+		s.blocks = append(s.blocks, insts)
+		for _, in := range b.Instrs {
+			s.ptrs = append(s.ptrs, in)
+			v := *in
+			// The rewrite mutates argument operands in place; the slice
+			// header alone would alias the mutated backing array.
+			if len(in.Args) > 0 {
+				v.Args = append([]ir.Operand(nil), in.Args...)
+			}
+			s.values = append(s.values, v)
+		}
+	}
+	return s
+}
+
+func (s *funcSnapshot) restore(f *ir.Func) {
+	for i, b := range f.Blocks {
+		b.Instrs = s.blocks[i]
+	}
+	for i, p := range s.ptrs {
+		*p = s.values[i]
+	}
+	f.LocalArrays = f.LocalArrays[:s.nArrays]
+	f.TruncateTemps(s.nTemps)
+}
+
+// estimateTraffic predicts the frequency-weighted memory operations the
+// generated code will execute under the given allocation: explicit memory
+// instructions, operand loads and result stores of memory-resident temps,
+// and around-call saves/restores of clobbered live registers. Used to judge
+// whether a splitting round actually helped.
+func estimateTraffic(f *ir.Func, alloc *regalloc.Result, oracle regalloc.Oracle) float64 {
+	total := 0.0
+	inMem := func(t *ir.Temp) bool {
+		return t != nil && alloc.Locs[t.ID].Kind == regalloc.LocMem
+	}
+	var buf []*ir.Temp
+	for _, b := range f.Blocks {
+		freq := b.Freq()
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoadG, ir.OpStoreG, ir.OpLoadIdx, ir.OpStoreIdx:
+				total += freq
+			}
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				if inMem(u) {
+					total += freq
+				}
+			}
+			if inMem(in.Dst) {
+				total += freq
+			}
+		}
+	}
+	// Around-call saves of live clobbered registers.
+	for _, rng := range alloc.Ranges {
+		if alloc.Locs[rng.Temp.ID].Kind != regalloc.LocReg {
+			continue
+		}
+		r := alloc.Locs[rng.Temp.ID].Reg
+		for _, cs := range rng.Calls {
+			if oracle.Clobbered(cs.Instr).Has(r) {
+				total += 2 * cs.Block.Freq()
+			}
+		}
+	}
+	return total
+}
+
+// trySplit runs one live-range splitting round and keeps it only when the
+// re-allocation's predicted memory traffic improves; otherwise the function
+// is restored and the original allocation returned.
+func trySplit(f *ir.Func, alloc *regalloc.Result, opts regalloc.Options, oracle regalloc.Oracle) *regalloc.Result {
+	snap := snapshotFunc(f)
+	before := estimateTraffic(f, alloc, oracle)
+	n := regalloc.SplitSpilled(f, alloc, opts.Config.Allocatable().Count())
+	if n == 0 {
+		return alloc
+	}
+	alloc2 := regalloc.Allocate(f, opts)
+	if estimateTraffic(f, alloc2, oracle) < before {
+		return alloc2
+	}
+	snap.restore(f)
+	return alloc
+}

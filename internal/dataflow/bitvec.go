@@ -1,0 +1,126 @@
+// Package dataflow provides the analyses shared by the allocator and the
+// shrink-wrap optimizer: compact bit vectors, an iterative data-flow engine,
+// dominators, and natural-loop detection with loop-depth annotation.
+package dataflow
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitVec is a fixed-capacity bit set. The zero value of a word slice of the
+// right length is the empty set; use NewBitVec to allocate.
+type BitVec []uint64
+
+// NewBitVec allocates a vector able to hold n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Get reports whether bit i is set.
+func (v BitVec) Get(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Set sets bit i.
+func (v BitVec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (v BitVec) Clear(i int) { v[i/64] &^= 1 << (uint(i) % 64) }
+
+// Copy copies src into v (same capacity required).
+func (v BitVec) Copy(src BitVec) { copy(v, src) }
+
+// Union sets v |= o and reports whether v changed.
+func (v BitVec) Union(o BitVec) bool {
+	changed := false
+	for i := range v {
+		n := v[i] | o[i]
+		if n != v[i] {
+			v[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect sets v &= o and reports whether v changed.
+func (v BitVec) Intersect(o BitVec) bool {
+	changed := false
+	for i := range v {
+		n := v[i] & o[i]
+		if n != v[i] {
+			v[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot sets v &^= o.
+func (v BitVec) AndNot(o BitVec) {
+	for i := range v {
+		v[i] &^= o[i]
+	}
+}
+
+// Equal reports whether v and o hold the same bits.
+func (v BitVec) Equal(o BitVec) bool {
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bit is set.
+func (v BitVec) Empty() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (v BitVec) Count() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// FillAll sets the first n bits.
+func (v BitVec) FillAll(n int) {
+	for i := range v {
+		v[i] = ^uint64(0)
+	}
+	if n%64 != 0 && len(v) > 0 {
+		v[len(v)-1] = (1 << (uint(n) % 64)) - 1
+	}
+}
+
+// ClearAll resets the vector to empty.
+func (v BitVec) ClearAll() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// ForEach calls fn for each set bit in ascending order.
+func (v BitVec) ForEach(fn func(i int)) {
+	for wi, w := range v {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set bits, e.g. "{1, 5, 9}".
+func (v BitVec) String() string {
+	var parts []string
+	v.ForEach(func(i int) { parts = append(parts, fmt.Sprintf("%d", i)) })
+	return "{" + strings.Join(parts, ", ") + "}"
+}

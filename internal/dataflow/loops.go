@@ -1,0 +1,123 @@
+package dataflow
+
+import "chow88/internal/ir"
+
+// Dominators computes the immediate-dominator relation for f using the
+// classic iterative algorithm over reverse postorder. The returned map is
+// keyed by block; the entry block maps to itself.
+func Dominators(f *ir.Func) map[*ir.Block]*ir.Block {
+	rpo := f.RPO()
+	index := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	entry := f.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map.
+func Dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: a header and the set of member blocks (including
+// the header).
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+}
+
+// Loops finds the natural loops of f (one per header; back edges sharing a
+// header are merged) and annotates every block's LoopDepth with its loop
+// nesting level. Blocks outside any loop get depth 0.
+func Loops(f *ir.Func) []*Loop {
+	idom := Dominators(f)
+	loops := map[*ir.Block]*Loop{}
+
+	for _, b := range f.RPO() {
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b) {
+				continue // not a back edge
+			}
+			l := loops[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				loops[s] = l
+			}
+			// Walk predecessors backward from the latch to the header.
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range n.Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+
+	var out []*Loop
+	for _, l := range loops {
+		out = append(out, l)
+	}
+	for _, b := range f.Blocks {
+		b.LoopDepth = 0
+	}
+	for _, l := range out {
+		for b := range l.Blocks {
+			b.LoopDepth++
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package experiments regenerates the paper's evaluation artifacts: Table 1
+// (the effect of shrink-wrapping and inter-procedural allocation on cycles
+// and scalar loads/stores across the 13-program suite), Table 2 (7
+// caller-saved vs 7 callee-saved registers), and executable demonstrations
+// of Figures 1–4.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/opt"
+	"chow88/internal/parser"
+	"chow88/internal/pixie"
+	"chow88/internal/sema"
+	"chow88/internal/sim"
+)
+
+// run compiles src under mode and executes it, returning the trace stats.
+func run(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mode.Optimize {
+		opt.Run(mod)
+	}
+	plan := core.PlanModule(mod, mode)
+	code, err := codegen.Generate(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run(code, sim.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &res.Stats, res.Output, nil
+}
+
+// Measurement holds one benchmark's stats under every mode of a table.
+type Measurement struct {
+	Name  string
+	Lines int
+	// CyclesPerCall under the baseline, the paper's call-intensity column.
+	CyclesPerCall float64
+	// Base is the -O2 (shrink-wrap off) reference.
+	Base *pixie.Stats
+	// ByMode holds stats per mode key (e.g. "A", "B", "C", "D", "E").
+	ByMode map[string]*pixie.Stats
+}
+
+// CycleReduction returns column I for the given mode key: % reduction in
+// executed cycles relative to the baseline.
+func (m *Measurement) CycleReduction(key string) float64 {
+	return pixie.PercentReduction(m.Base.Cycles, m.ByMode[key].Cycles)
+}
+
+// ScalarLSReduction returns column II: % reduction in scalar loads/stores.
+func (m *Measurement) ScalarLSReduction(key string) float64 {
+	return pixie.PercentReduction(m.Base.ScalarLS(), m.ByMode[key].ScalarLS())
+}
+
+// modesFor maps table column keys to compilation modes.
+func modesFor(keys []string) map[string]core.Mode {
+	all := map[string]core.Mode{
+		"A": core.ModeA(),
+		"B": core.ModeB(),
+		"C": core.ModeC(),
+		"D": core.ModeD(),
+		"E": core.ModeE(),
+	}
+	out := map[string]core.Mode{}
+	for _, k := range keys {
+		out[k] = all[k]
+	}
+	return out
+}
+
+// RunSuite measures every benchmark under the baseline plus the listed
+// column modes. Output equality across modes is verified as it goes.
+func RunSuite(keys []string) ([]*Measurement, error) {
+	modes := modesFor(keys)
+	var out []*Measurement
+	for _, b := range benchprog.All() {
+		base, wantOut, err := run(b.Source, core.ModeBase())
+		if err != nil {
+			return nil, fmt.Errorf("%s [base]: %w", b.Name, err)
+		}
+		m := &Measurement{
+			Name:          b.Name,
+			Lines:         b.Lines,
+			CyclesPerCall: base.CyclesPerCall(),
+			Base:          base,
+			ByMode:        map[string]*pixie.Stats{},
+		}
+		for _, k := range keys {
+			st, gotOut, err := run(b.Source, modes[k])
+			if err != nil {
+				return nil, fmt.Errorf("%s [%s]: %w", b.Name, k, err)
+			}
+			if len(gotOut) != len(wantOut) {
+				return nil, fmt.Errorf("%s [%s]: output diverged", b.Name, k)
+			}
+			for i := range gotOut {
+				if gotOut[i] != wantOut[i] {
+					return nil, fmt.Errorf("%s [%s]: output diverged at %d", b.Name, k, i)
+				}
+			}
+			m.ByMode[k] = st
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Table1 runs the measurements for the paper's Table 1 (columns A, B, C).
+func Table1() ([]*Measurement, error) { return RunSuite([]string{"A", "B", "C"}) }
+
+// Table2 runs the measurements for Table 2 (columns D, E).
+func Table2() ([]*Measurement, error) { return RunSuite([]string{"D", "E"}) }
+
+// FormatTable renders measurements in the paper's layout.
+func FormatTable(title string, rows []*Measurement, keys []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-11s %6s %11s |", "program", "lines", "cycles/call")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " I.%s%%", k)
+	}
+	b.WriteString(" |")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " II.%s%%", k)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 34+13*2*len(keys)))
+	b.WriteString("\n")
+	for _, m := range rows {
+		fmt.Fprintf(&b, "%-11s %6d %11.0f |", m.Name, m.Lines, m.CyclesPerCall)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %5.1f", m.CycleReduction(k))
+		}
+		b.WriteString(" |")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %6.1f", m.ScalarLSReduction(k))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nI = % reduction in cycles; II = % reduction in scalar loads/stores,\n")
+	b.WriteString("both relative to -O2 with shrink-wrap disabled (positive is better).\n")
+	return b.String()
+}
+
+// Keys1 and Keys2 are the column sets of the two tables.
+var (
+	Keys1 = []string{"A", "B", "C"}
+	Keys2 = []string{"D", "E"}
+)
+
+// DetailRow exposes the raw counters used by the tables (for EXPERIMENTS.md
+// and debugging).
+func DetailRow(m *Measurement, key string) string {
+	st := m.ByMode[key]
+	return fmt.Sprintf("%s[%s]: cycles %d→%d, scalarLS %d→%d, save/restore %d→%d",
+		m.Name, key, m.Base.Cycles, st.Cycles,
+		m.Base.ScalarLS(), st.ScalarLS(),
+		m.Base.SaveRestoreLS(), st.SaveRestoreLS())
+}
+
+// irModuleFor compiles src to optimized IR (shared by the figure demos).
+func irModuleFor(src string) (*ir.Module, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, err
+	}
+	opt.Run(mod)
+	return mod, nil
+}
+
+// irModuleNoOpt lowers src without running the optimizer, preserving named
+// variables for the allocation demonstrations.
+func irModuleNoOpt(src string) (*ir.Module, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	return lower.Build(info)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/core"
+	"chow88/internal/pixie"
+)
+
+func TestFigures(t *testing.T) {
+	for name, fn := range map[string]func() (string, error){
+		"fig1": Fig1, "fig2": Fig2, "fig3": Fig3, "fig4": Fig4,
+	} {
+		out, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 80 {
+			t.Errorf("%s: suspiciously short output:\n%s", name, out)
+		}
+		if strings.Contains(out, "NOTE:") {
+			t.Errorf("%s reported an unexpected shape:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig1ShowsSharing(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "the Fig. 1 effect") {
+		t.Errorf("fig1 should demonstrate call-tree register reuse:\n%s", out)
+	}
+}
+
+func TestFig3ShowsMixedDeltas(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The four paths must not all have the same delta: the point of the
+	// figure is that the effect depends on the path taken.
+	if !strings.Contains(out, "-") {
+		t.Errorf("no winning path in fig3:\n%s", out)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []*Measurement{{
+		Name:          "demo",
+		Lines:         100,
+		CyclesPerCall: 42,
+		Base:          &pixie.Stats{Cycles: 1000},
+		ByMode: map[string]*pixie.Stats{
+			"A": {Cycles: 900},
+			"B": {Cycles: 800},
+			"C": {Cycles: 700},
+		},
+	}}
+	out := FormatTable("Table X", rows, Keys1)
+	for _, want := range []string{"Table X", "demo", "10.0", "20.0", "30.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSuiteOneMode runs the full benchmark suite under a single column,
+// verifying output equivalence as it goes (a slimmer version of what
+// cmd/experiments does, fast enough for the test suite).
+func TestRunSuiteOneMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run is slow")
+	}
+	rows, err := RunSuite([]string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, m := range rows {
+		if m.Base.Cycles == 0 || m.ByMode["C"].Cycles == 0 {
+			t.Errorf("%s: empty measurement", m.Name)
+		}
+		if d := DetailRow(m, "C"); !strings.Contains(d, m.Name) {
+			t.Errorf("detail row: %s", d)
+		}
+	}
+	_ = core.ModeC
+}

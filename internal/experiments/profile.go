@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/mcode"
+	"chow88/internal/opt"
+	"chow88/internal/parser"
+	"chow88/internal/pixie"
+	"chow88/internal/sema"
+	"chow88/internal/sim"
+)
+
+// runProfiled compiles src under mode with profile feedback from a baseline
+// training run (the paper's §8 future-work capability) and executes it.
+func runProfiled(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mode.Optimize {
+		opt.Run(mod)
+	}
+	train := core.ModeBase()
+	train.Optimize = mode.Optimize
+	trainPlan := core.PlanModule(mod, train)
+	trainCode, err := codegen.Generate(trainPlan)
+	if err != nil {
+		return nil, nil, err
+	}
+	trainRes, err := sim.Run(trainCode, sim.Options{Profile: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	applyCounts(mod, trainCode, trainRes.InstrCounts)
+
+	plan := core.PlanModule(mod, mode)
+	code, err := codegen.Generate(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run(code, sim.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &res.Stats, res.Output, nil
+}
+
+func applyCounts(mod *ir.Module, code *mcode.Program, counts []int64) {
+	for _, fi := range code.Funcs {
+		if fi.Extern {
+			continue
+		}
+		f := mod.Lookup(fi.Name)
+		byID := map[int]*ir.Block{}
+		for _, b := range f.Blocks {
+			byID[b.ID] = b
+		}
+		for _, span := range fi.Blocks {
+			if b := byID[span.BlockID]; b != nil && span.Start < len(counts) {
+				b.SetProfile(counts[span.Start])
+			}
+		}
+	}
+}
+
+// ProfileFeedback measures the suite under mode C with static loop-depth
+// frequency estimates versus measured profiles, reporting the paper's two
+// metrics. The paper attributes its residual regressions (ccom) to the lack
+// of exactly this data.
+func ProfileFeedback() (string, error) {
+	var b strings.Builder
+	b.WriteString("Profile feedback (the paper's §8 future work) under mode C:\n\n")
+	b.WriteString("  program    | II.C% static | II.C% profiled | I.C% static | I.C% profiled\n")
+	b.WriteString("  -----------+--------------+----------------+-------------+--------------\n")
+	for _, bench := range benchprog.All() {
+		base, wantOut, err := run(bench.Source, core.ModeBase())
+		if err != nil {
+			return "", fmt.Errorf("%s base: %w", bench.Name, err)
+		}
+		static, outS, err := run(bench.Source, core.ModeC())
+		if err != nil {
+			return "", fmt.Errorf("%s static: %w", bench.Name, err)
+		}
+		prof, outP, err := runProfiled(bench.Source, core.ModeC())
+		if err != nil {
+			return "", fmt.Errorf("%s profiled: %w", bench.Name, err)
+		}
+		for i := range wantOut {
+			if outS[i] != wantOut[i] || outP[i] != wantOut[i] {
+				return "", fmt.Errorf("%s: output diverged", bench.Name)
+			}
+		}
+		fmt.Fprintf(&b, "  %-10s | %12.1f | %14.1f | %11.1f | %12.1f\n",
+			bench.Name,
+			pixie.PercentReduction(base.ScalarLS(), static.ScalarLS()),
+			pixie.PercentReduction(base.ScalarLS(), prof.ScalarLS()),
+			pixie.PercentReduction(base.Cycles, static.Cycles),
+			pixie.PercentReduction(base.Cycles, prof.Cycles))
+	}
+	b.WriteString("\n  Measured block frequencies replace the 10^loop-depth estimate, so\n")
+	b.WriteString("  save/restore placement follows actual execution behaviour — the\n")
+	b.WriteString("  paper's prescription for its ccom regression.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,475 @@
+// Package interp is a reference interpreter for checked CW programs.
+//
+// It executes the AST directly, independent of the IR, the optimizer, the
+// register allocators and the code generator, and therefore serves as the
+// oracle for differential testing: every compilation mode must produce the
+// same printed output as the interpreter on every program.
+//
+// Semantics shared with the compiled implementation:
+//   - integers are 64-bit two's complement with wraparound,
+//   - division or remainder by zero is a runtime trap,
+//   - variables start at zero,
+//   - a function that falls off its end returns zero,
+//   - calling an unassigned (zero) function variable is a trap.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"chow88/internal/ast"
+	"chow88/internal/sema"
+	"chow88/internal/token"
+)
+
+// Options bound interpreter resource use.
+type Options struct {
+	// MaxSteps limits executed statements+expressions; 0 means the default.
+	MaxSteps int64
+	// MaxDepth limits call nesting; 0 means the default.
+	MaxDepth int
+}
+
+// Each CW frame costs a deep chain of Go stack frames, so the depth default
+// stays well under the Go runtime's 1 GB goroutine-stack ceiling.
+const (
+	defaultMaxSteps = int64(200_000_000)
+	defaultMaxDepth = 10_000
+)
+
+// ErrLimit is returned (wrapped) when a resource limit is exceeded.
+var ErrLimit = errors.New("resource limit exceeded")
+
+// Trap is a CW runtime fault (division by zero, bad index, nil call).
+type Trap struct {
+	Msg string
+	Pos token.Pos
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("%s: trap: %s", t.Pos, t.Msg) }
+
+// Result is what a program run produced.
+type Result struct {
+	Output []int64 // values passed to print, in order
+	Steps  int64
+}
+
+// Run executes the checked program from main.
+func Run(info *sema.Info, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = defaultMaxDepth
+	}
+	in := &interp{info: info, opts: opts, globals: map[*sema.VarSym]*cell{}}
+	for _, g := range info.Globals {
+		in.globals[g] = newCell(g.Type)
+	}
+	res := &Result{}
+	in.res = res
+	err := in.call(info.Funcs["main"], nil)
+	res.Steps = in.steps
+	if err != nil {
+		var r returnSignal
+		if errors.As(err, &r) {
+			return res, nil
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+// cell is a storage location: a scalar/function value or an array.
+type cell struct {
+	v   int64
+	arr []int64
+}
+
+func newCell(t *ast.Type) *cell {
+	if t.Kind == ast.ArrayType {
+		return &cell{arr: make([]int64, t.ArrLen)}
+	}
+	return &cell{}
+}
+
+// returnSignal unwinds a function body on return. value is the returned int
+// (0 when the function returns nothing).
+type returnSignal struct{ value int64 }
+
+func (returnSignal) Error() string { return "return" }
+
+type breakSignal struct{}
+
+func (breakSignal) Error() string { return "break" }
+
+type continueSignal struct{}
+
+func (continueSignal) Error() string { return "continue" }
+
+type interp struct {
+	info    *sema.Info
+	opts    Options
+	globals map[*sema.VarSym]*cell
+	res     *Result
+	steps   int64
+	depth   int
+}
+
+type frame struct {
+	locals map[*sema.VarSym]*cell
+}
+
+func (in *interp) tick(pos token.Pos) error {
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		return fmt.Errorf("%s: %w: step budget", pos, ErrLimit)
+	}
+	return nil
+}
+
+// funcIndex gives each function a nonzero integer "address" used as the
+// runtime representation of function values, matching the VM encoding.
+func (in *interp) funcIndex(name string) int64 {
+	for i, n := range in.info.FuncOrder {
+		if n == name {
+			return int64(i + 1)
+		}
+	}
+	return 0
+}
+
+func (in *interp) funcByIndex(idx int64) *sema.FuncInfo {
+	if idx < 1 || idx > int64(len(in.info.FuncOrder)) {
+		return nil
+	}
+	return in.info.Funcs[in.info.FuncOrder[idx-1]]
+}
+
+// call invokes fn with already-evaluated arguments. It returns the return
+// value (0 for void functions).
+func (in *interp) call(fn *sema.FuncInfo, args []int64) (err error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > in.opts.MaxDepth {
+		return fmt.Errorf("%s: %w: call depth", fn.Decl.Pos(), ErrLimit)
+	}
+	f := &frame{locals: map[*sema.VarSym]*cell{}}
+	for _, l := range fn.Locals {
+		f.locals[l] = newCell(l.Type)
+	}
+	for i, p := range fn.Params {
+		f.locals[p].v = args[i]
+	}
+	err = in.execBlock(f, fn.Decl.Body)
+	if err == nil {
+		// Fell off the end: implicit return 0 / return.
+		return returnSignal{0}
+	}
+	return err
+}
+
+// callValue performs a call and yields the result value.
+func (in *interp) callValue(fn *sema.FuncInfo, args []int64) (int64, error) {
+	err := in.call(fn, args)
+	var r returnSignal
+	if errors.As(err, &r) {
+		return r.value, nil
+	}
+	if err == nil {
+		return 0, nil
+	}
+	return 0, err
+}
+
+func (in *interp) execBlock(f *frame, b *ast.Block) error {
+	for _, s := range b.Stmts {
+		if err := in.execStmt(f, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) execStmt(f *frame, s ast.Stmt) error {
+	if err := in.tick(s.Pos()); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		return nil // storage pre-created per function
+	case *ast.Block:
+		return in.execBlock(f, s)
+	case *ast.AssignStmt:
+		v, err := in.eval(f, s.Rhs)
+		if err != nil {
+			return err
+		}
+		return in.assign(f, s.Lhs, v)
+	case *ast.IfStmt:
+		c, err := in.eval(f, s.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.execBlock(f, s.Then)
+		}
+		if s.Else != nil {
+			return in.execStmt(f, s.Else)
+		}
+		return nil
+	case *ast.WhileStmt:
+		for {
+			c, err := in.eval(f, s.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := in.execBlock(f, s.Body); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					continue
+				}
+				return err
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if err := in.execStmt(f, s.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := in.eval(f, s.Cond)
+				if err != nil {
+					return err
+				}
+				if c == 0 {
+					return nil
+				}
+			}
+			err := in.execBlock(f, s.Body)
+			if err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					// fall through to post
+				default:
+					return err
+				}
+			}
+			if s.Post != nil {
+				if err := in.execStmt(f, s.Post); err != nil {
+					return err
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if s.Value == nil {
+			return returnSignal{0}
+		}
+		v, err := in.eval(f, s.Value)
+		if err != nil {
+			return err
+		}
+		return returnSignal{v}
+	case *ast.BreakStmt:
+		return breakSignal{}
+	case *ast.ContinueStmt:
+		return continueSignal{}
+	case *ast.ExprStmt:
+		_, err := in.eval(f, s.X)
+		return err
+	}
+	return fmt.Errorf("%s: unhandled statement %T", s.Pos(), s)
+}
+
+func (in *interp) lookup(f *frame, sym *sema.VarSym) *cell {
+	if sym.Global {
+		return in.globals[sym]
+	}
+	return f.locals[sym]
+}
+
+func (in *interp) assign(f *frame, lhs ast.Expr, v int64) error {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		in.lookup(f, in.info.Uses[lhs]).v = v
+		return nil
+	case *ast.IndexExpr:
+		c := in.lookup(f, in.info.Uses[lhs.Arr])
+		idx, err := in.eval(f, lhs.Index)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || idx >= int64(len(c.arr)) {
+			return &Trap{Msg: fmt.Sprintf("index %d out of range [0,%d)", idx, len(c.arr)), Pos: lhs.Pos()}
+		}
+		c.arr[idx] = v
+		return nil
+	}
+	return fmt.Errorf("%s: bad assignment target %T", lhs.Pos(), lhs)
+}
+
+func (in *interp) eval(f *frame, e ast.Expr) (int64, error) {
+	if err := in.tick(e.Pos()); err != nil {
+		return 0, err
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.Ident:
+		if sym, ok := in.info.Uses[e]; ok {
+			return in.lookup(f, sym).v, nil
+		}
+		if fd, ok := in.info.FuncRefs[e]; ok {
+			return in.funcIndex(fd.Name), nil
+		}
+		return 0, fmt.Errorf("%s: unresolved identifier %s", e.Pos(), e.Name)
+	case *ast.IndexExpr:
+		c := in.lookup(f, in.info.Uses[e.Arr])
+		idx, err := in.eval(f, e.Index)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(len(c.arr)) {
+			return 0, &Trap{Msg: fmt.Sprintf("index %d out of range [0,%d)", idx, len(c.arr)), Pos: e.Pos()}
+		}
+		return c.arr[idx], nil
+	case *ast.CallExpr:
+		return in.evalCall(f, e)
+	case *ast.BinaryExpr:
+		return in.evalBinary(f, e)
+	case *ast.UnaryExpr:
+		v, err := in.eval(f, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == token.Minus {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%s: unhandled expression %T", e.Pos(), e)
+}
+
+func (in *interp) evalBinary(f *frame, e *ast.BinaryExpr) (int64, error) {
+	// Short-circuit forms first.
+	if e.Op == token.AndAnd || e.Op == token.OrOr {
+		x, err := in.eval(f, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == token.AndAnd && x == 0 {
+			return 0, nil
+		}
+		if e.Op == token.OrOr && x != 0 {
+			return 1, nil
+		}
+		y, err := in.eval(f, e.Y)
+		if err != nil {
+			return 0, err
+		}
+		if y != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	x, err := in.eval(f, e.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := in.eval(f, e.Y)
+	if err != nil {
+		return 0, err
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case token.Plus:
+		return x + y, nil
+	case token.Minus:
+		return x - y, nil
+	case token.Star:
+		return x * y, nil
+	case token.Slash:
+		if y == 0 {
+			return 0, &Trap{Msg: "division by zero", Pos: e.Pos()}
+		}
+		if x == -1<<63 && y == -1 {
+			return x, nil // wraparound, matching the VM
+		}
+		return x / y, nil
+	case token.Percent:
+		if y == 0 {
+			return 0, &Trap{Msg: "division by zero", Pos: e.Pos()}
+		}
+		if x == -1<<63 && y == -1 {
+			return 0, nil
+		}
+		return x % y, nil
+	case token.Eq:
+		return b2i(x == y), nil
+	case token.Neq:
+		return b2i(x != y), nil
+	case token.Lt:
+		return b2i(x < y), nil
+	case token.Leq:
+		return b2i(x <= y), nil
+	case token.Gt:
+		return b2i(x > y), nil
+	case token.Geq:
+		return b2i(x >= y), nil
+	}
+	return 0, fmt.Errorf("%s: unhandled operator %s", e.Pos(), e.Op)
+}
+
+func (in *interp) evalCall(f *frame, e *ast.CallExpr) (int64, error) {
+	// Builtin print.
+	if _, isVar := in.info.Uses[e.Fun]; !isVar {
+		if _, isFunc := in.info.FuncRefs[e.Fun]; !isFunc && e.Fun.Name == "print" {
+			v, err := in.eval(f, e.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			in.res.Output = append(in.res.Output, v)
+			return 0, nil
+		}
+	}
+	args := make([]int64, len(e.Args))
+	for i, a := range e.Args {
+		v, err := in.eval(f, a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	var target *sema.FuncInfo
+	if fd, ok := in.info.FuncRefs[e.Fun]; ok {
+		if fd.Extern {
+			return 0, &Trap{Msg: fmt.Sprintf("call to extern function %s", fd.Name), Pos: e.Pos()}
+		}
+		target = in.info.Funcs[fd.Name]
+	} else {
+		sym := in.info.Uses[e.Fun]
+		fv := in.lookup(f, sym).v
+		target = in.funcByIndex(fv)
+		if target == nil {
+			return 0, &Trap{Msg: fmt.Sprintf("indirect call through invalid function value %d", fv), Pos: e.Pos()}
+		}
+	}
+	return in.callValue(target, args)
+}

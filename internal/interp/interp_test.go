@@ -1,0 +1,248 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+)
+
+func run(t *testing.T, src string) (*Result, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Run(info, Options{})
+}
+
+func mustRun(t *testing.T, src string) []int64 {
+	t.Helper()
+	res, err := run(t, src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Output
+}
+
+func expect(t *testing.T, src string, want []int64) {
+	t.Helper()
+	got := mustRun(t, src)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("output = %v, want %v", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expect(t, `func main() {
+        print(2 + 3 * 4);
+        print(10 / 3);
+        print(10 % 3);
+        print(-7 / 2);
+        print(-7 % 2);
+        print(1 - 2);
+    }`, []int64{14, 3, 1, -3, -1, -1})
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expect(t, `func main() {
+        print(1 < 2); print(2 < 1); print(2 <= 2);
+        print(3 > 2); print(2 >= 3); print(1 == 1); print(1 != 1);
+        print(1 && 2); print(0 && 1); print(0 || 0); print(0 || 5);
+        print(!0); print(!7);
+    }`, []int64{1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 1, 0})
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand traps if evaluated; short-circuiting must skip it.
+	expect(t, `
+var n int;
+func boom() int { n = 1 / n; return 1; }
+func main() {
+    print(0 && boom());
+    print(1 || boom());
+}`, []int64{0, 1})
+}
+
+func TestControlFlow(t *testing.T) {
+	expect(t, `func main() {
+        var i int;
+        var s int;
+        s = 0;
+        for (i = 1; i <= 5; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 5) { break; }
+            s = s + i;
+        }
+        print(s);
+        while (s > 0) { s = s - 2; }
+        print(s);
+    }`, []int64{7, -1})
+}
+
+func TestRecursion(t *testing.T) {
+	expect(t, `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(15)); }`, []int64{610})
+}
+
+func TestMutualRecursion(t *testing.T) {
+	expect(t, `
+func isEven(n int) int { if (n == 0) { return 1; } return isOdd(n - 1); }
+func isOdd(n int) int { if (n == 0) { return 0; } return isEven(n - 1); }
+func main() { print(isEven(10)); print(isOdd(10)); }`, []int64{1, 0})
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	expect(t, `
+var g int;
+var a [5]int;
+func bump() { g = g + 1; }
+func main() {
+    var i int;
+    for (i = 0; i < 5; i = i + 1) { a[i] = i * i; bump(); }
+    print(a[4] + g);
+}`, []int64{21})
+}
+
+func TestLocalArrays(t *testing.T) {
+	expect(t, `
+func sum3(x int) int {
+    var t [3]int;
+    t[0] = x; t[1] = x * 2; t[2] = x * 3;
+    return t[0] + t[1] + t[2];
+}
+func main() { print(sum3(4)); }`, []int64{24})
+}
+
+func TestIndirectCalls(t *testing.T) {
+	expect(t, `
+var op func(int, int) int;
+func add(a int, b int) int { return a + b; }
+func mul(a int, b int) int { return a * b; }
+func main() {
+    op = add; print(op(3, 4));
+    op = mul; print(op(3, 4));
+}`, []int64{7, 12})
+}
+
+func TestFuncArg(t *testing.T) {
+	expect(t, `
+func apply(f func(int) int, x int) int { return f(x); }
+func neg(x int) int { return -x; }
+func main() { print(apply(neg, 9)); }`, []int64{-9})
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	expect(t, `
+func f(x int) int { if (x > 0) { return 1; } }
+func main() { print(f(1)); print(f(-1)); }`, []int64{1, 0})
+}
+
+func TestShadowingSemantics(t *testing.T) {
+	expect(t, `
+var x int;
+func main() {
+    x = 10;
+    var x int;
+    x = 20;
+    { var x int; x = 30; print(x); }
+    print(x);
+}`, []int64{30, 20})
+}
+
+func TestZeroInit(t *testing.T) {
+	expect(t, `
+var g int;
+var a [3]int;
+func main() { var l int; print(g + a[2] + l); }`, []int64{0})
+}
+
+func TestDivByZeroTrap(t *testing.T) {
+	_, err := run(t, `var z int; func main() { print(1 / z); }`)
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+	_, err = run(t, `var z int; func main() { print(1 % z); }`)
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+}
+
+func TestIndexTrap(t *testing.T) {
+	var trap *Trap
+	_, err := run(t, `var a [3]int; var i int; func main() { i = 3; print(a[i]); }`)
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+	_, err = run(t, `var a [3]int; var i int; func main() { i = -1; a[i] = 0; }`)
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+}
+
+func TestNilFuncTrap(t *testing.T) {
+	var trap *Trap
+	_, err := run(t, `var f func() int; func main() { print(f()); }`)
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+}
+
+func TestExternTrap(t *testing.T) {
+	var trap *Trap
+	_, err := run(t, `extern func lib(x int) int; func main() { print(lib(1)); }`)
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, _ := parser.Parse(`func main() { while (1) { } }`)
+	info, _ := sema.Check(p)
+	_, err := Run(info, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want limit", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	p, _ := parser.Parse(`func f() { f(); } func main() { f(); }`)
+	info, _ := sema.Check(p)
+	_, err := Run(info, Options{MaxDepth: 100})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want limit", err)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	expect(t, `func main() {
+        var big int;
+        big = 9223372036854775807;
+        print(big + 1);
+        print((0 - big - 1) / (0 - 1));
+        print((0 - big - 1) % (0 - 1));
+    }`, []int64{-9223372036854775808, -9223372036854775808, 0})
+}
+
+func TestForPostRunsAfterContinue(t *testing.T) {
+	expect(t, `func main() {
+        var i int; var n int;
+        n = 0;
+        for (i = 0; i < 4; i = i + 1) {
+            if (i == 1) { continue; }
+            n = n + 10;
+        }
+        print(i); print(n);
+    }`, []int64{4, 30})
+}

@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs entry -> (a|b) -> join with a conditional.
+func buildDiamond() (*Func, *Block, *Block, *Block, *Block) {
+	f := NewFunc("d")
+	f.Returns = true
+	entry := f.NewBlock()
+	a := f.NewBlock()
+	b := f.NewBlock()
+	join := f.NewBlock()
+	c := f.NewTemp("c", true)
+	r := f.NewTemp("r", true)
+	entry.Instrs = []*Instr{
+		{Op: OpConst, Dst: c, Imm: 1},
+		{Op: OpBr, A: TempOp(c), Target: a, Else: b},
+	}
+	a.Instrs = []*Instr{
+		{Op: OpConst, Dst: r, Imm: 10},
+		{Op: OpJmp, Target: join},
+	}
+	b.Instrs = []*Instr{
+		{Op: OpConst, Dst: r, Imm: 20},
+		{Op: OpJmp, Target: join},
+	}
+	op := TempOp(r)
+	join.Instrs = []*Instr{NewRet(&op)}
+	f.ComputeCFG()
+	return f, entry, a, b, join
+}
+
+func TestCFGEdges(t *testing.T) {
+	f, entry, a, b, join := buildDiamond()
+	if len(entry.Succs) != 2 || len(join.Preds) != 2 {
+		t.Fatalf("edges wrong: succs=%d preds=%d", len(entry.Succs), len(join.Preds))
+	}
+	if a.Preds[0] != entry || b.Preds[0] != entry {
+		t.Error("preds wrong")
+	}
+	rpo := f.RPO()
+	if rpo[0] != entry || rpo[len(rpo)-1] != join {
+		t.Errorf("rpo order wrong: %v", rpo)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f, _, _, _, _ := buildDiamond()
+	dead := f.NewBlock()
+	dead.Instrs = []*Instr{NewRet(nil)}
+	f.ComputeCFG()
+	f.RemoveUnreachable()
+	for _, b := range f.Blocks {
+		if b == dead {
+			t.Error("unreachable block survived")
+		}
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			t.Error("IDs not re-densified")
+		}
+	}
+}
+
+func TestVerifyCatchesBadness(t *testing.T) {
+	// Terminator in the middle.
+	f := NewFunc("bad")
+	b := f.NewBlock()
+	x := f.NewTemp("x", true)
+	b.Instrs = []*Instr{
+		NewRet(nil),
+		{Op: OpConst, Dst: x, Imm: 1},
+	}
+	if err := Verify(f); err == nil {
+		t.Error("mid-block terminator not caught")
+	}
+
+	// Missing terminator.
+	f2 := NewFunc("bad2")
+	b2 := f2.NewBlock()
+	y := f2.NewTemp("y", true)
+	b2.Instrs = []*Instr{{Op: OpConst, Dst: y, Imm: 1}}
+	if err := Verify(f2); err == nil {
+		t.Error("missing terminator not caught")
+	}
+
+	// Foreign temp.
+	f3 := NewFunc("bad3")
+	b3 := f3.NewBlock()
+	alien := &Temp{ID: 99, Name: "alien"}
+	op := TempOp(alien)
+	b3.Instrs = []*Instr{NewRet(&op)}
+	f3.Returns = true
+	if err := Verify(f3); err == nil {
+		t.Error("foreign temp not caught")
+	}
+
+	// Branch to a foreign block.
+	f4 := NewFunc("bad4")
+	b4 := f4.NewBlock()
+	other := &Block{ID: 7, Name: "other"}
+	b4.Instrs = []*Instr{{Op: OpJmp, Target: other}}
+	if err := Verify(f4); err == nil {
+		t.Error("foreign branch target not caught")
+	}
+
+	// Void return in a value function.
+	f5 := NewFunc("bad5")
+	f5.Returns = true
+	b5 := f5.NewBlock()
+	b5.Instrs = []*Instr{NewRet(nil)}
+	if err := Verify(f5); err == nil {
+		t.Error("void return in int function not caught")
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	f := NewFunc("u")
+	a := f.NewTemp("a", true)
+	b := f.NewTemp("b", true)
+	d := f.NewTemp("d", true)
+	in := &Instr{Op: OpAdd, Dst: d, A: TempOp(a), B: TempOp(b)}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != a || uses[1] != b {
+		t.Errorf("uses = %v", uses)
+	}
+	if in.Def() != d {
+		t.Errorf("def = %v", in.Def())
+	}
+	call := &Instr{Op: OpCall, Dst: d, Callee: f, Args: []Operand{TempOp(a), ConstOp(3)}}
+	uses = call.Uses(nil)
+	if len(uses) != 1 || uses[0] != a {
+		t.Errorf("call uses = %v", uses)
+	}
+}
+
+func TestSideEffects(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: OpAdd}, false},
+		{Instr{Op: OpDiv}, true},
+		{Instr{Op: OpRem}, true},
+		{Instr{Op: OpLoadIdx}, true},
+		{Instr{Op: OpStoreG}, true},
+		{Instr{Op: OpCall}, true},
+		{Instr{Op: OpPrint}, true},
+		{Instr{Op: OpConst}, false},
+		{Instr{Op: OpLoadG}, false},
+	}
+	for _, c := range cases {
+		if got := c.in.HasSideEffects(); got != c.want {
+			t.Errorf("%s: side effects = %v", c.in.Op, got)
+		}
+	}
+}
+
+func TestFreq(t *testing.T) {
+	b := &Block{LoopDepth: 0, ProfCount: -1}
+	if b.Freq() != 1 {
+		t.Errorf("depth 0 freq = %f", b.Freq())
+	}
+	b.LoopDepth = 2
+	if b.Freq() != 100 {
+		t.Errorf("depth 2 freq = %f", b.Freq())
+	}
+	b.LoopDepth = 50
+	if b.Freq() != 1e6 {
+		t.Errorf("freq must cap: %f", b.Freq())
+	}
+	b.SetProfile(1234)
+	if b.Freq() != 1234 {
+		t.Errorf("profiled freq = %f", b.Freq())
+	}
+	b.ClearProfile()
+	if b.Freq() != 1e6 {
+		t.Errorf("cleared freq = %f", b.Freq())
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := NewModule()
+	f1 := NewFunc("a")
+	f2 := NewFunc("b")
+	m.AddFunc(f1)
+	m.AddFunc(f2)
+	if m.Lookup("a") != f1 || m.Lookup("nope") != nil {
+		t.Error("lookup broken")
+	}
+	if m.FuncIndex(f1) != 1 || m.FuncIndex(f2) != 2 {
+		t.Error("indexes wrong")
+	}
+	if m.FuncIndex(NewFunc("ghost")) != 0 {
+		t.Error("unknown func should map to 0")
+	}
+	m.Globals = append(m.Globals,
+		&Global{Name: "x", Size: 1},
+		&Global{Name: "arr", Size: 10, IsArray: true})
+	m.Layout()
+	if m.Globals[0].Addr != DataBase || m.Globals[1].Addr != DataBase+1 {
+		t.Error("layout wrong")
+	}
+	if m.DataSize() != DataBase+11 {
+		t.Errorf("datasize = %d", m.DataSize())
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	f, _, _, _, _ := buildDiamond()
+	s := FuncString(f)
+	for _, want := range []string{"func d()", "br c ? b1 : b2", "ret r", "const 10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	m := NewModule()
+	m.Globals = append(m.Globals, &Global{Name: "g", Size: 1}, &Global{Name: "a", Size: 4, IsArray: true})
+	m.AddFunc(f)
+	ms := ModuleString(m)
+	if !strings.Contains(ms, "global g") || !strings.Contains(ms, "global a [4]") {
+		t.Errorf("module string:\n%s", ms)
+	}
+}
+
+func TestCallSitesAndLeaf(t *testing.T) {
+	f := NewFunc("f")
+	g := NewFunc("g")
+	b := f.NewBlock()
+	b.Instrs = []*Instr{
+		{Op: OpCall, Callee: g},
+		NewRet(nil),
+	}
+	f.ComputeCFG()
+	if f.IsLeaf() {
+		t.Error("f calls g")
+	}
+	cs := f.CallSites()
+	if len(cs) != 1 || cs[0].Instr.Callee != g || cs[0].Index != 0 {
+		t.Errorf("callsites = %+v", cs)
+	}
+	if !g.IsLeaf() {
+		t.Error("g is a leaf")
+	}
+}
+
+func TestExitBlocks(t *testing.T) {
+	f, _, _, _, join := buildDiamond()
+	exits := f.ExitBlocks()
+	if len(exits) != 1 || exits[0] != join {
+		t.Errorf("exits = %v", exits)
+	}
+}
+
+func TestOperands(t *testing.T) {
+	c := ConstOp(42)
+	if !c.IsConst() || c.String() != "42" {
+		t.Error("const operand broken")
+	}
+	f := NewFunc("f")
+	x := f.NewTemp("", false)
+	o := TempOp(x)
+	if o.IsConst() || o.String() != "t0" {
+		t.Errorf("temp operand broken: %s", o)
+	}
+	if x.IsVar {
+		t.Error("anonymous temps are not vars")
+	}
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a readable assembly-like form.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&b, "%s = const %d", in.Dst, in.Imm)
+	case OpCopy:
+		fmt.Fprintf(&b, "%s = %s", in.Dst, in.A)
+	case OpNeg:
+		fmt.Fprintf(&b, "%s = neg %s", in.Dst, in.A)
+	case OpNot:
+		fmt.Fprintf(&b, "%s = not %s", in.Dst, in.A)
+	case OpLoadG:
+		fmt.Fprintf(&b, "%s = loadg %s", in.Dst, in.Global)
+	case OpStoreG:
+		fmt.Fprintf(&b, "storeg %s = %s", in.Global, in.A)
+	case OpLoadIdx:
+		fmt.Fprintf(&b, "%s = %s[%s]", in.Dst, in.Arr, in.A)
+	case OpStoreIdx:
+		fmt.Fprintf(&b, "%s[%s] = %s", in.Arr, in.A, in.B)
+	case OpFuncAddr:
+		fmt.Fprintf(&b, "%s = &%s", in.Dst, in.Callee.Name)
+	case OpCall, OpCallInd:
+		if in.Dst != nil {
+			fmt.Fprintf(&b, "%s = ", in.Dst)
+		}
+		if in.Op == OpCall {
+			fmt.Fprintf(&b, "call %s(", in.Callee.Name)
+		} else {
+			fmt.Fprintf(&b, "callind %s(", in.A)
+		}
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+	case OpPrint:
+		fmt.Fprintf(&b, "print %s", in.A)
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp %s", in.Target)
+	case OpBr:
+		fmt.Fprintf(&b, "br %s ? %s : %s", in.A, in.Target, in.Else)
+	case OpRet:
+		if in.retHasValue() {
+			fmt.Fprintf(&b, "ret %s", in.A)
+		} else {
+			b.WriteString("ret")
+		}
+	default:
+		fmt.Fprintf(&b, "%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+	return b.String()
+}
+
+// retHasValue distinguishes `ret` from `ret 0`: RetVoid stores no operand
+// temp and Imm == 0 flags void. We encode "has value" in Imm for OpRet.
+func (in *Instr) retHasValue() bool { return in.Op == OpRet && in.Imm == 1 }
+
+// FuncString renders a whole function.
+func FuncString(f *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name)
+	}
+	b.WriteString(")")
+	if f.Returns {
+		b.WriteString(" int")
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Name)
+		if blk.LoopDepth > 0 {
+			fmt.Fprintf(&b, "  ; depth %d", blk.LoopDepth)
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "    %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ModuleString renders a whole module.
+func ModuleString(m *Module) string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		if g.IsArray {
+			fmt.Fprintf(&b, "global %s [%d]\n", g.Name, g.Size)
+		} else {
+			fmt.Fprintf(&b, "global %s\n", g.Name)
+		}
+	}
+	for _, f := range m.Funcs {
+		if f.Extern {
+			fmt.Fprintf(&b, "extern func %s\n", f.Name)
+			continue
+		}
+		b.WriteString(FuncString(f))
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package ir
+
+import "fmt"
+
+// NewRet builds a return instruction. Pass nil for a void return.
+func NewRet(v *Operand) *Instr {
+	if v == nil {
+		return &Instr{Op: OpRet}
+	}
+	return &Instr{Op: OpRet, A: *v, Imm: 1}
+}
+
+// Verify checks the structural invariants of a function:
+//   - every block ends in exactly one terminator, and terminators appear
+//     nowhere else;
+//   - branch targets are blocks of this function;
+//   - temps referenced belong to this function;
+//   - value-returning functions return values, void functions do not;
+//   - calls match callee arity;
+//   - array references are well-formed.
+func Verify(f *Func) error {
+	if f.Extern {
+		return nil
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", f.Name)
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	tempSet := make(map[*Temp]bool, len(f.temps))
+	for _, t := range f.temps {
+		tempSet[t] = true
+	}
+	checkOperand := func(b *Block, in *Instr, o Operand) error {
+		if o.Temp != nil && !tempSet[o.Temp] {
+			return fmt.Errorf("%s/%s: %v references foreign temp %s", f.Name, b.Name, in, o.Temp)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s/%s: empty block", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("%s/%s: instruction %d (%v): terminator placement", f.Name, b.Name, i, in)
+			}
+			if in.Dst != nil && !tempSet[in.Dst] {
+				return fmt.Errorf("%s/%s: %v defines foreign temp", f.Name, b.Name, in)
+			}
+			if err := checkOperand(b, in, in.A); err != nil {
+				return err
+			}
+			if err := checkOperand(b, in, in.B); err != nil {
+				return err
+			}
+			for _, a := range in.Args {
+				if err := checkOperand(b, in, a); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case OpJmp:
+				if in.Target == nil || !blockSet[in.Target] {
+					return fmt.Errorf("%s/%s: jmp to foreign block", f.Name, b.Name)
+				}
+			case OpBr:
+				if in.Target == nil || !blockSet[in.Target] || in.Else == nil || !blockSet[in.Else] {
+					return fmt.Errorf("%s/%s: br to foreign block", f.Name, b.Name)
+				}
+			case OpRet:
+				if f.Returns && !in.retHasValue() {
+					return fmt.Errorf("%s/%s: void return in value-returning function", f.Name, b.Name)
+				}
+				if !f.Returns && in.retHasValue() {
+					return fmt.Errorf("%s/%s: value return in void function", f.Name, b.Name)
+				}
+			case OpCall:
+				if in.Callee == nil {
+					return fmt.Errorf("%s/%s: call with no callee", f.Name, b.Name)
+				}
+				if len(in.Args) != len(in.Callee.Params) && !in.Callee.Extern {
+					return fmt.Errorf("%s/%s: call %s arity %d != %d", f.Name, b.Name, in.Callee.Name, len(in.Args), len(in.Callee.Params))
+				}
+			case OpCallInd:
+				if in.A.Temp == nil {
+					return fmt.Errorf("%s/%s: indirect call through non-temp", f.Name, b.Name)
+				}
+			case OpLoadG, OpStoreG:
+				if in.Global == nil || in.Global.IsArray {
+					return fmt.Errorf("%s/%s: %v: bad scalar global", f.Name, b.Name, in)
+				}
+			case OpLoadIdx, OpStoreIdx:
+				if !in.Arr.Valid() {
+					return fmt.Errorf("%s/%s: %v: bad array ref", f.Name, b.Name, in)
+				}
+			case OpFuncAddr:
+				if in.Callee == nil {
+					return fmt.Errorf("%s/%s: funcaddr with no target", f.Name, b.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function.
+func VerifyModule(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

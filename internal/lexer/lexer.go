@@ -1,0 +1,200 @@
+// Package lexer implements a hand-written scanner for the CW language.
+package lexer
+
+import (
+	"fmt"
+
+	"chow88/internal/token"
+)
+
+// Lexer scans CW source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next unread character
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns all lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token. At end of input it returns an EOF token,
+// repeatedly if called again.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off < len(l.src) && isLetter(l.peek()) {
+			l.errorf(pos, "malformed number: letter follows digits")
+		}
+		return token.Token{Kind: token.Int, Lit: l.src[start:l.off], Pos: pos}
+	}
+	two := func(next byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return token.Token{Kind: token.Plus, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.Minus, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.Star, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.Slash, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.Percent, Pos: pos}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Neq, token.Not)
+	case '<':
+		return two('=', token.Leq, token.Lt)
+	case '>':
+		return two('=', token.Geq, token.Gt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.AndAnd, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean &&?)", c)
+		return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.OrOr, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean ||?)", c)
+		return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semi, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+}
+
+// ScanAll lexes the entire input, returning every token up to and including
+// the terminating EOF token.
+func ScanAll(src string) ([]token.Token, []error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

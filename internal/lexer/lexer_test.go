@@ -1,0 +1,128 @@
+package lexer
+
+import (
+	"testing"
+
+	"chow88/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll(src)
+	for _, e := range errs {
+		t.Fatalf("lex error: %v", e)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "+ - * / % = == != < <= > >= && || ! ( ) { } [ ] , ;")
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Assign, token.Eq, token.Neq, token.Lt, token.Leq, token.Gt, token.Geq,
+		token.AndAnd, token.OrOr, token.Not,
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket, token.Comma, token.Semi, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "var func int if else while for return break continue extern foo _bar x9")
+	want := []token.Kind{
+		token.KwVar, token.KwFunc, token.KwInt, token.KwIf, token.KwElse,
+		token.KwWhile, token.KwFor, token.KwReturn, token.KwBreak, token.KwContinue,
+		token.KwExtern, token.Ident, token.Ident, token.Ident, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := ScanAll("0 7 12345")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	lits := []string{"0", "7", "12345"}
+	for i, want := range lits {
+		if toks[i].Kind != token.Int || toks[i].Lit != want {
+			t.Errorf("token %d: got %v, want int %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := ScanAll("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestIllegal(t *testing.T) {
+	_, errs := ScanAll("a $ b")
+	if len(errs) == 0 {
+		t.Fatal("want lex error for $")
+	}
+}
+
+func TestSingleAmpersandAndPipe(t *testing.T) {
+	_, errs := ScanAll("a & b")
+	if len(errs) == 0 {
+		t.Fatal("want lex error for single &")
+	}
+	_, errs = ScanAll("a | b")
+	if len(errs) == 0 {
+		t.Fatal("want lex error for single |")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("a /* never closed")
+	if len(errs) == 0 {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	_, errs := ScanAll("12abc")
+	if len(errs) == 0 {
+		t.Fatal("want error for letter after digits")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tk)
+		}
+	}
+}

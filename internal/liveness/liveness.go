@@ -1,0 +1,236 @@
+// Package liveness computes live-variable information for IR functions and
+// builds the live-range summaries the priority-based coloring allocator
+// consumes: the set of blocks each temp's range touches (the Chow–Hennessy
+// granularity), frequency-weighted occurrence counts, the calls each range
+// spans, and a precise interference graph.
+package liveness
+
+import (
+	"chow88/internal/dataflow"
+	"chow88/internal/ir"
+)
+
+// Result holds per-block live sets, bit-indexed by temp ID.
+type Result struct {
+	F       *ir.Func
+	LiveIn  map[*ir.Block]dataflow.BitVec
+	LiveOut map[*ir.Block]dataflow.BitVec
+}
+
+// Analyze runs backward live-variable analysis.
+func Analyze(f *ir.Func) *Result {
+	n := f.NumTemps()
+	res := &Result{
+		F:       f,
+		LiveIn:  make(map[*ir.Block]dataflow.BitVec, len(f.Blocks)),
+		LiveOut: make(map[*ir.Block]dataflow.BitVec, len(f.Blocks)),
+	}
+	use := make(map[*ir.Block]dataflow.BitVec, len(f.Blocks))
+	def := make(map[*ir.Block]dataflow.BitVec, len(f.Blocks))
+	var buf []*ir.Temp
+	for _, b := range f.Blocks {
+		u := dataflow.NewBitVec(n)
+		d := dataflow.NewBitVec(n)
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf[:0])
+			for _, t := range buf {
+				if !d.Get(t.ID) {
+					u.Set(t.ID)
+				}
+			}
+			if in.Dst != nil {
+				d.Set(in.Dst.ID)
+			}
+		}
+		use[b], def[b] = u, d
+		res.LiveIn[b] = dataflow.NewBitVec(n)
+		res.LiveOut[b] = dataflow.NewBitVec(n)
+	}
+	// Iterate to fixpoint over postorder (reverse RPO) for fast convergence.
+	rpo := f.RPO()
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := res.LiveOut[b]
+			for _, s := range b.Succs {
+				if out.Union(res.LiveIn[s]) {
+					changed = true
+				}
+			}
+			in := dataflow.NewBitVec(n)
+			in.Copy(out)
+			in.AndNot(def[b])
+			in.Union(use[b])
+			if !in.Equal(res.LiveIn[b]) {
+				res.LiveIn[b].Copy(in)
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// Range is the allocator's view of one temp.
+type Range struct {
+	Temp *ir.Temp
+	// Blocks the range touches (live-in, live-out, or referenced there).
+	Blocks map[*ir.Block]bool
+	// Weight is the frequency-weighted number of occurrences (defs + uses):
+	// the number of memory operations avoided per run if the temp gets a
+	// register instead of a stack home.
+	Weight float64
+	// Occurrences is the unweighted def+use count.
+	Occurrences int
+	// Calls lists the call sites whose execution the temp's value must
+	// survive (live immediately after the call, not counting the call's own
+	// result).
+	Calls []ir.CallSite
+	// EntryLive reports whether the range is live at function entry
+	// (parameters).
+	EntryLive bool
+}
+
+// Spans reports whether the range crosses any call.
+func (r *Range) Spans() bool { return len(r.Calls) > 0 }
+
+// Ranges builds the per-temp range summaries.
+func Ranges(f *ir.Func, res *Result) []*Range {
+	n := f.NumTemps()
+	ranges := make([]*Range, n)
+	temps := f.Temps()
+	for i, t := range temps {
+		ranges[i] = &Range{Temp: t, Blocks: map[*ir.Block]bool{}}
+	}
+	var buf []*ir.Temp
+	for _, b := range f.Blocks {
+		freq := b.Freq()
+		res.LiveIn[b].ForEach(func(i int) { ranges[i].Blocks[b] = true })
+		res.LiveOut[b].ForEach(func(i int) { ranges[i].Blocks[b] = true })
+		// Backward scan for live-across-call sets.
+		live := dataflow.NewBitVec(n)
+		live.Copy(res.LiveOut[b])
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			in := b.Instrs[ii]
+			if in.Op.IsCall() {
+				live.ForEach(func(i int) {
+					if in.Dst != nil && i == in.Dst.ID {
+						return
+					}
+					r := ranges[i]
+					r.Calls = append(r.Calls, ir.CallSite{Block: b, Index: ii, Instr: in})
+				})
+			}
+			if in.Dst != nil {
+				live.Clear(in.Dst.ID)
+				r := ranges[in.Dst.ID]
+				r.Blocks[b] = true
+				r.Weight += freq
+				r.Occurrences++
+			}
+			buf = in.Uses(buf[:0])
+			for _, t := range buf {
+				live.Set(t.ID)
+				r := ranges[t.ID]
+				r.Blocks[b] = true
+				r.Weight += freq
+				r.Occurrences++
+			}
+		}
+	}
+	if len(f.Blocks) > 0 {
+		entryIn := res.LiveIn[f.Entry()]
+		for i := range ranges {
+			if entryIn.Get(i) {
+				ranges[i].EntryLive = true
+			}
+		}
+	}
+	return ranges
+}
+
+// Interference is an adjacency structure over temp IDs.
+type Interference struct {
+	n   int
+	adj []dataflow.BitVec
+}
+
+// NewInterference creates an empty graph over n temps.
+func NewInterference(n int) *Interference {
+	g := &Interference{n: n, adj: make([]dataflow.BitVec, n)}
+	for i := range g.adj {
+		g.adj[i] = dataflow.NewBitVec(n)
+	}
+	return g
+}
+
+// AddEdge records that a and b interfere.
+func (g *Interference) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a].Set(b)
+	g.adj[b].Set(a)
+}
+
+// Interferes reports whether a and b interfere.
+func (g *Interference) Interferes(a, b int) bool { return g.adj[a].Get(b) }
+
+// Neighbors returns the adjacency set of a.
+func (g *Interference) Neighbors(a int) dataflow.BitVec { return g.adj[a] }
+
+// Degree returns the number of neighbors of a.
+func (g *Interference) Degree(a int) int { return g.adj[a].Count() }
+
+// BuildInterference computes a precise interference graph: a def interferes
+// with everything live after the defining instruction (Chaitin's rule, with
+// the copy refinement: for t := s the edge t–s is not added, enabling the
+// allocator to give both the same register).
+func BuildInterference(f *ir.Func, res *Result) *Interference {
+	n := f.NumTemps()
+	g := NewInterference(n)
+	var buf []*ir.Temp
+	for _, b := range f.Blocks {
+		live := dataflow.NewBitVec(n)
+		live.Copy(res.LiveOut[b])
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			in := b.Instrs[ii]
+			if in.Dst != nil {
+				copySrc := -1
+				if in.Op == ir.OpCopy && in.A.Temp != nil {
+					copySrc = in.A.Temp.ID
+				}
+				d := in.Dst.ID
+				live.ForEach(func(i int) {
+					if i != d && i != copySrc {
+						g.AddEdge(d, i)
+					}
+				})
+				live.Clear(d)
+			}
+			buf = in.Uses(buf[:0])
+			for _, t := range buf {
+				live.Set(t.ID)
+			}
+		}
+	}
+	// The calling convention "defines" all parameters at entry: parameters
+	// live into the body interfere with each other and with anything else
+	// live at entry.
+	if len(f.Blocks) > 0 {
+		entryIn := res.LiveIn[f.Entry()]
+		for _, p := range f.Params {
+			entryIn.ForEach(func(i int) {
+				if i != p.ID {
+					g.AddEdge(p.ID, i)
+				}
+			})
+		}
+		for i, p := range f.Params {
+			for _, q := range f.Params[i+1:] {
+				g.AddEdge(p.ID, q.ID)
+			}
+		}
+	}
+	return g
+}

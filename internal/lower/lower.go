@@ -1,0 +1,562 @@
+// Package lower translates checked CW programs into the three-address IR.
+//
+// Short-circuit boolean operators become control flow, conditions branch on
+// comparison results, and every function is closed with an implicit return
+// (returning 0 in value-returning functions, matching the interpreter).
+package lower
+
+import (
+	"fmt"
+
+	"chow88/internal/ast"
+	"chow88/internal/ir"
+	"chow88/internal/sema"
+	"chow88/internal/token"
+)
+
+// Build lowers the whole program.
+func Build(info *sema.Info) (*ir.Module, error) {
+	m := ir.NewModule()
+	b := &builder{info: info, mod: m, globals: map[*sema.VarSym]*ir.Global{}}
+
+	for _, g := range info.Globals {
+		ig := &ir.Global{Name: g.Name, Size: 1}
+		if g.Type.Kind == ast.ArrayType {
+			ig.Size = g.Type.ArrLen
+			ig.IsArray = true
+		}
+		m.Globals = append(m.Globals, ig)
+		b.globals[g] = ig
+	}
+	// Create all functions first so calls can reference them.
+	for _, d := range info.Program.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		f := ir.NewFunc(fd.Name)
+		f.Returns = fd.Returns
+		f.Extern = fd.Extern
+		f.AddressTaken = info.AddressTaken[fd.Name]
+		for _, p := range fd.Params {
+			f.Params = append(f.Params, f.NewTemp(p.Name, true))
+		}
+		m.AddFunc(f)
+	}
+	for _, d := range info.Program.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Extern {
+			continue
+		}
+		if err := b.buildFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	m.Layout()
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("lower: verifier: %w", err)
+	}
+	return m, nil
+}
+
+type builder struct {
+	info    *sema.Info
+	mod     *ir.Module
+	globals map[*sema.VarSym]*ir.Global
+
+	// Per-function state.
+	fn     *ir.Func
+	cur    *ir.Block
+	temps  map[*sema.VarSym]*ir.Temp
+	arrays map[*sema.VarSym]*ir.LocalArray
+	// break/continue targets, innermost last.
+	breaks    []*ir.Block
+	continues []*ir.Block
+}
+
+func (b *builder) emit(in *ir.Instr) { b.cur.Instrs = append(b.cur.Instrs, in) }
+
+func (b *builder) startBlock(blk *ir.Block) { b.cur = blk }
+
+// terminated reports whether the current block already ended.
+func (b *builder) terminated() bool {
+	return len(b.cur.Instrs) > 0 && b.cur.Instrs[len(b.cur.Instrs)-1].Op.IsTerminator()
+}
+
+func (b *builder) jump(to *ir.Block) {
+	if !b.terminated() {
+		b.emit(&ir.Instr{Op: ir.OpJmp, Target: to})
+	}
+}
+
+func (b *builder) buildFunc(fd *ast.FuncDecl) error {
+	f := b.mod.Lookup(fd.Name)
+	fi := b.info.Funcs[fd.Name]
+	b.fn = f
+	b.temps = map[*sema.VarSym]*ir.Temp{}
+	b.arrays = map[*sema.VarSym]*ir.LocalArray{}
+	b.breaks, b.continues = nil, nil
+
+	for i, p := range fi.Params {
+		b.temps[p] = f.Params[i]
+	}
+	for _, l := range fi.Locals {
+		if l.ParamIndex >= 0 {
+			continue
+		}
+		if l.Type.Kind == ast.ArrayType {
+			arr := &ir.LocalArray{Name: fmt.Sprintf("%s.%d", l.Name, l.ID), Size: l.Type.ArrLen}
+			f.LocalArrays = append(f.LocalArrays, arr)
+			b.arrays[l] = arr
+		} else {
+			b.temps[l] = f.NewTemp(fmt.Sprintf("%s.%d", l.Name, l.ID), true)
+		}
+	}
+
+	entry := f.NewBlock()
+	b.startBlock(entry)
+	// Zero-initialize non-parameter scalar locals: CW semantics say
+	// variables start at zero, and the VM reuses stack memory and registers.
+	for _, l := range fi.Locals {
+		if l.ParamIndex >= 0 || l.Type.Kind == ast.ArrayType {
+			continue
+		}
+		b.emit(&ir.Instr{Op: ir.OpConst, Dst: b.temps[l], Imm: 0})
+	}
+	for _, arr := range f.LocalArrays {
+		b.zeroArray(ir.ArrayRef{Local: arr})
+	}
+
+	if err := b.stmtBlock(fd.Body); err != nil {
+		return err
+	}
+	if !b.terminated() {
+		b.emitImplicitReturn()
+	}
+	// Any block left unterminated (e.g. created after a return) gets an
+	// implicit return too, then unreachable ones are pruned.
+	for _, blk := range f.Blocks {
+		if t := blk.Terminator(); t == nil {
+			b.cur = blk
+			b.emitImplicitReturn()
+		}
+	}
+	f.ComputeCFG()
+	f.RemoveUnreachable()
+	return nil
+}
+
+func (b *builder) emitImplicitReturn() {
+	if b.fn.Returns {
+		op := ir.ConstOp(0)
+		b.emit(ir.NewRet(&op))
+	} else {
+		b.emit(ir.NewRet(nil))
+	}
+}
+
+// zeroArray emits a compact loop clearing the array (arrays also start
+// zeroed). Unrolled for tiny arrays.
+func (b *builder) zeroArray(arr ir.ArrayRef) {
+	n := arr.Len()
+	if n <= 4 {
+		for i := 0; i < n; i++ {
+			b.emit(&ir.Instr{Op: ir.OpStoreIdx, Arr: arr, A: ir.ConstOp(int64(i)), B: ir.ConstOp(0)})
+		}
+		return
+	}
+	idx := b.fn.NewTemp("", false)
+	b.emit(&ir.Instr{Op: ir.OpConst, Dst: idx, Imm: 0})
+	head := b.fn.NewBlock()
+	body := b.fn.NewBlock()
+	done := b.fn.NewBlock()
+	b.jump(head)
+	b.startBlock(head)
+	cond := b.fn.NewTemp("", false)
+	b.emit(&ir.Instr{Op: ir.OpCmpLt, Dst: cond, A: ir.TempOp(idx), B: ir.ConstOp(int64(n))})
+	b.emit(&ir.Instr{Op: ir.OpBr, A: ir.TempOp(cond), Target: body, Else: done})
+	b.startBlock(body)
+	b.emit(&ir.Instr{Op: ir.OpStoreIdx, Arr: arr, A: ir.TempOp(idx), B: ir.ConstOp(0)})
+	b.emit(&ir.Instr{Op: ir.OpAdd, Dst: idx, A: ir.TempOp(idx), B: ir.ConstOp(1)})
+	b.jump(head)
+	b.startBlock(done)
+}
+
+func (b *builder) stmtBlock(blk *ast.Block) error {
+	for _, s := range blk.Stmts {
+		if err := b.stmt(s); err != nil {
+			return err
+		}
+		if b.terminated() {
+			// Statements after return/break/continue are unreachable;
+			// lower them into a fresh block that pruning will remove.
+			b.startBlock(b.fn.NewBlock())
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		return nil // handled in buildFunc
+	case *ast.Block:
+		return b.stmtBlock(s)
+	case *ast.AssignStmt:
+		return b.assign(s)
+	case *ast.IfStmt:
+		return b.ifStmt(s)
+	case *ast.WhileStmt:
+		return b.whileStmt(s)
+	case *ast.ForStmt:
+		return b.forStmt(s)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			v, err := b.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			b.emit(ir.NewRet(&v))
+			return nil
+		}
+		b.emit(ir.NewRet(nil))
+		return nil
+	case *ast.BreakStmt:
+		b.jump(b.breaks[len(b.breaks)-1])
+		return nil
+	case *ast.ContinueStmt:
+		b.jump(b.continues[len(b.continues)-1])
+		return nil
+	case *ast.ExprStmt:
+		_, err := b.call(s.X.(*ast.CallExpr), false)
+		return err
+	}
+	return fmt.Errorf("lower: unhandled statement %T", s)
+}
+
+func (b *builder) assign(s *ast.AssignStmt) error {
+	switch lhs := s.Lhs.(type) {
+	case *ast.Ident:
+		sym := b.info.Uses[lhs]
+		v, err := b.expr(s.Rhs)
+		if err != nil {
+			return err
+		}
+		if sym.Global {
+			b.emit(&ir.Instr{Op: ir.OpStoreG, Global: b.globals[sym], A: v})
+			return nil
+		}
+		dst := b.temps[sym]
+		b.emitAssign(dst, v)
+		return nil
+	case *ast.IndexExpr:
+		// CW evaluates the right-hand side before the index expression
+		// (matching the reference interpreter).
+		arr := b.arrayRef(lhs.Arr)
+		v, err := b.expr(s.Rhs)
+		if err != nil {
+			return err
+		}
+		idx, err := b.expr(lhs.Index)
+		if err != nil {
+			return err
+		}
+		b.emit(&ir.Instr{Op: ir.OpStoreIdx, Arr: arr, A: idx, B: v})
+		return nil
+	}
+	return fmt.Errorf("lower: bad assignment target %T", s.Lhs)
+}
+
+func (b *builder) emitAssign(dst *ir.Temp, v ir.Operand) {
+	if v.IsConst() {
+		b.emit(&ir.Instr{Op: ir.OpConst, Dst: dst, Imm: v.Const})
+		return
+	}
+	if v.Temp == dst {
+		return
+	}
+	b.emit(&ir.Instr{Op: ir.OpCopy, Dst: dst, A: v})
+}
+
+func (b *builder) arrayRef(id *ast.Ident) ir.ArrayRef {
+	sym := b.info.Uses[id]
+	if sym.Global {
+		return ir.ArrayRef{Global: b.globals[sym]}
+	}
+	return ir.ArrayRef{Local: b.arrays[sym]}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) error {
+	thenBlk := b.fn.NewBlock()
+	doneBlk := b.fn.NewBlock()
+	elseBlk := doneBlk
+	if s.Else != nil {
+		elseBlk = b.fn.NewBlock()
+	}
+	if err := b.cond(s.Cond, thenBlk, elseBlk); err != nil {
+		return err
+	}
+	b.startBlock(thenBlk)
+	if err := b.stmtBlock(s.Then); err != nil {
+		return err
+	}
+	b.jump(doneBlk)
+	if s.Else != nil {
+		b.startBlock(elseBlk)
+		if err := b.stmt(s.Else); err != nil {
+			return err
+		}
+		b.jump(doneBlk)
+	}
+	b.startBlock(doneBlk)
+	return nil
+}
+
+func (b *builder) whileStmt(s *ast.WhileStmt) error {
+	head := b.fn.NewBlock()
+	body := b.fn.NewBlock()
+	done := b.fn.NewBlock()
+	b.jump(head)
+	b.startBlock(head)
+	if err := b.cond(s.Cond, body, done); err != nil {
+		return err
+	}
+	b.breaks = append(b.breaks, done)
+	b.continues = append(b.continues, head)
+	b.startBlock(body)
+	err := b.stmtBlock(s.Body)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if err != nil {
+		return err
+	}
+	b.jump(head)
+	b.startBlock(done)
+	return nil
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) error {
+	if s.Init != nil {
+		if err := b.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	head := b.fn.NewBlock()
+	body := b.fn.NewBlock()
+	post := b.fn.NewBlock()
+	done := b.fn.NewBlock()
+	b.jump(head)
+	b.startBlock(head)
+	if s.Cond != nil {
+		if err := b.cond(s.Cond, body, done); err != nil {
+			return err
+		}
+	} else {
+		b.jump(body)
+	}
+	b.breaks = append(b.breaks, done)
+	b.continues = append(b.continues, post)
+	b.startBlock(body)
+	err := b.stmtBlock(s.Body)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if err != nil {
+		return err
+	}
+	b.jump(post)
+	b.startBlock(post)
+	if s.Post != nil {
+		if err := b.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	b.jump(head)
+	b.startBlock(done)
+	return nil
+}
+
+// cond lowers e as a branch condition: control transfers to t when e is
+// nonzero and to f otherwise. Short-circuit operators become CFG edges.
+func (b *builder) cond(e ast.Expr, t, f *ir.Block) error {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AndAnd:
+			mid := b.fn.NewBlock()
+			if err := b.cond(e.X, mid, f); err != nil {
+				return err
+			}
+			b.startBlock(mid)
+			return b.cond(e.Y, t, f)
+		case token.OrOr:
+			mid := b.fn.NewBlock()
+			if err := b.cond(e.X, t, mid); err != nil {
+				return err
+			}
+			b.startBlock(mid)
+			return b.cond(e.Y, t, f)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.Not {
+			return b.cond(e.X, f, t)
+		}
+	}
+	v, err := b.expr(e)
+	if err != nil {
+		return err
+	}
+	if v.IsConst() {
+		if v.Const != 0 {
+			b.jump(t)
+		} else {
+			b.jump(f)
+		}
+		return nil
+	}
+	b.emit(&ir.Instr{Op: ir.OpBr, A: v, Target: t, Else: f})
+	return nil
+}
+
+var binOps = map[token.Kind]ir.Op{
+	token.Plus:    ir.OpAdd,
+	token.Minus:   ir.OpSub,
+	token.Star:    ir.OpMul,
+	token.Slash:   ir.OpDiv,
+	token.Percent: ir.OpRem,
+	token.Eq:      ir.OpCmpEq,
+	token.Neq:     ir.OpCmpNe,
+	token.Lt:      ir.OpCmpLt,
+	token.Leq:     ir.OpCmpLe,
+	token.Gt:      ir.OpCmpGt,
+	token.Geq:     ir.OpCmpGe,
+}
+
+// expr lowers e for its value.
+func (b *builder) expr(e ast.Expr) (ir.Operand, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.ConstOp(e.Value), nil
+	case *ast.Ident:
+		if sym, ok := b.info.Uses[e]; ok {
+			if sym.Global {
+				dst := b.fn.NewTemp("", false)
+				b.emit(&ir.Instr{Op: ir.OpLoadG, Dst: dst, Global: b.globals[sym]})
+				return ir.TempOp(dst), nil
+			}
+			return ir.TempOp(b.temps[sym]), nil
+		}
+		// Function name used as a value.
+		fd := b.info.FuncRefs[e]
+		dst := b.fn.NewTemp("", false)
+		b.emit(&ir.Instr{Op: ir.OpFuncAddr, Dst: dst, Callee: b.mod.Lookup(fd.Name)})
+		return ir.TempOp(dst), nil
+	case *ast.IndexExpr:
+		arr := b.arrayRef(e.Arr)
+		idx, err := b.expr(e.Index)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		dst := b.fn.NewTemp("", false)
+		b.emit(&ir.Instr{Op: ir.OpLoadIdx, Dst: dst, Arr: arr, A: idx})
+		return ir.TempOp(dst), nil
+	case *ast.CallExpr:
+		return b.call(e, true)
+	case *ast.UnaryExpr:
+		if e.Op == token.Minus {
+			v, err := b.expr(e.X)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			dst := b.fn.NewTemp("", false)
+			b.emit(&ir.Instr{Op: ir.OpNeg, Dst: dst, A: v})
+			return ir.TempOp(dst), nil
+		}
+		v, err := b.expr(e.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		dst := b.fn.NewTemp("", false)
+		b.emit(&ir.Instr{Op: ir.OpNot, Dst: dst, A: v})
+		return ir.TempOp(dst), nil
+	case *ast.BinaryExpr:
+		if e.Op == token.AndAnd || e.Op == token.OrOr {
+			return b.boolValue(e)
+		}
+		x, err := b.expr(e.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		y, err := b.expr(e.Y)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		dst := b.fn.NewTemp("", false)
+		b.emit(&ir.Instr{Op: binOps[e.Op], Dst: dst, A: x, B: y})
+		return ir.TempOp(dst), nil
+	}
+	return ir.Operand{}, fmt.Errorf("lower: unhandled expression %T", e)
+}
+
+// boolValue materializes a short-circuit expression as a 0/1 temp.
+func (b *builder) boolValue(e ast.Expr) (ir.Operand, error) {
+	dst := b.fn.NewTemp("", false)
+	tBlk := b.fn.NewBlock()
+	fBlk := b.fn.NewBlock()
+	done := b.fn.NewBlock()
+	if err := b.cond(e, tBlk, fBlk); err != nil {
+		return ir.Operand{}, err
+	}
+	b.startBlock(tBlk)
+	b.emit(&ir.Instr{Op: ir.OpConst, Dst: dst, Imm: 1})
+	b.jump(done)
+	b.startBlock(fBlk)
+	b.emit(&ir.Instr{Op: ir.OpConst, Dst: dst, Imm: 0})
+	b.jump(done)
+	b.startBlock(done)
+	return ir.TempOp(dst), nil
+}
+
+// call lowers a call; wantValue selects whether a result temp is created.
+func (b *builder) call(e *ast.CallExpr, wantValue bool) (ir.Operand, error) {
+	// Builtin print.
+	if _, isVar := b.info.Uses[e.Fun]; !isVar {
+		if _, isFunc := b.info.FuncRefs[e.Fun]; !isFunc && e.Fun.Name == "print" {
+			v, err := b.expr(e.Args[0])
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			b.emit(&ir.Instr{Op: ir.OpPrint, A: v})
+			return ir.ConstOp(0), nil
+		}
+	}
+	args := make([]ir.Operand, len(e.Args))
+	for i, a := range e.Args {
+		v, err := b.expr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		args[i] = v
+	}
+	var dst *ir.Temp
+	if wantValue {
+		dst = b.fn.NewTemp("", false)
+	}
+	if fd, ok := b.info.FuncRefs[e.Fun]; ok {
+		b.emit(&ir.Instr{Op: ir.OpCall, Dst: dst, Callee: b.mod.Lookup(fd.Name), Args: args})
+	} else {
+		sym := b.info.Uses[e.Fun]
+		var fv ir.Operand
+		if sym.Global {
+			t := b.fn.NewTemp("", false)
+			b.emit(&ir.Instr{Op: ir.OpLoadG, Dst: t, Global: b.globals[sym]})
+			fv = ir.TempOp(t)
+		} else {
+			fv = ir.TempOp(b.temps[sym])
+		}
+		b.emit(&ir.Instr{Op: ir.OpCallInd, Dst: dst, A: fv, Args: args})
+	}
+	if dst != nil {
+		return ir.TempOp(dst), nil
+	}
+	return ir.ConstOp(0), nil
+}

@@ -1,0 +1,198 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/ir"
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m, err := Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestSimpleFunction(t *testing.T) {
+	m := build(t, `func add(x int, y int) int { return x + y; } func main() { print(add(1, 2)); }`)
+	f := m.Lookup("add")
+	if f == nil || len(f.Params) != 2 || !f.Returns {
+		t.Fatalf("bad func: %+v", f)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	s := ir.FuncString(f)
+	if !strings.Contains(s, "add") {
+		t.Errorf("missing add instruction:\n%s", s)
+	}
+}
+
+func TestControlFlowShape(t *testing.T) {
+	m := build(t, `
+func f(n int) int {
+    var s int;
+    while (n > 0) {
+        s = s + n;
+        n = n - 1;
+    }
+    return s;
+}
+func main() { print(f(3)); }`)
+	f := m.Lookup("f")
+	// Expect a loop: some block has a back edge (successor with smaller RPO index).
+	rpo := f.RPO()
+	idx := map[*ir.Block]int{}
+	for i, b := range rpo {
+		idx[b] = i
+	}
+	back := false
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if idx[s] <= idx[b] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("no back edge in loop:\n%s", ir.FuncString(f))
+	}
+}
+
+func TestShortCircuitBecomesCFG(t *testing.T) {
+	m := build(t, `
+func f(a int, b int) int {
+    if (a > 0 && b > 0) { return 1; }
+    return 0;
+}
+func main() { print(f(1, 2)); }`)
+	f := m.Lookup("f")
+	// && must lower to branches: there should be at least 2 conditional branches.
+	brs := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBr {
+				brs++
+			}
+		}
+	}
+	if brs < 2 {
+		t.Errorf("want >= 2 br instructions for &&, got %d:\n%s", brs, ir.FuncString(f))
+	}
+}
+
+func TestDeadCodeAfterReturnPruned(t *testing.T) {
+	m := build(t, `
+func f() int {
+    return 1;
+    return 2;
+}
+func main() { print(f()); }`)
+	f := m.Lookup("f")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpRet && in.A.IsConst() && in.A.Const == 2 {
+				t.Errorf("unreachable return survived:\n%s", ir.FuncString(f))
+			}
+		}
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	m := build(t, `
+var a int;
+var arr [10]int;
+var b int;
+func main() {}`)
+	if len(m.Globals) != 3 {
+		t.Fatalf("globals = %d", len(m.Globals))
+	}
+	a, arr, b := m.Globals[0], m.Globals[1], m.Globals[2]
+	if a.Addr != ir.DataBase || arr.Addr != ir.DataBase+1 || b.Addr != ir.DataBase+11 {
+		t.Errorf("layout: a=%d arr=%d b=%d", a.Addr, arr.Addr, b.Addr)
+	}
+	if m.DataSize() != ir.DataBase+12 {
+		t.Errorf("data size = %d", m.DataSize())
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := build(t, `
+var f func(int) int;
+func sq(x int) int { return x * x; }
+func main() { f = sq; print(f(4)); }`)
+	main := m.Lookup("main")
+	var haveFuncAddr, haveCallInd bool
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFuncAddr {
+				haveFuncAddr = true
+			}
+			if in.Op == ir.OpCallInd {
+				haveCallInd = true
+			}
+		}
+	}
+	if !haveFuncAddr || !haveCallInd {
+		t.Errorf("funcaddr=%v callind=%v:\n%s", haveFuncAddr, haveCallInd, ir.FuncString(main))
+	}
+	if !m.Lookup("sq").AddressTaken {
+		t.Errorf("sq not marked address-taken")
+	}
+}
+
+func TestLocalArrayZeroed(t *testing.T) {
+	m := build(t, `
+func f() int {
+    var a [100]int;
+    return a[7];
+}
+func main() { print(f()); }`)
+	f := m.Lookup("f")
+	if len(f.LocalArrays) != 1 || f.LocalArrays[0].Size != 100 {
+		t.Fatalf("local arrays: %+v", f.LocalArrays)
+	}
+	// Zeroing a large array should be a loop, not 100 stores.
+	stores := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStoreIdx {
+				stores++
+			}
+		}
+	}
+	if stores > 5 {
+		t.Errorf("array zeroing unrolled too far: %d stores", stores)
+	}
+}
+
+func TestFuncIndexes(t *testing.T) {
+	m := build(t, `func a() {} func b() {} func main() {}`)
+	if m.FuncIndex(m.Lookup("a")) != 1 || m.FuncIndex(m.Lookup("b")) != 2 || m.FuncIndex(m.Lookup("main")) != 3 {
+		t.Errorf("bad func indexes")
+	}
+}
+
+func TestVoidAndValueReturns(t *testing.T) {
+	m := build(t, `
+func v() { return; }
+func w() {}
+func x() int { if (1) { return 5; } }
+func main() { v(); w(); print(x()); }`)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package mach models the target machine: a MIPS R2000-like register file
+// and the software register-usage conventions the paper's techniques
+// manipulate. The measured configuration matches the paper's: 20 general
+// registers available to the allocator (11 caller-saved + 9 callee-saved)
+// plus 4 parameter registers that behave as caller-saved when not carrying
+// parameters. Restricted configurations reproduce Table 2's columns D/E.
+package mach
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Reg is a machine register number (0..31).
+type Reg uint8
+
+// MIPS-style register assignments.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary (code generator scratch)
+	V0   Reg = 2 // function result
+	V1   Reg = 3 // second result; allocatable caller-saved
+	A0   Reg = 4 // parameter registers
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // code generator scratch (kernel regs on real MIPS)
+	K1   Reg = 27
+	GP   Reg = 28
+	SP   Reg = 29
+	S8   Reg = 30 // ninth callee-saved (frame pointer on real MIPS; unused here)
+	RA   Reg = 31 // return address
+)
+
+// NumRegs is the register-file size.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "s8", "ra",
+}
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	if int(r) < NumRegs {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$r%d", int(r))
+}
+
+// RegSet is a bit set of registers.
+type RegSet uint32
+
+// Set ops.
+func (s RegSet) Has(r Reg) bool        { return s&(1<<r) != 0 }
+func (s RegSet) Add(r Reg) RegSet      { return s | 1<<r }
+func (s RegSet) Remove(r Reg) RegSet   { return s &^ (1 << r) }
+func (s RegSet) Union(o RegSet) RegSet { return s | o }
+func (s RegSet) Minus(o RegSet) RegSet { return s &^ o }
+func (s RegSet) Count() int            { return bits.OnesCount32(uint32(s)) }
+func (s RegSet) Empty() bool           { return s == 0 }
+
+// ForEach visits the registers in ascending order.
+func (s RegSet) ForEach(fn func(Reg)) {
+	for v := uint32(s); v != 0; v &= v - 1 {
+		fn(Reg(bits.TrailingZeros32(v)))
+	}
+}
+
+// Regs returns the members in ascending order.
+func (s RegSet) Regs() []Reg {
+	out := make([]Reg, 0, s.Count())
+	s.ForEach(func(r Reg) { out = append(out, r) })
+	return out
+}
+
+// String renders the set, e.g. "{$t0, $s1}".
+func (s RegSet) String() string {
+	var parts []string
+	s.ForEach(func(r Reg) { parts = append(parts, r.String()) })
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SetOf builds a set from registers.
+func SetOf(rs ...Reg) RegSet {
+	var s RegSet
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// Config describes which registers the allocator may use and under which
+// convention each operates.
+type Config struct {
+	Name string
+	// CallerSaved registers are clobbered by calls under the default
+	// linkage; using one across a call costs a save/restore pair around the
+	// call.
+	CallerSaved RegSet
+	// CalleeSaved registers are preserved by calls under the default
+	// linkage; a procedure that uses one must save/restore it (at
+	// entry/exit, or shrink-wrapped).
+	CalleeSaved RegSet
+	// Params are the registers of the default parameter-passing convention,
+	// in parameter order. They behave as caller-saved when idle.
+	Params []Reg
+}
+
+// Allocatable returns every register the allocator may assign.
+func (c *Config) Allocatable() RegSet { return c.CallerSaved.Union(c.CalleeSaved) }
+
+// ParamSet returns Params as a set.
+func (c *Config) ParamSet() RegSet { return SetOf(c.Params...) }
+
+// IsCalleeSaved reports whether r preserves its value across calls under
+// the default linkage.
+func (c *Config) IsCalleeSaved(r Reg) bool { return c.CalleeSaved.Has(r) }
+
+// Default returns the paper's measured configuration: 11 caller-saved
+// ($v1, $t0–$t9), 9 callee-saved ($s0–$s8), and 4 parameter registers
+// ($a0–$a3) usable as caller-saved when idle.
+func Default() *Config {
+	return &Config{
+		Name: "full",
+		CallerSaved: SetOf(V1, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9,
+			A0, A1, A2, A3),
+		CalleeSaved: SetOf(S0, S1, S2, S3, S4, S5, S6, S7, S8),
+		Params:      []Reg{A0, A1, A2, A3},
+	}
+}
+
+// CallerOnly7 restricts the allocator to 7 caller-saved registers
+// (Table 2, column D). Parameters still travel in $a0–$a3, but those
+// registers are not allocation candidates.
+func CallerOnly7() *Config {
+	return &Config{
+		Name:        "caller7",
+		CallerSaved: SetOf(T0, T1, T2, T3, T4, T5, T6),
+		Params:      []Reg{A0, A1, A2, A3},
+	}
+}
+
+// CalleeOnly7 restricts the allocator to 7 callee-saved registers
+// (Table 2, column E).
+func CalleeOnly7() *Config {
+	return &Config{
+		Name:        "callee7",
+		CalleeSaved: SetOf(S0, S1, S2, S3, S4, S5, S6),
+		Params:      []Reg{A0, A1, A2, A3},
+	}
+}

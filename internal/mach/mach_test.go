@@ -1,0 +1,110 @@
+package mach
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		Zero: "$zero", V0: "$v0", A0: "$a0", T0: "$t0",
+		S0: "$s0", SP: "$sp", RA: "$ra", K0: "$k0", S8: "$s8",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d = %s, want %s", int(r), r, want)
+		}
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	s := SetOf(T0, S1, A2)
+	if !s.Has(T0) || !s.Has(S1) || !s.Has(A2) || s.Has(T1) {
+		t.Fatal("membership broken")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s = s.Remove(S1)
+	if s.Has(S1) || s.Count() != 2 {
+		t.Fatal("remove broken")
+	}
+	u := s.Union(SetOf(S1, S2))
+	if u.Count() != 4 {
+		t.Fatalf("union count = %d", u.Count())
+	}
+	m := u.Minus(SetOf(T0, A2))
+	if m.Count() != 2 || !m.Has(S1) || !m.Has(S2) {
+		t.Fatalf("minus = %s", m)
+	}
+	if !RegSet(0).Empty() || u.Empty() {
+		t.Fatal("empty broken")
+	}
+	regs := SetOf(T1, T0).Regs()
+	if len(regs) != 2 || regs[0] != T0 || regs[1] != T1 {
+		t.Fatalf("regs = %v (want ascending)", regs)
+	}
+	if got := SetOf(T0, S1).String(); got != "{$t0, $s1}" {
+		t.Fatalf("string = %s", got)
+	}
+}
+
+func TestRegSetProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := RegSet(a), RegSet(b)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if x.Union(y).Minus(y).Count() > x.Count() {
+			return false
+		}
+		n := 0
+		x.ForEach(func(Reg) { n++ })
+		return n == x.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := Default()
+	// 11 caller-saved beyond the parameter registers, 9 callee-saved, 4
+	// parameter registers — the R2000 set the paper measures.
+	if n := cfg.CallerSaved.Minus(cfg.ParamSet()).Count(); n != 11 {
+		t.Errorf("caller-saved (excl params) = %d, want 11", n)
+	}
+	if n := cfg.CalleeSaved.Count(); n != 9 {
+		t.Errorf("callee-saved = %d, want 9", n)
+	}
+	if len(cfg.Params) != 4 {
+		t.Errorf("params = %d, want 4", len(cfg.Params))
+	}
+	if n := cfg.Allocatable().Count(); n != 24 {
+		t.Errorf("allocatable = %d, want 24 (20 + 4 param)", n)
+	}
+	// Reserved registers must never be allocatable.
+	for _, r := range []Reg{Zero, AT, V0, K0, K1, GP, SP, RA} {
+		if cfg.Allocatable().Has(r) {
+			t.Errorf("%s must not be allocatable", r)
+		}
+	}
+	if !cfg.IsCalleeSaved(S0) || cfg.IsCalleeSaved(T0) {
+		t.Error("class test broken")
+	}
+}
+
+func TestRestrictedConfigs(t *testing.T) {
+	d := CallerOnly7()
+	if d.CallerSaved.Count() != 7 || d.CalleeSaved.Count() != 0 {
+		t.Errorf("caller7: %s / %s", d.CallerSaved, d.CalleeSaved)
+	}
+	e := CalleeOnly7()
+	if e.CalleeSaved.Count() != 7 || e.CallerSaved.Count() != 0 {
+		t.Errorf("callee7: %s / %s", e.CallerSaved, e.CalleeSaved)
+	}
+	// Parameter registers remain available for the linkage in both.
+	if len(d.Params) != 4 || len(e.Params) != 4 {
+		t.Error("restricted configs must keep the parameter convention")
+	}
+}

@@ -1,0 +1,189 @@
+// Package mcode defines the target machine code: a MIPS R2000-flavoured,
+// word-addressed load/store instruction set. Every load and store carries a
+// classification so the tracer (internal/pixie) can reproduce the paper's
+// "scalar loads/stores" metric — memory traffic attributable to scalar
+// variables, compiler temporaries and register saves/restores, which perfect
+// register allocation could remove.
+package mcode
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/mach"
+)
+
+// OpCode enumerates machine operations.
+type OpCode int
+
+// Machine operations.
+const (
+	LI   OpCode = iota // Rd = Imm
+	MOVE               // Rd = Rs
+	ADD                // Rd = Rs + Rt/Imm
+	SUB
+	MUL // 12 cycles, as on the R2000
+	DIV // 35 cycles; traps on zero divisor
+	REM // 35 cycles; traps on zero divisor
+	SLT // Rd = Rs < Rt/Imm
+	SLE
+	SEQ
+	SNE
+	LW    // Rd = mem[Rs + Imm]; Class tags the access
+	SW    // mem[Rs + Imm] = Rt; Class tags the access
+	BEQZ  // if Rs == 0 goto Target
+	BNEZ  // if Rs != 0 goto Target
+	J     // goto Target
+	JAL   // RA = pc+1; goto Target (entry of FuncIdx)
+	JALR  // RA = pc+1; goto entry of function value in Rs
+	JR    // goto Rs (return through RA)
+	PRINT // emit Rs to the output stream
+	EXIT  // halt
+)
+
+var opNames = [...]string{
+	LI: "li", MOVE: "move", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div",
+	REM: "rem", SLT: "slt", SLE: "sle", SEQ: "seq", SNE: "sne",
+	LW: "lw", SW: "sw", BEQZ: "beqz", BNEZ: "bnez", J: "j", JAL: "jal",
+	JALR: "jalr", JR: "jr", PRINT: "print", EXIT: "exit",
+}
+
+func (o OpCode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// MemClass classifies a memory access for the tracer.
+type MemClass int
+
+// Memory access classes. Scalar, Spill and SaveRestore together form the
+// paper's "scalar loads/stores"; Aggregate accesses (array elements) are not
+// removable by register allocation and are excluded.
+const (
+	ClassNone        MemClass = iota
+	ClassScalar               // named scalar variables (globals, memory-resident locals, parameters passed through memory)
+	ClassSpill                // compiler temporaries without registers
+	ClassSaveRestore          // register save/restore traffic (callee-saved, caller-saved around calls, RA)
+	ClassAggregate            // array elements
+)
+
+var classNames = [...]string{
+	ClassNone: "-", ClassScalar: "scalar", ClassSpill: "spill",
+	ClassSaveRestore: "saverestore", ClassAggregate: "aggregate",
+}
+
+func (c MemClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class%d", int(c))
+}
+
+// IsScalarTraffic reports whether the class counts toward the paper's
+// scalar loads/stores metric.
+func (c MemClass) IsScalarTraffic() bool {
+	return c == ClassScalar || c == ClassSpill || c == ClassSaveRestore
+}
+
+// Instr is one machine instruction.
+type Instr struct {
+	Op     OpCode
+	Rd     mach.Reg
+	Rs     mach.Reg
+	Rt     mach.Reg
+	HasImm bool  // Rt replaced by Imm in ALU forms
+	Imm    int64 // immediate / address offset
+	Target int   // absolute code index for branches, jumps and JAL
+	Class  MemClass
+}
+
+// String disassembles the instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case LI:
+		return fmt.Sprintf("li %s, %d", in.Rd, in.Imm)
+	case MOVE:
+		return fmt.Sprintf("move %s, %s", in.Rd, in.Rs)
+	case ADD, SUB, MUL, DIV, REM, SLT, SLE, SEQ, SNE:
+		if in.HasImm {
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case LW:
+		return fmt.Sprintf("lw %s, %d(%s)  ; %s", in.Rd, in.Imm, in.Rs, in.Class)
+	case SW:
+		return fmt.Sprintf("sw %s, %d(%s)  ; %s", in.Rt, in.Imm, in.Rs, in.Class)
+	case BEQZ:
+		return fmt.Sprintf("beqz %s, @%d", in.Rs, in.Target)
+	case BNEZ:
+		return fmt.Sprintf("bnez %s, @%d", in.Rs, in.Target)
+	case J:
+		return fmt.Sprintf("j @%d", in.Target)
+	case JAL:
+		return fmt.Sprintf("jal @%d", in.Target)
+	case JALR:
+		return fmt.Sprintf("jalr %s", in.Rs)
+	case JR:
+		return fmt.Sprintf("jr %s", in.Rs)
+	case PRINT:
+		return fmt.Sprintf("print %s", in.Rs)
+	case EXIT:
+		return "exit"
+	}
+	return fmt.Sprintf("?%d", int(in.Op))
+}
+
+// BlockSpan maps an IR basic block to its first instruction in the image,
+// letting an execution profile be folded back onto the IR (the paper's
+// planned profile-feedback capability).
+type BlockSpan struct {
+	BlockID int // ir.Block.ID within the function
+	Start   int // absolute code index of the block's first instruction
+}
+
+// FuncInfo records where a function landed in the code image.
+type FuncInfo struct {
+	Name      string
+	Entry     int // code index of the first instruction
+	End       int // code index one past the last instruction
+	FrameSize int // words
+	Extern    bool
+	// Blocks lists the function's basic blocks in layout order.
+	Blocks []BlockSpan
+}
+
+// Program is a fully linked executable image.
+type Program struct {
+	Code []Instr
+	// Funcs is indexed by the module's function order; function value v
+	// (1-based) refers to Funcs[v-1].
+	Funcs []*FuncInfo
+	// DataSize is the size in words of the static data segment.
+	DataSize int
+}
+
+// FuncAt returns the function containing code index pc, if any.
+func (p *Program) FuncAt(pc int) *FuncInfo {
+	for _, f := range p.Funcs {
+		if pc >= f.Entry && pc < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Code {
+		for _, f := range p.Funcs {
+			if f.Entry == i && !f.Extern {
+				fmt.Fprintf(&b, "%s:  ; frame %d words\n", f.Name, f.FrameSize)
+			}
+		}
+		fmt.Fprintf(&b, "  %4d: %s\n", i, in.String())
+	}
+	return b.String()
+}

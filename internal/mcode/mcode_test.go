@@ -1,0 +1,73 @@
+package mcode
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/mach"
+)
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LI, Rd: mach.T0, Imm: 42}, "li $t0, 42"},
+		{Instr{Op: MOVE, Rd: mach.A0, Rs: mach.V0}, "move $a0, $v0"},
+		{Instr{Op: ADD, Rd: mach.T0, Rs: mach.T1, Rt: mach.T2}, "add $t0, $t1, $t2"},
+		{Instr{Op: ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: -4}, "add $sp, $sp, -4"},
+		{Instr{Op: LW, Rd: mach.T0, Rs: mach.SP, Imm: 3, Class: ClassSpill}, "lw $t0, 3($sp)  ; spill"},
+		{Instr{Op: SW, Rt: mach.S0, Rs: mach.SP, Imm: 1, Class: ClassSaveRestore}, "sw $s0, 1($sp)  ; saverestore"},
+		{Instr{Op: BEQZ, Rs: mach.T3, Target: 17}, "beqz $t3, @17"},
+		{Instr{Op: BNEZ, Rs: mach.T3, Target: 9}, "bnez $t3, @9"},
+		{Instr{Op: J, Target: 5}, "j @5"},
+		{Instr{Op: JAL, Target: 2}, "jal @2"},
+		{Instr{Op: JALR, Rs: mach.K1}, "jalr $k1"},
+		{Instr{Op: JR, Rs: mach.RA}, "jr $ra"},
+		{Instr{Op: PRINT, Rs: mach.V1}, "print $v1"},
+		{Instr{Op: EXIT}, "exit"},
+		{Instr{Op: SLT, Rd: mach.T0, Rs: mach.T1, HasImm: true, Imm: 7}, "slt $t0, $t1, 7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := &Program{
+		Code: []Instr{
+			{Op: JAL, Target: 2},
+			{Op: EXIT},
+			{Op: JR, Rs: mach.RA},
+			{Op: JR, Rs: mach.RA},
+		},
+		Funcs: []*FuncInfo{
+			{Name: "a", Entry: 2, End: 3},
+			{Name: "b", Entry: 3, End: 4},
+		},
+	}
+	if f := p.FuncAt(2); f == nil || f.Name != "a" {
+		t.Errorf("funcAt(2) = %v", f)
+	}
+	if f := p.FuncAt(3); f == nil || f.Name != "b" {
+		t.Errorf("funcAt(3) = %v", f)
+	}
+	if f := p.FuncAt(0); f != nil {
+		t.Errorf("stub should not belong to a function: %v", f)
+	}
+	d := p.Disassemble()
+	if !strings.Contains(d, "a:") || !strings.Contains(d, "b:") {
+		t.Errorf("disassembly:\n%s", d)
+	}
+}
+
+func TestMemClassNames(t *testing.T) {
+	if ClassScalar.String() != "scalar" || ClassAggregate.String() != "aggregate" {
+		t.Error("class names wrong")
+	}
+	if OpCode(LI).String() != "li" {
+		t.Error("opcode name wrong")
+	}
+}

@@ -1,0 +1,475 @@
+// Package opt is the baseline scalar optimizer, standing in for the paper's
+// -O2 global optimizer (Uopt): constant folding, block-local value numbering
+// (CSE) and copy/constant propagation, liveness-based dead-code elimination,
+// and control-flow simplification.
+//
+// The paper's baseline matters: its allocator improves on an already
+// competent -O2, and the evaluation normalizes everything against it. All
+// compilation modes here run the same optimizer so the measured deltas come
+// from the allocation techniques alone.
+package opt
+
+import (
+	"fmt"
+
+	"chow88/internal/ir"
+	"chow88/internal/liveness"
+)
+
+// Run optimizes every function of m in place.
+func Run(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if f.Extern {
+			continue
+		}
+		RunFunc(f)
+	}
+}
+
+// RunFunc optimizes a single function to a fixpoint (bounded).
+func RunFunc(f *ir.Func) {
+	for i := 0; i < 8; i++ {
+		changed := false
+		for _, b := range f.Blocks {
+			if localOptimize(f, b) {
+				changed = true
+			}
+		}
+		if foldBranches(f) {
+			changed = true
+		}
+		if simplifyCFG(f) {
+			changed = true
+		}
+		if deadCodeElim(f) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// exprKey identifies a pure computation for value numbering.
+type exprKey struct {
+	op   ir.Op
+	a, b string
+	gidx *ir.Global
+}
+
+func operandKey(o ir.Operand, names map[*ir.Temp]string) string {
+	if o.Temp != nil {
+		return names[o.Temp]
+	}
+	return fmt.Sprintf("#%d", o.Const)
+}
+
+// localOptimize performs constant folding, copy/constant propagation, and
+// value numbering within one block. Returns whether anything changed.
+func localOptimize(f *ir.Func, b *ir.Block) bool {
+	changed := false
+	// names gives each temp a value name; redefinition refreshes it.
+	names := map[*ir.Temp]string{}
+	nameOf := func(t *ir.Temp) string {
+		if n, ok := names[t]; ok {
+			return n
+		}
+		n := fmt.Sprintf("v%d.in", t.ID)
+		names[t] = n
+		return n
+	}
+	// constVal maps value names to known constants.
+	constVal := map[string]int64{}
+	// copyOf maps value names to an equivalent temp currently holding it.
+	holder := map[string]*ir.Temp{}
+	// available maps expression keys to value names.
+	available := map[exprKey]string{}
+	gen := 0
+	freshName := func() string {
+		gen++
+		return fmt.Sprintf("n%d.%d", b.ID, gen)
+	}
+
+	// killGlobals invalidates global-load values (after calls and stores).
+	killGlobals := func() {
+		for k := range available {
+			if k.op == ir.OpLoadG || k.op == ir.OpLoadIdx {
+				delete(available, k)
+			}
+		}
+	}
+
+	substitute := func(o *ir.Operand) {
+		if o.Temp == nil {
+			return
+		}
+		n := nameOf(o.Temp)
+		if c, ok := constVal[n]; ok {
+			*o = ir.ConstOp(c)
+			changed = true
+			return
+		}
+		if h, ok := holder[n]; ok && h != o.Temp && names[h] == n {
+			*o = ir.TempOp(h)
+			changed = true
+		}
+	}
+
+	for idx, in := range b.Instrs {
+		// Propagate into operands.
+		switch in.Op {
+		case ir.OpJmp:
+		case ir.OpCall, ir.OpCallInd:
+			if in.Op == ir.OpCallInd {
+				substitute(&in.A)
+			}
+			for i := range in.Args {
+				substitute(&in.Args[i])
+			}
+		default:
+			substitute(&in.A)
+			substitute(&in.B)
+		}
+
+		// Fold pure ops with constant operands.
+		if folded, ok := fold(in); ok {
+			b.Instrs[idx] = folded
+			in = folded
+			changed = true
+		}
+
+		// Effects on the local value state.
+		switch in.Op {
+		case ir.OpConst:
+			n := freshName()
+			names[in.Dst] = n
+			constVal[n] = in.Imm
+			holder[n] = in.Dst
+		case ir.OpCopy:
+			if in.A.Temp != nil {
+				n := nameOf(in.A.Temp)
+				names[in.Dst] = n
+				if _, ok := holder[n]; !ok {
+					holder[n] = in.A.Temp
+				}
+			} else {
+				n := freshName()
+				names[in.Dst] = n
+				constVal[n] = in.A.Const
+				holder[n] = in.Dst
+			}
+		case ir.OpNeg, ir.OpNot, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+			ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe,
+			ir.OpLoadG, ir.OpLoadIdx, ir.OpFuncAddr:
+			key := exprKey{op: in.Op, gidx: in.Global}
+			if in.Op == ir.OpFuncAddr {
+				key.a = in.Callee.Name
+			} else {
+				key.a = operandKey(in.A, names)
+				key.b = operandKey(in.B, names)
+			}
+			if in.Op == ir.OpLoadIdx {
+				if in.Arr.Global != nil {
+					key.gidx = in.Arr.Global
+				} else {
+					key.b = "local:" + in.Arr.Local.Name + "/" + key.b
+				}
+			}
+			if n, ok := available[key]; ok {
+				if h, hok := holder[n]; hok && names[h] == n && h != in.Dst {
+					// Replace the recomputation with a copy (CSE).
+					b.Instrs[idx] = &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: ir.TempOp(h)}
+					names[in.Dst] = n
+					changed = true
+					continue
+				}
+			}
+			n := freshName()
+			names[in.Dst] = n
+			holder[n] = in.Dst
+			if in.Op != ir.OpDiv && in.Op != ir.OpRem && in.Op != ir.OpLoadIdx {
+				// Division and indexed loads may trap; re-running them is
+				// still pure, so they are CSE-able, but their results are
+				// recorded the same way regardless.
+			}
+			available[key] = n
+		case ir.OpStoreG:
+			// A scalar-global store invalidates loads of that global (and,
+			// conservatively, nothing else).
+			for k := range available {
+				if k.op == ir.OpLoadG && k.gidx == in.Global {
+					delete(available, k)
+				}
+			}
+		case ir.OpStoreIdx:
+			// An indexed store conservatively invalidates all indexed loads.
+			for k := range available {
+				if k.op == ir.OpLoadIdx {
+					delete(available, k)
+				}
+			}
+		case ir.OpCall, ir.OpCallInd:
+			killGlobals()
+			if in.Dst != nil {
+				n := freshName()
+				names[in.Dst] = n
+				holder[n] = in.Dst
+			}
+		}
+	}
+	return changed
+}
+
+// fold evaluates pure instructions with constant operands.
+func fold(in *ir.Instr) (*ir.Instr, bool) {
+	c := func(v int64) (*ir.Instr, bool) {
+		return &ir.Instr{Op: ir.OpConst, Dst: in.Dst, Imm: v}, true
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.OpNeg:
+		if in.A.IsConst() {
+			return c(-in.A.Const)
+		}
+	case ir.OpNot:
+		if in.A.IsConst() {
+			return c(b2i(in.A.Const == 0))
+		}
+	case ir.OpCopy:
+		if in.A.IsConst() {
+			return c(in.A.Const)
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe:
+		if !in.A.IsConst() || !in.B.IsConst() {
+			// Algebraic identities with one constant.
+			if in.Op == ir.OpAdd && in.B.IsConst() && in.B.Const == 0 && in.A.Temp != nil {
+				return &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: in.A}, true
+			}
+			if in.Op == ir.OpAdd && in.A.IsConst() && in.A.Const == 0 && in.B.Temp != nil {
+				return &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: in.B}, true
+			}
+			if in.Op == ir.OpSub && in.B.IsConst() && in.B.Const == 0 && in.A.Temp != nil {
+				return &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: in.A}, true
+			}
+			if in.Op == ir.OpMul && in.B.IsConst() && in.B.Const == 1 && in.A.Temp != nil {
+				return &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: in.A}, true
+			}
+			if in.Op == ir.OpMul && in.A.IsConst() && in.A.Const == 1 && in.B.Temp != nil {
+				return &ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: in.B}, true
+			}
+			return nil, false
+		}
+		x, y := in.A.Const, in.B.Const
+		switch in.Op {
+		case ir.OpAdd:
+			return c(x + y)
+		case ir.OpSub:
+			return c(x - y)
+		case ir.OpMul:
+			return c(x * y)
+		case ir.OpDiv:
+			if y == 0 {
+				return nil, false // keep the trap
+			}
+			if x == -1<<63 && y == -1 {
+				return c(x)
+			}
+			return c(x / y)
+		case ir.OpRem:
+			if y == 0 {
+				return nil, false
+			}
+			if x == -1<<63 && y == -1 {
+				return c(0)
+			}
+			return c(x % y)
+		case ir.OpCmpEq:
+			return c(b2i(x == y))
+		case ir.OpCmpNe:
+			return c(b2i(x != y))
+		case ir.OpCmpLt:
+			return c(b2i(x < y))
+		case ir.OpCmpLe:
+			return c(b2i(x <= y))
+		case ir.OpCmpGt:
+			return c(b2i(x > y))
+		case ir.OpCmpGe:
+			return c(b2i(x >= y))
+		}
+	}
+	return nil, false
+}
+
+// foldBranches turns branches on constants into jumps.
+func foldBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr || !t.A.IsConst() {
+			continue
+		}
+		target := t.Target
+		if t.A.Const == 0 {
+			target = t.Else
+		}
+		b.Instrs[len(b.Instrs)-1] = &ir.Instr{Op: ir.OpJmp, Target: target}
+		changed = true
+	}
+	if changed {
+		f.ComputeCFG()
+		f.RemoveUnreachable()
+	}
+	return changed
+}
+
+// deadCodeElim removes side-effect-free instructions whose results are dead.
+func deadCodeElim(f *ir.Func) bool {
+	changed := false
+	live := liveness.Analyze(f)
+	n := f.NumTemps()
+	var buf []*ir.Temp
+	for _, b := range f.Blocks {
+		liveNow := make([]bool, n)
+		live.LiveOut[b].ForEach(func(i int) { liveNow[i] = true })
+		// Backward sweep marking dead defs.
+		keep := make([]bool, len(b.Instrs))
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			dead := in.Dst != nil && !liveNow[in.Dst.ID] && !in.HasSideEffects()
+			keep[i] = !dead
+			if dead {
+				changed = true
+				continue
+			}
+			if in.Dst != nil {
+				liveNow[in.Dst.ID] = false
+			}
+			buf = in.Uses(buf[:0])
+			for _, t := range buf {
+				liveNow[t.ID] = true
+			}
+		}
+		if changed {
+			var out []*ir.Instr
+			for i, in := range b.Instrs {
+				if keep[i] {
+					out = append(out, in)
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	// Calls whose results are dead keep the call but drop the destination.
+	live = liveness.Analyze(f)
+	for _, b := range f.Blocks {
+		liveNow := make([]bool, n)
+		live.LiveOut[b].ForEach(func(i int) { liveNow[i] = true })
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Op.IsCall() && in.Dst != nil && !liveNow[in.Dst.ID] {
+				in.Dst = nil
+				changed = true
+			}
+			if in.Dst != nil {
+				liveNow[in.Dst.ID] = false
+			}
+			buf = in.Uses(buf[:0])
+			for _, t := range buf {
+				liveNow[t.ID] = true
+			}
+		}
+	}
+	return changed
+}
+
+// simplifyCFG threads jumps through empty blocks and merges straight-line
+// pairs, shrinking the CFG the shrink-wrap analysis sees.
+func simplifyCFG(f *ir.Func) bool {
+	changed := false
+	// Thread jumps to blocks that only jump elsewhere.
+	jumpOnly := func(b *ir.Block) *ir.Block {
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpJmp {
+			return b.Instrs[0].Target
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		redirect := func(blk *ir.Block) *ir.Block {
+			seen := map[*ir.Block]bool{}
+			for {
+				next := jumpOnly(blk)
+				if next == nil || seen[blk] || next == blk {
+					return blk
+				}
+				seen[blk] = true
+				blk = next
+			}
+		}
+		switch t.Op {
+		case ir.OpJmp:
+			if n := redirect(t.Target); n != t.Target {
+				t.Target = n
+				changed = true
+			}
+		case ir.OpBr:
+			if n := redirect(t.Target); n != t.Target {
+				t.Target = n
+				changed = true
+			}
+			if n := redirect(t.Else); n != t.Else {
+				t.Else = n
+				changed = true
+			}
+			if t.Target == t.Else {
+				b.Instrs[len(b.Instrs)-1] = &ir.Instr{Op: ir.OpJmp, Target: t.Target}
+				changed = true
+			}
+		}
+	}
+	if changed {
+		f.ComputeCFG()
+		f.RemoveUnreachable()
+	}
+	// Merge b -> s when b jumps to s and s has exactly one predecessor.
+	merged := false
+	for _, b := range f.Blocks {
+		for {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpJmp {
+				break
+			}
+			s := t.Target
+			if s == b || len(s.Preds) != 1 || s == f.Entry() {
+				break
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], s.Instrs...)
+			s.Instrs = nil
+			merged = true
+			f.ComputeCFG()
+		}
+	}
+	if merged {
+		// Drop emptied blocks.
+		var kept []*ir.Block
+		for _, b := range f.Blocks {
+			if len(b.Instrs) > 0 {
+				kept = append(kept, b)
+			}
+		}
+		f.Blocks = kept
+		f.ComputeCFG()
+		f.RemoveUnreachable()
+		changed = true
+	}
+	return changed
+}

@@ -1,0 +1,240 @@
+package opt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chow88/internal/interp"
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/parser"
+	"chow88/internal/progen"
+	"chow88/internal/sema"
+)
+
+func optimized(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	Run(mod)
+	if err := ir.VerifyModule(mod); err != nil {
+		t.Fatalf("optimizer broke the IR: %v", err)
+	}
+	return mod
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	mod := optimized(t, `func main() { print(2 + 3 * 4); }`)
+	f := mod.Lookup("main")
+	if n := countOps(f, ir.OpAdd) + countOps(f, ir.OpMul); n != 0 {
+		t.Errorf("%d arithmetic ops survive constant folding:\n%s", n, ir.FuncString(f))
+	}
+}
+
+func TestBranchFolding(t *testing.T) {
+	mod := optimized(t, `
+func main() {
+    if (1 < 2) { print(1); } else { print(2); }
+}`)
+	f := mod.Lookup("main")
+	if n := countOps(f, ir.OpBr); n != 0 {
+		t.Errorf("constant branch survives:\n%s", ir.FuncString(f))
+	}
+	// The dead arm must be gone entirely.
+	s := ir.FuncString(f)
+	if strings.Contains(s, "print 2") {
+		t.Errorf("dead branch survives:\n%s", s)
+	}
+}
+
+func TestLocalCSE(t *testing.T) {
+	mod := optimized(t, `
+func f(a int, b int) int {
+    var x int;
+    var y int;
+    x = a * b + 3;
+    y = a * b + 3;
+    return x + y;
+}
+func main() { print(f(2, 5)); }`)
+	f := mod.Lookup("f")
+	if n := countOps(f, ir.OpMul); n > 1 {
+		t.Errorf("a*b computed %d times:\n%s", n, ir.FuncString(f))
+	}
+}
+
+func TestDeadZeroInitEliminated(t *testing.T) {
+	// s is always assigned before use, so the implicit zero-init dies.
+	mod := optimized(t, `
+func f(a int) int {
+    var s int;
+    s = a * 2;
+    return s;
+}
+func main() { print(f(4)); }`)
+	f := mod.Lookup("f")
+	if n := countOps(f, ir.OpConst); n != 0 {
+		t.Errorf("%d consts survive (zero-init should be dead):\n%s", n, ir.FuncString(f))
+	}
+}
+
+func TestDivisionByZeroPreserved(t *testing.T) {
+	// A potentially trapping division must never be folded away, even with a
+	// dead result.
+	mod := optimized(t, `
+var z int;
+func main() {
+    var unused int;
+    unused = 1 / z;
+    print(7);
+}`)
+	f := mod.Lookup("main")
+	if n := countOps(f, ir.OpDiv); n != 1 {
+		t.Errorf("div count = %d; traps must be preserved:\n%s", n, ir.FuncString(f))
+	}
+}
+
+func TestGlobalLoadInvalidatedByCall(t *testing.T) {
+	mod := optimized(t, `
+var g int;
+func bump() { g = g + 1; }
+func main() {
+    var a int;
+    var b int;
+    a = g;
+    bump();
+    b = g;
+    print(a + b);
+}`)
+	f := mod.Lookup("main")
+	if n := countOps(f, ir.OpLoadG); n < 2 {
+		t.Errorf("load of g across a call was wrongly CSEd:\n%s", ir.FuncString(f))
+	}
+}
+
+func TestGlobalLoadInvalidatedByStore(t *testing.T) {
+	mod := optimized(t, `
+var g int;
+func main() {
+    var a int;
+    var b int;
+    a = g;
+    g = 5;
+    b = g;
+    print(a + b);
+}`)
+	f := mod.Lookup("main")
+	// The second read may be forwarded from the constant store or reloaded,
+	// but it must not reuse the pre-store load.
+	res := runModule(t, `
+var g int;
+func main() {
+    var a int;
+    var b int;
+    a = g;
+    g = 5;
+    b = g;
+    print(a + b);
+}`)
+	if !reflect.DeepEqual(res, []int64{5}) {
+		t.Errorf("semantics broken: %v", res)
+	}
+	_ = f
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	mod := optimized(t, `
+func f(a int) int {
+    return (a + 0) * 1 - 0;
+}
+func main() { print(f(9)); }`)
+	f := mod.Lookup("f")
+	if n := countOps(f, ir.OpAdd) + countOps(f, ir.OpMul) + countOps(f, ir.OpSub); n != 0 {
+		t.Errorf("identities not simplified:\n%s", ir.FuncString(f))
+	}
+}
+
+func TestCFGSimplification(t *testing.T) {
+	mod := optimized(t, `
+func f(a int) int {
+    var r int;
+    if (a > 0) { r = 1; } else { r = 2; }
+    return r;
+}
+func main() { print(f(1)); }`)
+	f := mod.Lookup("f")
+	// Jump-only blocks should be threaded away; expect a compact CFG.
+	if len(f.Blocks) > 4 {
+		t.Errorf("CFG not simplified: %d blocks\n%s", len(f.Blocks), ir.FuncString(f))
+	}
+}
+
+// runModule interprets the source (semantic oracle for optimizer tests).
+func runModule(t *testing.T, src string) []int64 {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := interp.Run(info, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res.Output
+}
+
+// TestOptimizerPreservesVerification fuzzes the optimizer against the IR
+// verifier on random programs (semantic preservation is covered by the
+// top-level differential tests).
+func TestOptimizerPreservesVerification(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for seed := 0; seed < n; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		tree, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		info, err := sema.Check(tree)
+		if err != nil {
+			t.Fatalf("seed %d: check: %v", seed, err)
+		}
+		mod, err := lower.Build(info)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		Run(mod)
+		if err := ir.VerifyModule(mod); err != nil {
+			t.Fatalf("seed %d: optimizer broke the IR: %v\n%s", seed, err, src)
+		}
+	}
+}

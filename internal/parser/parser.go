@@ -1,0 +1,369 @@
+// Package parser implements a recursive-descent parser for the CW language.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"chow88/internal/ast"
+	"chow88/internal/lexer"
+	"chow88/internal/token"
+)
+
+// Parse parses a complete CW program. It returns the first few syntax errors
+// encountered (the parser does not attempt heroic recovery: after an error it
+// skips to the next likely synchronization point).
+func Parse(src string) (*ast.Program, error) {
+	toks, lexErrs := lexer.ScanAll(src)
+	if len(lexErrs) > 0 {
+		return nil, lexErrs[0]
+	}
+	p := &parser{toks: toks}
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+type bailout struct{}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	if len(p.errs) >= 10 {
+		panic(bailout{})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.cur().Kind != k {
+		p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+		return token.Token{Kind: k, Pos: p.cur().Pos}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+		}
+	}()
+	prog := &ast.Program{}
+	for p.cur().Kind != token.EOF {
+		switch p.cur().Kind {
+		case token.KwVar:
+			prog.Decls = append(prog.Decls, p.parseVarDecl())
+		case token.KwFunc:
+			prog.Decls = append(prog.Decls, p.parseFuncDecl(false))
+		case token.KwExtern:
+			p.advance()
+			prog.Decls = append(prog.Decls, p.parseFuncDecl(true))
+		default:
+			p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+			p.advance()
+		}
+	}
+	return prog
+}
+
+// parseVarDecl parses `var name type ;`.
+func (p *parser) parseVarDecl() *ast.VarDecl {
+	p.expect(token.KwVar)
+	name := p.expect(token.Ident)
+	typ := p.parseType()
+	p.expect(token.Semi)
+	return &ast.VarDecl{Name: name.Lit, Type: typ, NamePos: name.Pos}
+}
+
+// parseType parses `int`, `[N]int`, or `func(types...) [int]`.
+func (p *parser) parseType() *ast.Type {
+	switch p.cur().Kind {
+	case token.KwInt:
+		p.advance()
+		return ast.TInt
+	case token.LBracket:
+		p.advance()
+		lit := p.expect(token.Int)
+		n, err := strconv.Atoi(lit.Lit)
+		if err != nil || n <= 0 {
+			p.errorf(lit.Pos, "invalid array length %q", lit.Lit)
+			n = 1
+		}
+		p.expect(token.RBracket)
+		p.expect(token.KwInt)
+		return &ast.Type{Kind: ast.ArrayType, ArrLen: n}
+	case token.KwFunc:
+		p.advance()
+		p.expect(token.LParen)
+		t := &ast.Type{Kind: ast.FuncType}
+		for p.cur().Kind != token.RParen && p.cur().Kind != token.EOF {
+			t.Params = append(t.Params, p.parseType())
+			if p.cur().Kind == token.Comma {
+				p.advance()
+			} else {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		if p.cur().Kind == token.KwInt {
+			p.advance()
+			t.Returns = true
+		}
+		return t
+	}
+	p.errorf(p.cur().Pos, "expected type, found %s", p.cur())
+	p.advance()
+	return ast.TInt
+}
+
+func (p *parser) parseFuncDecl(extern bool) *ast.FuncDecl {
+	p.expect(token.KwFunc)
+	name := p.expect(token.Ident)
+	d := &ast.FuncDecl{Name: name.Lit, NamePos: name.Pos, Extern: extern}
+	p.expect(token.LParen)
+	for p.cur().Kind != token.RParen && p.cur().Kind != token.EOF {
+		pn := p.expect(token.Ident)
+		pt := p.parseType()
+		d.Params = append(d.Params, &ast.VarDecl{Name: pn.Lit, Type: pt, NamePos: pn.Pos})
+		if p.cur().Kind == token.Comma {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	p.expect(token.RParen)
+	if p.cur().Kind == token.KwInt {
+		p.advance()
+		d.Returns = true
+	}
+	if extern {
+		p.expect(token.Semi)
+		return d
+	}
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBrace)
+	blk := &ast.Block{LPos: lb.Pos}
+	for p.cur().Kind != token.RBrace && p.cur().Kind != token.EOF {
+		blk.Stmts = append(blk.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBrace)
+	return blk
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.KwVar:
+		return &ast.DeclStmt{Decl: p.parseVarDecl()}
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		kw := p.advance()
+		p.expect(token.LParen)
+		cond := p.parseExpr()
+		p.expect(token.RParen)
+		body := p.parseBlock()
+		return &ast.WhileStmt{Cond: cond, Body: body, WhilePos: kw.Pos}
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		kw := p.advance()
+		var v ast.Expr
+		if p.cur().Kind != token.Semi {
+			v = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return &ast.ReturnStmt{Value: v, RetPos: kw.Pos}
+	case token.KwBreak:
+		kw := p.advance()
+		p.expect(token.Semi)
+		return &ast.BreakStmt{KwPos: kw.Pos}
+	case token.KwContinue:
+		kw := p.advance()
+		p.expect(token.Semi)
+		return &ast.ContinueStmt{KwPos: kw.Pos}
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.Semi)
+	return s
+}
+
+// parseSimpleStmt parses an assignment or expression statement, without
+// consuming the terminating token (';' or a for-clause delimiter).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	e := p.parseExpr()
+	if p.cur().Kind == token.Assign {
+		switch e.(type) {
+		case *ast.Ident, *ast.IndexExpr:
+		default:
+			p.errorf(p.cur().Pos, "cannot assign to %s", ast.ExprString(e))
+		}
+		p.advance()
+		rhs := p.parseExpr()
+		return &ast.AssignStmt{Lhs: e, Rhs: rhs}
+	}
+	if _, ok := e.(*ast.CallExpr); !ok {
+		p.errorf(e.Pos(), "expression statement must be a call")
+	}
+	return &ast.ExprStmt{X: e}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	kw := p.expect(token.KwIf)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	then := p.parseBlock()
+	s := &ast.IfStmt{Cond: cond, Then: then, IfPos: kw.Pos}
+	if p.cur().Kind == token.KwElse {
+		p.advance()
+		if p.cur().Kind == token.KwIf {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	kw := p.expect(token.KwFor)
+	p.expect(token.LParen)
+	f := &ast.ForStmt{ForPos: kw.Pos}
+	if p.cur().Kind != token.Semi {
+		f.Init = p.parseSimpleStmt()
+	}
+	p.expect(token.Semi)
+	if p.cur().Kind != token.Semi {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if p.cur().Kind != token.RParen {
+		f.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RParen)
+	f.Body = p.parseBlock()
+	return f
+}
+
+// Binary operator precedence, loosest first:
+//
+//	||  &&  == !=  < <= > >=  + -  * / %
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.OrOr:
+		return 1
+	case token.AndAnd:
+		return 2
+	case token.Eq, token.Neq:
+		return 3
+	case token.Lt, token.Leq, token.Gt, token.Geq:
+		return 4
+	case token.Plus, token.Minus:
+		return 5
+	case token.Star, token.Slash, token.Percent:
+		return 6
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < minPrec {
+			return x
+		}
+		op := p.advance()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Minus:
+		op := p.advance()
+		return &ast.UnaryExpr{Op: token.Minus, X: p.parseUnary(), OpPos: op.Pos}
+	case token.Not:
+		op := p.advance()
+		return &ast.UnaryExpr{Op: token.Not, X: p.parseUnary(), OpPos: op.Pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Int:
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "integer literal out of range: %s", t.Lit)
+		}
+		return &ast.IntLit{Value: v, LitPos: t.Pos}
+	case token.LParen:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	case token.Ident:
+		id := p.advance()
+		ident := &ast.Ident{Name: id.Lit, NamePos: id.Pos}
+		switch p.cur().Kind {
+		case token.LParen:
+			p.advance()
+			call := &ast.CallExpr{Fun: ident}
+			for p.cur().Kind != token.RParen && p.cur().Kind != token.EOF {
+				call.Args = append(call.Args, p.parseExpr())
+				if p.cur().Kind == token.Comma {
+					p.advance()
+				} else {
+					break
+				}
+			}
+			p.expect(token.RParen)
+			return call
+		case token.LBracket:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			return &ast.IndexExpr{Arr: ident, Index: idx}
+		}
+		return ident
+	}
+	p.errorf(p.cur().Pos, "expected expression, found %s", p.cur())
+	t := p.advance()
+	return &ast.IntLit{Value: 0, LitPos: t.Pos}
+}

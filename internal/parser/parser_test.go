@@ -1,0 +1,182 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/ast"
+	"chow88/internal/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestGlobalVar(t *testing.T) {
+	p := mustParse(t, "var g int;\nvar a [10]int;\nvar f func(int, int) int;")
+	if len(p.Decls) != 3 {
+		t.Fatalf("got %d decls", len(p.Decls))
+	}
+	g := p.Decls[0].(*ast.VarDecl)
+	if g.Name != "g" || g.Type.Kind != ast.IntType {
+		t.Errorf("bad g: %v %v", g.Name, g.Type)
+	}
+	a := p.Decls[1].(*ast.VarDecl)
+	if a.Type.Kind != ast.ArrayType || a.Type.ArrLen != 10 {
+		t.Errorf("bad a: %v", a.Type)
+	}
+	f := p.Decls[2].(*ast.VarDecl)
+	if f.Type.Kind != ast.FuncType || len(f.Type.Params) != 2 || !f.Type.Returns {
+		t.Errorf("bad f: %v", f.Type)
+	}
+}
+
+func TestFuncDecl(t *testing.T) {
+	p := mustParse(t, "func add(x int, y int) int { return x + y; }")
+	f := p.Decls[0].(*ast.FuncDecl)
+	if f.Name != "add" || len(f.Params) != 2 || !f.Returns {
+		t.Fatalf("bad func: %+v", f)
+	}
+	ret := f.Body.Stmts[0].(*ast.ReturnStmt)
+	bin := ret.Value.(*ast.BinaryExpr)
+	if bin.Op != token.Plus {
+		t.Errorf("op = %v", bin.Op)
+	}
+}
+
+func TestExternDecl(t *testing.T) {
+	p := mustParse(t, "extern func lib(x int) int;")
+	f := p.Decls[0].(*ast.FuncDecl)
+	if !f.Extern || f.Body != nil {
+		t.Fatalf("bad extern: %+v", f)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := mustParse(t, "func f() int { return 1 + 2 * 3 == 7 && 4 < 5 || 0 != 1; }")
+	ret := p.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.ReturnStmt)
+	got := ast.ExprString(ret.Value)
+	want := "((((1 + (2 * 3)) == 7) && (4 < 5)) || (0 != 1))"
+	if got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	p := mustParse(t, "func f() int { return -1 + !0 - -(-2); }")
+	ret := p.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.ReturnStmt)
+	got := ast.ExprString(ret.Value)
+	want := "(((-1) + (!0)) - (-(-2)))"
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func f(n int) int {
+    var s int;
+    s = 0;
+    for (n = 0; n < 10; n = n + 1) {
+        if (n % 2 == 0) { s = s + n; } else if (n == 3) { continue; } else { break; }
+    }
+    while (s > 100) { s = s - 1; }
+    return s;
+}`
+	p := mustParse(t, src)
+	body := p.Decls[0].(*ast.FuncDecl).Body
+	if len(body.Stmts) != 5 {
+		t.Fatalf("got %d stmts", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[2].(*ast.ForStmt); !ok {
+		t.Errorf("stmt 2 is %T, want for", body.Stmts[2])
+	}
+	f := body.Stmts[2].(*ast.ForStmt)
+	ifs, ok := f.Body.Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("for body stmt is %T", f.Body.Stmts[0])
+	}
+	elif, ok := ifs.Else.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T, want else-if", ifs.Else)
+	}
+	if _, ok := elif.Else.(*ast.Block); !ok {
+		t.Errorf("final else is %T", elif.Else)
+	}
+}
+
+func TestCallsAndIndexing(t *testing.T) {
+	p := mustParse(t, "func f() { g(1, a[2], h()); a[i + 1] = 3; }")
+	body := p.Decls[0].(*ast.FuncDecl).Body
+	call := body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if call.Fun.Name != "g" || len(call.Args) != 3 {
+		t.Fatalf("bad call: %v", ast.ExprString(call))
+	}
+	asg := body.Stmts[1].(*ast.AssignStmt)
+	if _, ok := asg.Lhs.(*ast.IndexExpr); !ok {
+		t.Errorf("lhs is %T", asg.Lhs)
+	}
+}
+
+func TestEmptyForClauses(t *testing.T) {
+	p := mustParse(t, "func f() { for (;;) { break; } }")
+	f := p.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.ForStmt)
+	if f.Init != nil || f.Cond != nil || f.Post != nil {
+		t.Errorf("clauses should be nil: %+v", f)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"func f( {}",
+		"func f() { 1 + 2; }",     // expression statement must be a call
+		"func f() { (1+2) = 3; }", // bad assign target
+		"var x;",
+		"func f() { if 1 {} }",
+		"blah",
+		"func f() { return 99999999999999999999999999; }",
+		"var a [0]int;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestFormatRoundTrip checks Format(parse(src)) reparses to the same rendering.
+func TestFormatRoundTrip(t *testing.T) {
+	src := `
+var g int;
+var arr [8]int;
+var fp func(int) int;
+
+func helper(x int) int {
+    if (x <= 0) { return 1; }
+    return x * helper(x - 1);
+}
+
+func main() {
+    var i int;
+    fp = helper;
+    for (i = 0; i < 8; i = i + 1) {
+        arr[i] = fp(i) + g;
+    }
+    while (g < 10 && arr[0] != 3 || !g) { g = g + 1; }
+}`
+	p1 := mustParse(t, src)
+	f1 := ast.Format(p1)
+	p2 := mustParse(t, f1)
+	f2 := ast.Format(p2)
+	if f1 != f2 {
+		t.Errorf("format not stable:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+	}
+	if !strings.Contains(f1, "fp = helper;") {
+		t.Errorf("formatted output missing assignment:\n%s", f1)
+	}
+}

@@ -1,0 +1,81 @@
+// Package pixie collects execution statistics in the manner of the MIPS
+// instruction-tracing facility the paper used: executed cycles (exclusive of
+// cache effects), instruction counts by kind, call counts, and loads/stores
+// broken down by the classification the code generator attached — from
+// which the paper's headline metric, scalar loads/stores, is derived.
+package pixie
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/mcode"
+)
+
+// Stats accumulates the trace counters for one program run.
+type Stats struct {
+	Cycles int64
+	Instrs int64
+	Calls  int64 // executed JAL/JALR
+	Loads  int64
+	Stores int64
+	// LoadsByClass and StoresByClass index by mcode.MemClass.
+	LoadsByClass  [5]int64
+	StoresByClass [5]int64
+	Branches      int64
+	Taken         int64
+	MulDiv        int64
+}
+
+// ScalarLoads returns loads attributable to scalar variables, temporaries
+// and register saves/restores.
+func (s *Stats) ScalarLoads() int64 {
+	return s.LoadsByClass[mcode.ClassScalar] + s.LoadsByClass[mcode.ClassSpill] + s.LoadsByClass[mcode.ClassSaveRestore]
+}
+
+// ScalarStores is the store-side counterpart of ScalarLoads.
+func (s *Stats) ScalarStores() int64 {
+	return s.StoresByClass[mcode.ClassScalar] + s.StoresByClass[mcode.ClassSpill] + s.StoresByClass[mcode.ClassSaveRestore]
+}
+
+// ScalarLS is the paper's "scalar loads/stores" metric.
+func (s *Stats) ScalarLS() int64 { return s.ScalarLoads() + s.ScalarStores() }
+
+// SaveRestoreLS counts the save/restore component alone.
+func (s *Stats) SaveRestoreLS() int64 {
+	return s.LoadsByClass[mcode.ClassSaveRestore] + s.StoresByClass[mcode.ClassSaveRestore]
+}
+
+// CyclesPerCall reports average cycles between procedure calls, the paper's
+// call-intensity measure (Table 1's "cycles/call" column).
+func (s *Stats) CyclesPerCall() float64 {
+	if s.Calls == 0 {
+		return float64(s.Cycles)
+	}
+	return float64(s.Cycles) / float64(s.Calls)
+}
+
+// PercentReduction returns the percent reduction of new relative to base:
+// positive when new is an improvement (smaller).
+func PercentReduction(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-new) / float64(base)
+}
+
+// String renders a summary block.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles            %12d\n", s.Cycles)
+	fmt.Fprintf(&b, "instructions      %12d\n", s.Instrs)
+	fmt.Fprintf(&b, "calls             %12d (%.1f cycles/call)\n", s.Calls, s.CyclesPerCall())
+	fmt.Fprintf(&b, "loads             %12d\n", s.Loads)
+	fmt.Fprintf(&b, "stores            %12d\n", s.Stores)
+	fmt.Fprintf(&b, "scalar loads      %12d\n", s.ScalarLoads())
+	fmt.Fprintf(&b, "scalar stores     %12d\n", s.ScalarStores())
+	fmt.Fprintf(&b, "save/restore l+s  %12d\n", s.SaveRestoreLS())
+	fmt.Fprintf(&b, "aggregate loads   %12d\n", s.LoadsByClass[mcode.ClassAggregate])
+	fmt.Fprintf(&b, "aggregate stores  %12d\n", s.StoresByClass[mcode.ClassAggregate])
+	return b.String()
+}

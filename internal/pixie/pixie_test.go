@@ -1,0 +1,76 @@
+package pixie
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/mcode"
+)
+
+func TestScalarClassification(t *testing.T) {
+	var s Stats
+	s.LoadsByClass[mcode.ClassScalar] = 10
+	s.LoadsByClass[mcode.ClassSpill] = 5
+	s.LoadsByClass[mcode.ClassSaveRestore] = 3
+	s.LoadsByClass[mcode.ClassAggregate] = 100
+	s.StoresByClass[mcode.ClassScalar] = 7
+	s.StoresByClass[mcode.ClassAggregate] = 50
+	if s.ScalarLoads() != 18 {
+		t.Errorf("scalar loads = %d", s.ScalarLoads())
+	}
+	if s.ScalarStores() != 7 {
+		t.Errorf("scalar stores = %d", s.ScalarStores())
+	}
+	if s.ScalarLS() != 25 {
+		t.Errorf("scalarLS = %d", s.ScalarLS())
+	}
+	if s.SaveRestoreLS() != 3 {
+		t.Errorf("save/restore = %d", s.SaveRestoreLS())
+	}
+}
+
+func TestCyclesPerCall(t *testing.T) {
+	s := Stats{Cycles: 1000, Calls: 10}
+	if s.CyclesPerCall() != 100 {
+		t.Errorf("cpc = %f", s.CyclesPerCall())
+	}
+	s.Calls = 0
+	if s.CyclesPerCall() != 1000 {
+		t.Errorf("cpc with no calls = %f", s.CyclesPerCall())
+	}
+}
+
+func TestPercentReduction(t *testing.T) {
+	if got := PercentReduction(200, 100); got != 50 {
+		t.Errorf("50%% case = %f", got)
+	}
+	if got := PercentReduction(100, 120); got != -20 {
+		t.Errorf("regression case = %f", got)
+	}
+	if got := PercentReduction(0, 5); got != 0 {
+		t.Errorf("zero base = %f", got)
+	}
+	if got := PercentReduction(100, 100); got != 0 {
+		t.Errorf("no change = %f", got)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	s := Stats{Cycles: 42, Instrs: 40, Calls: 2}
+	out := s.String()
+	for _, want := range []string{"cycles", "42", "calls", "scalar loads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassTraffic(t *testing.T) {
+	if !mcode.ClassScalar.IsScalarTraffic() || !mcode.ClassSpill.IsScalarTraffic() ||
+		!mcode.ClassSaveRestore.IsScalarTraffic() {
+		t.Error("scalar classes misclassified")
+	}
+	if mcode.ClassAggregate.IsScalarTraffic() || mcode.ClassNone.IsScalarTraffic() {
+		t.Error("aggregate/none misclassified")
+	}
+}

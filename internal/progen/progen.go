@@ -1,0 +1,408 @@
+// Package progen generates random, terminating, trap-free CW programs for
+// differential testing: whatever the compiler does, the compiled program
+// must print exactly what the reference interpreter prints.
+//
+// The generator guarantees well-definedness by construction: every variable
+// is initialized before use, loop induction variables are never reassigned
+// in loop bodies, array indices are masked into range, divisors are nonzero
+// constants, recursion always decreases a guarded counter, and
+// function-typed globals are bound before any indirect call.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes program shape.
+type Config struct {
+	Funcs     int // number of functions besides main
+	Globals   int // scalar globals
+	Arrays    int // global arrays
+	MaxStmts  int // statements per block
+	MaxDepth  int // statement nesting depth
+	MaxExpr   int // expression depth
+	MaxParams int
+	FuncVars  int  // function-typed globals for indirect calls
+	Recursion bool // allow self-recursive functions
+	ForceExt  bool // unused hook for extern decls (not generated: they trap)
+}
+
+// DefaultConfig returns a medium-size program shape.
+func DefaultConfig() Config {
+	return Config{
+		Funcs:     6,
+		Globals:   4,
+		Arrays:    2,
+		MaxStmts:  5,
+		MaxDepth:  3,
+		MaxExpr:   3,
+		MaxParams: 4,
+		FuncVars:  2,
+		Recursion: true,
+	}
+}
+
+type fn struct {
+	name    string
+	params  int
+	returns bool
+	rec     bool // self-recursive: first param is the decreasing guard
+}
+
+type generator struct {
+	r   *rand.Rand
+	cfg Config
+	b   strings.Builder
+
+	globals []string
+	arrays  []string // name:size encoded separately
+	arrLen  map[string]int
+	funcs   []fn
+	fvars   []string // function-typed globals
+	fvarSig []int    // parameter count of each function var's signature
+
+	// Per-function state.
+	locals    []string
+	frozen    map[string]bool // loop induction vars: not assignable
+	depth     int
+	exprDepth int
+	cur       fn
+	nextLocal int
+}
+
+// Generate produces a program from the seed.
+func Generate(seed int64, cfg Config) string {
+	g := &generator{r: rand.New(rand.NewSource(seed)), cfg: cfg, arrLen: map[string]int{}}
+	g.program()
+	return g.b.String()
+}
+
+func (g *generator) w(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *generator) program() {
+	for i := 0; i < g.cfg.Globals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.w("var %s int;\n", name)
+	}
+	for i := 0; i < g.cfg.Arrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		size := 4 + g.r.Intn(12)
+		g.arrays = append(g.arrays, name)
+		g.arrLen[name] = size
+		g.w("var %s [%d]int;\n", name, size)
+	}
+	// Function-typed globals: one-int-param signatures so any unary
+	// function can be bound.
+	for i := 0; i < g.cfg.FuncVars; i++ {
+		name := fmt.Sprintf("fv%d", i)
+		g.fvars = append(g.fvars, name)
+		g.fvarSig = append(g.fvarSig, 1)
+		g.w("var %s func(int) int;\n", name)
+	}
+	g.w("\n")
+	for i := 0; i < g.cfg.Funcs; i++ {
+		g.function(i)
+	}
+	g.mainFunc()
+}
+
+func (g *generator) function(i int) {
+	f := fn{
+		name:    fmt.Sprintf("f%d", i),
+		params:  g.r.Intn(g.cfg.MaxParams + 1),
+		returns: true,
+	}
+	if g.cfg.Recursion && g.r.Intn(4) == 0 {
+		f.rec = true
+		if f.params == 0 {
+			f.params = 1
+		}
+	}
+	g.funcs = append(g.funcs, f)
+	g.cur = f
+	g.locals = nil
+	g.frozen = map[string]bool{}
+	g.nextLocal = 0
+
+	g.w("func %s(", f.name)
+	for p := 0; p < f.params; p++ {
+		if p > 0 {
+			g.w(", ")
+		}
+		pn := fmt.Sprintf("p%d", p)
+		g.w("%s int", pn)
+		g.locals = append(g.locals, pn)
+	}
+	g.w(") int {\n")
+	if f.rec {
+		// Guarded descent: the recursive call sites use p0 - 1.
+		g.w("    if (p0 <= 0) { return %d; }\n", g.r.Intn(20))
+	}
+	g.block(1)
+	g.w("    return %s;\n", g.expr(0))
+	g.w("}\n\n")
+}
+
+func (g *generator) mainFunc() {
+	g.cur = fn{name: "main"}
+	g.locals = nil
+	g.frozen = map[string]bool{}
+	g.nextLocal = 0
+	g.w("func main() {\n")
+	// Bind every function variable before anything can call through it.
+	for i, fv := range g.fvars {
+		target := g.pickFuncWithParams(g.fvarSig[i])
+		if target == "" {
+			// Guaranteed fallback: an identity-ish expression function must
+			// exist; synthesize one binding to the first unary function or
+			// skip (call sites check emptiness too).
+			continue
+		}
+		g.w("    %s = %s;\n", fv, target)
+	}
+	g.block(1)
+	for i := 0; i < 3; i++ {
+		g.w("    print(%s);\n", g.expr(0))
+	}
+	g.w("}\n")
+}
+
+func (g *generator) pickFuncWithParams(n int) string {
+	var matches []string
+	for _, f := range g.funcs {
+		if f.params == n && !f.rec {
+			matches = append(matches, f.name)
+		}
+	}
+	// Recursive functions are never bound to function variables: their
+	// guard argument would be an arbitrary computed value, making recursion
+	// depth unbounded.
+	if len(matches) == 0 {
+		return ""
+	}
+	return matches[g.r.Intn(len(matches))]
+}
+
+func (g *generator) indent(depth int) string { return strings.Repeat("    ", depth) }
+
+// block emits statements at the given depth. Locals declared inside go out
+// of scope when the block ends, so the visible-locals list is restored.
+func (g *generator) block(depth int) {
+	saved := len(g.locals)
+	n := 1 + g.r.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+	g.locals = g.locals[:saved]
+}
+
+func (g *generator) stmt(depth int) {
+	ind := g.indent(depth)
+	roll := g.r.Intn(100)
+	switch {
+	case roll < 20: // new local
+		name := fmt.Sprintf("v%d_%d", depth, g.nextLocal)
+		g.nextLocal++
+		g.w("%svar %s int;\n", ind, name)
+		g.w("%s%s = %s;\n", ind, name, g.expr(0))
+		g.locals = append(g.locals, name)
+	case roll < 45: // assignment
+		tgt := g.assignable()
+		if tgt == "" {
+			g.w("%sprint(%s);\n", ind, g.expr(0))
+			return
+		}
+		g.w("%s%s = %s;\n", ind, tgt, g.expr(0))
+	case roll < 55 && depth < g.cfg.MaxDepth: // if
+		g.w("%sif (%s) {\n", ind, g.cond())
+		g.block(depth + 1)
+		if g.r.Intn(2) == 0 {
+			g.w("%s} else {\n", ind)
+			g.block(depth + 1)
+		}
+		g.w("%s}\n", ind)
+	case roll < 65 && depth < g.cfg.MaxDepth: // bounded for loop
+		iv := fmt.Sprintf("i%d_%d", depth, g.nextLocal)
+		g.nextLocal++
+		g.w("%svar %s int;\n", ind, iv)
+		g.locals = append(g.locals, iv)
+		g.frozen[iv] = true
+		bound := 2 + g.r.Intn(8)
+		g.w("%sfor (%s = 0; %s < %d; %s = %s + 1) {\n", ind, iv, iv, bound, iv, iv)
+		g.block(depth + 1)
+		if g.r.Intn(4) == 0 {
+			g.w("%s    if (%s == %d) { break; }\n", ind, iv, g.r.Intn(bound))
+		}
+		g.w("%s}\n", ind)
+		g.frozen[iv] = false
+	case roll < 75: // call statement
+		call := g.callExpr(0)
+		if call == "" {
+			g.w("%sprint(%s);\n", ind, g.expr(0))
+			return
+		}
+		if g.r.Intn(2) == 0 {
+			g.w("%sprint(%s);\n", ind, call)
+		} else {
+			tgt := g.assignable()
+			if tgt == "" {
+				g.w("%sprint(%s);\n", ind, call)
+			} else {
+				g.w("%s%s = %s;\n", ind, tgt, call)
+			}
+		}
+	case roll < 85 && len(g.arrays) > 0: // array store
+		arr := g.arrays[g.r.Intn(len(g.arrays))]
+		g.w("%s%s[%s] = %s;\n", ind, arr, g.maskedIndex(arr), g.expr(0))
+	default: // print
+		g.w("%sprint(%s);\n", ind, g.expr(0))
+	}
+}
+
+// assignable picks a mutable variable (never a frozen induction variable).
+func (g *generator) assignable() string {
+	var cands []string
+	for _, l := range g.locals {
+		if !g.frozen[l] {
+			cands = append(cands, l)
+		}
+	}
+	cands = append(cands, g.globals...)
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.r.Intn(len(cands))]
+}
+
+// maskedIndex produces an index expression guaranteed in [0, len).
+func (g *generator) maskedIndex(arr string) string {
+	n := g.arrLen[arr]
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%d", g.r.Intn(n))
+	}
+	return fmt.Sprintf("((%s %% %d + %d) %% %d)", g.expr(1), n, n, n)
+}
+
+func (g *generator) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", g.expr(1), ops[g.r.Intn(len(ops))], g.expr(1))
+	switch g.r.Intn(4) {
+	case 0:
+		c = fmt.Sprintf("%s && %s", c, g.cond0())
+	case 1:
+		c = fmt.Sprintf("%s || %s", c, g.cond0())
+	case 2:
+		c = fmt.Sprintf("!(%s)", c)
+	}
+	return c
+}
+
+func (g *generator) cond0() string {
+	ops := []string{"<", ">", "=="}
+	return fmt.Sprintf("%s %s %s", g.expr(2), ops[g.r.Intn(len(ops))], g.expr(2))
+}
+
+// expr generates an int expression. depth bounds recursion.
+func (g *generator) expr(depth int) string {
+	if depth >= g.cfg.MaxExpr {
+		return g.leaf()
+	}
+	switch g.r.Intn(10) {
+	case 0, 1, 2:
+		return g.leaf()
+	case 3, 4:
+		op := []string{"+", "-", "*"}[g.r.Intn(3)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), op, g.expr(depth+1))
+	case 5:
+		// Division by a nonzero constant only.
+		d := 1 + g.r.Intn(9)
+		op := "/"
+		if g.r.Intn(2) == 0 {
+			op = "%"
+		}
+		return fmt.Sprintf("(%s %s %d)", g.expr(depth+1), op, d)
+	case 6:
+		if len(g.arrays) > 0 {
+			arr := g.arrays[g.r.Intn(len(g.arrays))]
+			return fmt.Sprintf("%s[%s]", arr, g.maskedIndex(arr))
+		}
+		return g.leaf()
+	case 7:
+		if c := g.callExpr(depth); c != "" {
+			return c
+		}
+		return g.leaf()
+	case 8:
+		return fmt.Sprintf("(-%s)", g.expr(depth+1))
+	default:
+		ops := []string{"<", "<=", "==", "!="}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), ops[g.r.Intn(len(ops))], g.expr(depth+1))
+	}
+}
+
+func (g *generator) leaf() string {
+	choices := 2 + len(g.locals) + len(g.globals)
+	k := g.r.Intn(choices)
+	switch {
+	case k == 0 || k == 1:
+		return fmt.Sprintf("%d", g.r.Intn(41)-20)
+	case k-2 < len(g.locals):
+		return g.locals[k-2]
+	default:
+		return g.globals[k-2-len(g.locals)]
+	}
+}
+
+// callExpr builds a call to an already-defined function (keeping the static
+// call graph acyclic except for guarded self-recursion), or through a bound
+// function variable. Returns "" when nothing is callable. Argument
+// expressions continue at depth+1 so nested calls cannot recurse without
+// bound.
+func (g *generator) callExpr(depth int) string {
+	if depth >= g.cfg.MaxExpr {
+		return ""
+	}
+	argDepth := depth + 1
+	// Inside f_i we may call f_0..f_{i-1}; recursive functions also call
+	// themselves with a decreasing guard.
+	var cands []fn
+	for _, f := range g.funcs {
+		if f.name == g.cur.name {
+			break
+		}
+		cands = append(cands, f)
+	}
+	self := g.cur.rec && g.r.Intn(3) == 0
+	useFvar := len(g.fvars) > 0 && g.cur.name == "main" && g.r.Intn(4) == 0
+	switch {
+	case self:
+		args := []string{"(p0 - 1)"}
+		for p := 1; p < g.cur.params; p++ {
+			args = append(args, g.expr(argDepth))
+		}
+		return fmt.Sprintf("%s(%s)", g.cur.name, strings.Join(args, ", "))
+	case useFvar:
+		i := g.r.Intn(len(g.fvars))
+		if g.pickFuncWithParams(g.fvarSig[i]) == "" {
+			return "" // variable would be unbound
+		}
+		return fmt.Sprintf("%s(%s)", g.fvars[i], g.expr(argDepth))
+	case len(cands) > 0:
+		f := cands[g.r.Intn(len(cands))]
+		args := make([]string, f.params)
+		for p := range args {
+			args[p] = g.expr(argDepth)
+		}
+		if f.rec {
+			// Keep the guard small so recursion stays shallow.
+			args[0] = fmt.Sprintf("%d", g.r.Intn(6))
+		}
+		return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+	}
+	return ""
+}

@@ -1,0 +1,87 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(42, DefaultConfig())
+	b := Generate(42, DefaultConfig())
+	if a != b {
+		t.Fatal("same seed must generate the same program")
+	}
+	c := Generate(43, DefaultConfig())
+	if a == c {
+		t.Fatal("different seeds should almost surely differ")
+	}
+}
+
+func TestHasExpectedShape(t *testing.T) {
+	src := Generate(7, DefaultConfig())
+	if !strings.Contains(src, "func main()") {
+		t.Error("no main")
+	}
+	if !strings.Contains(src, "func f0(") {
+		t.Error("no generated functions")
+	}
+	if !strings.Contains(src, "print(") {
+		t.Error("no output: differential tests would be vacuous")
+	}
+}
+
+func TestIndexAlwaysMasked(t *testing.T) {
+	// Every array subscript must be a literal or a masked expression;
+	// scan for the tell-tale pattern.
+	for seed := int64(0); seed < 30; seed++ {
+		src := Generate(seed, DefaultConfig())
+		for i := 0; i < len(src); i++ {
+			if src[i] != '[' {
+				continue
+			}
+			j := i + 1
+			depth := 1
+			for j < len(src) && depth > 0 {
+				if src[j] == '[' {
+					depth++
+				}
+				if src[j] == ']' {
+					depth--
+				}
+				j++
+			}
+			idx := src[i+1 : j-1]
+			numeric := true
+			for _, ch := range idx {
+				if ch < '0' || ch > '9' {
+					numeric = false
+					break
+				}
+			}
+			if !numeric && !strings.Contains(idx, "%") {
+				t.Fatalf("seed %d: unmasked index %q", seed, idx)
+			}
+		}
+	}
+}
+
+func TestNoDivisionByVariables(t *testing.T) {
+	// Division and remainder must always have constant divisors.
+	for seed := int64(0); seed < 30; seed++ {
+		src := Generate(seed, DefaultConfig())
+		for _, op := range []string{"/ ", "% "} {
+			k := 0
+			for {
+				i := strings.Index(src[k:], op)
+				if i < 0 {
+					break
+				}
+				k += i + len(op)
+				ch := src[k]
+				if ch < '0' || ch > '9' {
+					t.Fatalf("seed %d: non-constant divisor near %q", seed, src[k-8:k+4])
+				}
+			}
+		}
+	}
+}

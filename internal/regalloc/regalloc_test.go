@@ -1,0 +1,296 @@
+package regalloc
+
+import (
+	"testing"
+
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/mach"
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+)
+
+func funcFor(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	// The optimizer is deliberately not run: these tests inspect the
+	// locations of named source variables, which copy propagation would
+	// otherwise fold away.
+	return mod.Lookup(name)
+}
+
+func tempByPrefix(f *ir.Func, prefix string) *ir.Temp {
+	for _, t := range f.Temps() {
+		if t.IsVar && len(t.Name) >= len(prefix) && t.Name[:len(prefix)] == prefix {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestInterferingRangesGetDistinctRegisters(t *testing.T) {
+	f := funcFor(t, `
+func f(a int, b int) int {
+    var x int;
+    var y int;
+    x = a + b;
+    y = a - b;
+    print(x);
+    print(y);
+    return x * y;
+}
+func main() { print(f(3, 4)); }`, "f")
+	res := Allocate(f, Options{Config: mach.Default(), Mode: Intra})
+	x := tempByPrefix(f, "x.")
+	y := tempByPrefix(f, "y.")
+	lx, ly := res.LocOf(x), res.LocOf(y)
+	if lx.Kind != LocReg || ly.Kind != LocReg {
+		t.Fatalf("x=%v y=%v; both should be in registers", lx, ly)
+	}
+	if lx.Reg == ly.Reg {
+		t.Errorf("x and y interfere but share %s", lx.Reg)
+	}
+}
+
+func TestCallFreeRangePrefersCallerSaved(t *testing.T) {
+	f := funcFor(t, `
+func f(a int) int {
+    var x int;
+    x = a * 2;
+    print(x);
+    return x + 1;
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	res := Allocate(f, Options{Config: cfg, Mode: Intra,
+		ParamIn: DefaultArgLocs(cfg, 1)})
+	x := tempByPrefix(f, "x.")
+	l := res.LocOf(x)
+	if l.Kind != LocReg {
+		t.Fatalf("x spilled: %v", l)
+	}
+	if cfg.IsCalleeSaved(l.Reg) {
+		t.Errorf("call-free x took callee-saved %s (pointless save/restore)", l.Reg)
+	}
+}
+
+func TestSpanningRangePrefersCalleeSavedIntra(t *testing.T) {
+	// x is live across two calls: one entry/exit save beats two around-call
+	// pairs.
+	f := funcFor(t, `
+func g(v int) int { return v + 1; }
+func f(a int) int {
+    var x int;
+    var p int;
+    var q int;
+    x = a * 3;
+    p = g(a);
+    q = g(p);
+    return x + p + q;
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	res := Allocate(f, Options{Config: cfg, Mode: Intra,
+		ParamIn: DefaultArgLocs(cfg, 1)})
+	x := tempByPrefix(f, "x.")
+	l := res.LocOf(x)
+	if l.Kind != LocReg {
+		t.Fatalf("x spilled: %v", l)
+	}
+	if !cfg.IsCalleeSaved(l.Reg) {
+		t.Errorf("x spans two calls; wanted callee-saved, got %s", l.Reg)
+	}
+}
+
+// summaryOracle pretends every callee uses exactly the given set.
+type summaryOracle struct {
+	cfg  *mach.Config
+	used mach.RegSet
+}
+
+func (o summaryOracle) Clobbered(*ir.Instr) mach.RegSet { return o.used }
+func (o summaryOracle) ArgLocs(call *ir.Instr) []ArgLoc {
+	return DefaultArgLocs(o.cfg, len(call.Args))
+}
+
+func TestInterModeUsesCalleeUnusedRegisters(t *testing.T) {
+	// Under inter-procedural allocation with a callee that only uses $v1,
+	// values live across the call can sit in any other caller-saved
+	// register for free — no callee-saved register needed at all.
+	f := funcFor(t, `
+func g(v int) int { return v + 1; }
+func f(a int) int {
+    var x int;
+    var p int;
+    x = a * 3;
+    p = g(a);
+    return x + p;
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	res := Allocate(f, Options{
+		Config: cfg,
+		Mode:   Inter,
+		Oracle: summaryOracle{cfg: cfg, used: mach.SetOf(mach.V1)},
+	})
+	x := tempByPrefix(f, "x.")
+	l := res.LocOf(x)
+	if l.Kind != LocReg {
+		t.Fatalf("x spilled: %v", l)
+	}
+	if l.Reg == mach.V1 {
+		t.Errorf("x landed in the one register the callee destroys")
+	}
+	if cfg.IsCalleeSaved(l.Reg) {
+		t.Errorf("x took callee-saved %s though cheap caller-saved registers were free", l.Reg)
+	}
+}
+
+func TestInterModeAvoidsClobberedRegisters(t *testing.T) {
+	// When the callee tree uses every caller-saved register, a value live
+	// across the call must take a callee-saved one.
+	f := funcFor(t, `
+func g(v int) int { return v + 1; }
+func f(a int) int {
+    var x int;
+    var p int;
+    x = a * 3;
+    p = g(a);
+    return x + p;
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	clob := cfg.CallerSaved.Union(cfg.ParamSet())
+	res := Allocate(f, Options{
+		Config: cfg,
+		Mode:   Inter,
+		Oracle: summaryOracle{cfg: cfg, used: clob},
+	})
+	x := tempByPrefix(f, "x.")
+	l := res.LocOf(x)
+	if l.Kind != LocReg {
+		t.Fatalf("x spilled: %v", l)
+	}
+	if !cfg.IsCalleeSaved(l.Reg) {
+		t.Errorf("x in %s would be destroyed by the call", l.Reg)
+	}
+}
+
+func TestNoRegistersMeansMemory(t *testing.T) {
+	f := funcFor(t, `
+func f(a int) int { return a + 1; }
+func main() { print(f(5)); }`, "f")
+	empty := &mach.Config{Name: "none", Params: []mach.Reg{mach.A0}}
+	res := Allocate(f, Options{Config: empty, Mode: Intra})
+	for _, tmp := range f.Temps() {
+		if res.LocOf(tmp).Kind == LocReg {
+			t.Errorf("temp %s got a register from an empty config", tmp)
+		}
+	}
+	if res.Spilled == 0 {
+		t.Errorf("everything should have spilled")
+	}
+}
+
+func TestParamPreference(t *testing.T) {
+	// A parameter that only feeds a quick use should stay in its arrival
+	// register rather than be moved elsewhere.
+	f := funcFor(t, `
+func f(a int, b int) int { return a + b; }
+func main() { print(f(1, 2)); }`, "f")
+	cfg := mach.Default()
+	res := Allocate(f, Options{Config: cfg, Mode: Intra,
+		ParamIn: DefaultArgLocs(cfg, 2)})
+	if got := res.LocOf(f.Params[0]); got.Kind != LocReg || got.Reg != mach.A0 {
+		t.Errorf("param 0 at %v, want $a0", got)
+	}
+	if got := res.LocOf(f.Params[1]); got.Kind != LocReg || got.Reg != mach.A1 {
+		t.Errorf("param 1 at %v, want $a1", got)
+	}
+}
+
+func TestOutgoingArgPreference(t *testing.T) {
+	// The value passed as the first argument should be computed straight
+	// into $a0 when nothing else constrains it.
+	f := funcFor(t, `
+func g(v int) int { return v; }
+func f(a int) int {
+    var x int;
+    x = a * 2;
+    return g(x);
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	res := Allocate(f, Options{Config: cfg, Mode: Intra,
+		ParamIn: DefaultArgLocs(cfg, 1)})
+	x := tempByPrefix(f, "x.")
+	if got := res.LocOf(x); got.Kind != LocReg || got.Reg != mach.A0 {
+		t.Errorf("outgoing arg at %v, want $a0", got)
+	}
+}
+
+func TestDefaultArgLocs(t *testing.T) {
+	cfg := mach.Default()
+	locs := DefaultArgLocs(cfg, 6)
+	for i := 0; i < 4; i++ {
+		if !locs[i].InReg || locs[i].Reg != cfg.Params[i] {
+			t.Errorf("arg %d: %+v", i, locs[i])
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if locs[i].InReg || locs[i].Slot != i {
+			t.Errorf("arg %d: %+v", i, locs[i])
+		}
+	}
+}
+
+func TestUnusedTempGetsNoLocation(t *testing.T) {
+	f := funcFor(t, `
+func f(unused int) int { return 7; }
+func main() { print(f(1)); }`, "f")
+	res := Allocate(f, Options{Config: mach.Default(), Mode: Intra})
+	if got := res.LocOf(f.Params[0]); got.Kind != LocNone {
+		t.Errorf("unused param located at %v", got)
+	}
+}
+
+func TestMustSaveWaivesCharge(t *testing.T) {
+	// With MustSave covering $s0, a low-weight spanning range should happily
+	// take it (no marginal entry/exit cost) even though every caller-saved
+	// register is clobbered by the callee.
+	f := funcFor(t, `
+func g(v int) int { return v + 1; }
+func f(a int) int {
+    var x int;
+    var p int;
+    x = a * 3;
+    p = g(a);
+    return x + p;
+}
+func main() { print(f(5)); }`, "f")
+	cfg := mach.Default()
+	clob := cfg.CallerSaved.Union(cfg.ParamSet())
+	res := Allocate(f, Options{
+		Config:   cfg,
+		Mode:     Intra,
+		Oracle:   summaryOracle{cfg: cfg, used: clob},
+		MustSave: mach.SetOf(mach.S0),
+		ParamIn:  DefaultArgLocs(cfg, 1),
+	})
+	x := tempByPrefix(f, "x.")
+	l := res.LocOf(x)
+	if l.Kind != LocReg || l.Reg != mach.S0 {
+		t.Errorf("x at %v, want the pre-paid $s0", l)
+	}
+}

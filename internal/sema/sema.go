@@ -1,0 +1,438 @@
+// Package sema performs symbol resolution and type checking for CW programs.
+//
+// Beyond ordinary checking it computes the two facts the inter-procedural
+// allocator needs from the front end: which functions have their address
+// taken (assigned to a function-typed variable or passed as a function-typed
+// argument — such functions are callable indirectly and therefore *open*),
+// and the fully resolved symbol for every identifier use.
+package sema
+
+import (
+	"fmt"
+
+	"chow88/internal/ast"
+	"chow88/internal/token"
+)
+
+// VarSym is a resolved variable: a global, a parameter, or a local.
+type VarSym struct {
+	Name   string
+	Type   *ast.Type
+	Global bool
+	// ParamIndex is the 0-based parameter position, or -1 for non-parameters.
+	ParamIndex int
+	// ID is unique among the symbols of one function (or among globals).
+	ID int
+}
+
+func (v *VarSym) String() string { return v.Name }
+
+// FuncInfo carries the symbols of one function.
+type FuncInfo struct {
+	Decl   *ast.FuncDecl
+	Params []*VarSym
+	// Locals lists every local symbol including parameters, in declaration
+	// order. Shadowed variables appear as distinct symbols.
+	Locals []*VarSym
+}
+
+// Info is the result of checking a program.
+type Info struct {
+	Program *ast.Program
+	Globals []*VarSym
+	Funcs   map[string]*FuncInfo
+	// FuncOrder lists function names in declaration order.
+	FuncOrder []string
+	// Uses resolves each variable identifier to its symbol.
+	Uses map[*ast.Ident]*VarSym
+	// FuncRefs resolves each identifier that names a function.
+	FuncRefs map[*ast.Ident]*ast.FuncDecl
+	// AddressTaken holds functions whose address is taken (indirect-call
+	// candidates; they must be treated as open by the allocator).
+	AddressTaken map[string]bool
+	// Types records the type of every expression.
+	Types map[ast.Expr]*ast.Type
+}
+
+// Check resolves and type-checks prog.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Program:      prog,
+			Funcs:        map[string]*FuncInfo{},
+			Uses:         map[*ast.Ident]*VarSym{},
+			FuncRefs:     map[*ast.Ident]*ast.FuncDecl{},
+			AddressTaken: map[string]bool{},
+			Types:        map[ast.Expr]*ast.Type{},
+		},
+		globals: map[string]*VarSym{},
+		funcs:   map[string]*ast.FuncDecl{},
+	}
+	if err := c.collectTopLevel(prog); err != nil {
+		return nil, err
+	}
+	for _, d := range prog.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Extern {
+			continue
+		}
+		if err := c.checkFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	main, ok := c.funcs["main"]
+	switch {
+	case !ok:
+		return nil, fmt.Errorf("program has no main function")
+	case main.Extern:
+		return nil, fmt.Errorf("%s: main must not be extern", main.Pos())
+	case len(main.Params) != 0 || main.Returns:
+		return nil, fmt.Errorf("%s: main must take no parameters and return nothing", main.Pos())
+	}
+	return c.info, nil
+}
+
+type checker struct {
+	info    *Info
+	globals map[string]*VarSym
+	funcs   map[string]*ast.FuncDecl
+
+	// Per-function state.
+	fn        *FuncInfo
+	scopes    []map[string]*VarSym
+	loopDepth int
+	nextID    int
+}
+
+func errAt(pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) collectTopLevel(prog *ast.Program) error {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			if _, dup := c.globals[d.Name]; dup {
+				return errAt(d.Pos(), "duplicate global %s", d.Name)
+			}
+			if _, dup := c.funcs[d.Name]; dup {
+				return errAt(d.Pos(), "%s already declared as a function", d.Name)
+			}
+			sym := &VarSym{Name: d.Name, Type: d.Type, Global: true, ParamIndex: -1, ID: len(c.info.Globals)}
+			c.globals[d.Name] = sym
+			c.info.Globals = append(c.info.Globals, sym)
+		case *ast.FuncDecl:
+			if _, dup := c.funcs[d.Name]; dup {
+				return errAt(d.Pos(), "duplicate function %s", d.Name)
+			}
+			if _, dup := c.globals[d.Name]; dup {
+				return errAt(d.Pos(), "%s already declared as a variable", d.Name)
+			}
+			if d.Name == "print" {
+				return errAt(d.Pos(), "cannot redefine builtin print")
+			}
+			for _, p := range d.Params {
+				if p.Type.Kind == ast.ArrayType {
+					return errAt(p.Pos(), "array parameters are not supported; use a global array")
+				}
+			}
+			c.funcs[d.Name] = d
+			c.info.FuncOrder = append(c.info.FuncOrder, d.Name)
+		}
+	}
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*VarSym{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(d *ast.VarDecl, paramIndex int) (*VarSym, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		return nil, errAt(d.Pos(), "duplicate declaration of %s in this scope", d.Name)
+	}
+	sym := &VarSym{Name: d.Name, Type: d.Type, ParamIndex: paramIndex, ID: c.nextID}
+	c.nextID++
+	top[d.Name] = sym
+	c.fn.Locals = append(c.fn.Locals, sym)
+	return sym, nil
+}
+
+// lookupVar finds a variable by name, innermost scope first, then globals.
+func (c *checker) lookupVar(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) error {
+	c.fn = &FuncInfo{Decl: fd}
+	c.scopes = nil
+	c.loopDepth = 0
+	c.nextID = 0
+	c.info.Funcs[fd.Name] = c.fn
+
+	c.pushScope()
+	defer c.popScope()
+	for i, p := range fd.Params {
+		sym, err := c.declareLocal(p, i)
+		if err != nil {
+			return err
+		}
+		c.fn.Params = append(c.fn.Params, sym)
+	}
+	return c.checkBlock(fd.Body)
+}
+
+func (c *checker) checkBlock(b *ast.Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		if _, clash := c.funcs[s.Decl.Name]; clash {
+			return errAt(s.Pos(), "%s already declared as a function", s.Decl.Name)
+		}
+		_, err := c.declareLocal(s.Decl, -1)
+		return err
+	case *ast.Block:
+		return c.checkBlock(s)
+	case *ast.AssignStmt:
+		return c.checkAssign(s)
+	case *ast.IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *ast.WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkBlock(s.Body)
+		c.loopDepth--
+		return err
+	case *ast.ForStmt:
+		// The init clause may declare nothing (CW has no for-scoped vars);
+		// it is an assignment or call in the enclosing scope.
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.checkBlock(s.Body)
+		c.loopDepth--
+		return err
+	case *ast.ReturnStmt:
+		if c.fn.Decl.Returns {
+			if s.Value == nil {
+				return errAt(s.Pos(), "%s must return a value", c.fn.Decl.Name)
+			}
+			return c.checkIntExpr(s.Value)
+		}
+		if s.Value != nil {
+			return errAt(s.Pos(), "%s returns no value", c.fn.Decl.Name)
+		}
+		return nil
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			return errAt(s.Pos(), "break outside loop")
+		}
+		return nil
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			return errAt(s.Pos(), "continue outside loop")
+		}
+		return nil
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return errAt(s.Pos(), "expression statement must be a call")
+		}
+		_, err := c.checkCall(call)
+		return err
+	}
+	return errAt(s.Pos(), "unhandled statement %T", s)
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt) error {
+	switch lhs := s.Lhs.(type) {
+	case *ast.Ident:
+		sym := c.lookupVar(lhs.Name)
+		if sym == nil {
+			return errAt(lhs.Pos(), "undefined variable %s", lhs.Name)
+		}
+		c.info.Uses[lhs] = sym
+		switch sym.Type.Kind {
+		case ast.IntType:
+			return c.checkIntExpr(s.Rhs)
+		case ast.FuncType:
+			t, err := c.exprType(s.Rhs)
+			if err != nil {
+				return err
+			}
+			if !t.Equal(sym.Type) {
+				return errAt(s.Rhs.Pos(), "cannot assign %s to %s of type %s", t, sym.Name, sym.Type)
+			}
+			return nil
+		default:
+			return errAt(lhs.Pos(), "cannot assign to %s of type %s", sym.Name, sym.Type)
+		}
+	case *ast.IndexExpr:
+		if err := c.checkIndex(lhs); err != nil {
+			return err
+		}
+		return c.checkIntExpr(s.Rhs)
+	}
+	return errAt(s.Lhs.Pos(), "invalid assignment target")
+}
+
+func (c *checker) checkCond(e ast.Expr) error { return c.checkIntExpr(e) }
+
+func (c *checker) checkIntExpr(e ast.Expr) error {
+	t, err := c.exprType(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != ast.IntType {
+		return errAt(e.Pos(), "expected int expression, found %s", t)
+	}
+	return nil
+}
+
+// exprType types an expression, resolving identifiers as it goes.
+func (c *checker) exprType(e ast.Expr) (*ast.Type, error) {
+	t, err := c.exprType1(e)
+	if err == nil {
+		c.info.Types[e] = t
+	}
+	return t, err
+}
+
+func (c *checker) exprType1(e ast.Expr) (*ast.Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ast.TInt, nil
+	case *ast.Ident:
+		if sym := c.lookupVar(e.Name); sym != nil {
+			c.info.Uses[e] = sym
+			if sym.Type.Kind == ast.ArrayType {
+				return nil, errAt(e.Pos(), "array %s must be indexed", e.Name)
+			}
+			return sym.Type, nil
+		}
+		if fd, ok := c.funcs[e.Name]; ok {
+			// A function name used as a value: its address is taken.
+			c.info.FuncRefs[e] = fd
+			c.info.AddressTaken[fd.Name] = true
+			return fd.Sig(), nil
+		}
+		return nil, errAt(e.Pos(), "undefined identifier %s", e.Name)
+	case *ast.IndexExpr:
+		if err := c.checkIndex(e); err != nil {
+			return nil, err
+		}
+		return ast.TInt, nil
+	case *ast.CallExpr:
+		return c.checkCall(e)
+	case *ast.BinaryExpr:
+		if err := c.checkIntExpr(e.X); err != nil {
+			return nil, err
+		}
+		if err := c.checkIntExpr(e.Y); err != nil {
+			return nil, err
+		}
+		return ast.TInt, nil
+	case *ast.UnaryExpr:
+		if err := c.checkIntExpr(e.X); err != nil {
+			return nil, err
+		}
+		return ast.TInt, nil
+	}
+	return nil, errAt(e.Pos(), "unhandled expression %T", e)
+}
+
+func (c *checker) checkIndex(e *ast.IndexExpr) error {
+	sym := c.lookupVar(e.Arr.Name)
+	if sym == nil {
+		return errAt(e.Arr.Pos(), "undefined variable %s", e.Arr.Name)
+	}
+	c.info.Uses[e.Arr] = sym
+	if sym.Type.Kind != ast.ArrayType {
+		return errAt(e.Arr.Pos(), "%s is not an array", e.Arr.Name)
+	}
+	return c.checkIntExpr(e.Index)
+}
+
+// checkCall types a call. The callee may be the builtin print, a declared
+// function (direct call), or a function-typed variable (indirect call).
+func (c *checker) checkCall(e *ast.CallExpr) (*ast.Type, error) {
+	if e.Fun.Name == "print" {
+		if c.lookupVar("print") == nil {
+			if len(e.Args) != 1 {
+				return nil, errAt(e.Pos(), "print takes exactly one argument")
+			}
+			if err := c.checkIntExpr(e.Args[0]); err != nil {
+				return nil, err
+			}
+			return ast.TVoid, nil
+		}
+	}
+	var sig *ast.Type
+	if sym := c.lookupVar(e.Fun.Name); sym != nil {
+		c.info.Uses[e.Fun] = sym
+		if sym.Type.Kind != ast.FuncType {
+			return nil, errAt(e.Fun.Pos(), "%s is not callable", e.Fun.Name)
+		}
+		sig = sym.Type
+	} else if fd, ok := c.funcs[e.Fun.Name]; ok {
+		c.info.FuncRefs[e.Fun] = fd
+		sig = fd.Sig()
+	} else {
+		return nil, errAt(e.Fun.Pos(), "undefined function %s", e.Fun.Name)
+	}
+	if len(e.Args) != len(sig.Params) {
+		return nil, errAt(e.Pos(), "%s expects %d arguments, got %d", e.Fun.Name, len(sig.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at, err := c.exprType(a)
+		if err != nil {
+			return nil, err
+		}
+		if !at.Equal(sig.Params[i]) {
+			return nil, errAt(a.Pos(), "argument %d of %s: expected %s, found %s", i+1, e.Fun.Name, sig.Params[i], at)
+		}
+	}
+	if sig.Returns {
+		return ast.TInt, nil
+	}
+	return ast.TVoid, nil
+}

@@ -1,0 +1,158 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(p)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("no error for:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not contain %q", err, fragment)
+	}
+}
+
+const okProg = `
+var g int;
+var buf [16]int;
+var hook func(int) int;
+
+func twice(x int) int { return x + x; }
+
+func use() {
+    var i int;
+    hook = twice;
+    for (i = 0; i < 16; i = i + 1) {
+        buf[i] = hook(i) + g;
+    }
+}
+
+func main() {
+    use();
+    print(buf[3]);
+}`
+
+func TestOK(t *testing.T) {
+	info := mustCheck(t, okProg)
+	if len(info.Globals) != 3 {
+		t.Errorf("globals = %d", len(info.Globals))
+	}
+	if !info.AddressTaken["twice"] {
+		t.Errorf("twice should be address-taken")
+	}
+	if info.AddressTaken["use"] {
+		t.Errorf("use should not be address-taken")
+	}
+	fi := info.Funcs["twice"]
+	if len(fi.Params) != 1 || fi.Params[0].ParamIndex != 0 {
+		t.Errorf("bad params: %+v", fi.Params)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	info := mustCheck(t, `
+var x int;
+func main() {
+    var x int;
+    x = 1;
+    { var x int; x = 2; }
+    print(x);
+}`)
+	fi := info.Funcs["main"]
+	if len(fi.Locals) != 2 {
+		t.Fatalf("locals = %d, want 2 distinct x symbols", len(fi.Locals))
+	}
+	if fi.Locals[0].ID == fi.Locals[1].ID {
+		t.Errorf("shadowed locals share an ID")
+	}
+}
+
+func TestMainRequired(t *testing.T) {
+	wantErr(t, "func f() {}", "no main")
+	wantErr(t, "func main(x int) {}", "main must take no parameters")
+	wantErr(t, "func main() int { return 0; }", "main must take no parameters")
+	wantErr(t, "extern func main();", "must not be extern")
+}
+
+func TestUndefined(t *testing.T) {
+	wantErr(t, "func main() { x = 1; }", "undefined variable x")
+	wantErr(t, "func main() { print(y); }", "undefined identifier y")
+	wantErr(t, "func main() { nope(); }", "undefined function nope")
+}
+
+func TestDuplicates(t *testing.T) {
+	wantErr(t, "var a int; var a int; func main() {}", "duplicate global")
+	wantErr(t, "func f() {} func f() {} func main() {}", "duplicate function")
+	wantErr(t, "var f int; func f() {} func main() {}", "already declared")
+	wantErr(t, "func main() { var a int; var a int; }", "duplicate declaration")
+	wantErr(t, "func print(x int) {} func main() {}", "builtin print")
+}
+
+func TestTypeErrors(t *testing.T) {
+	wantErr(t, "var a [4]int; func main() { a = 1; }", "cannot assign")
+	wantErr(t, "var a [4]int; func main() { print(a); }", "must be indexed")
+	wantErr(t, "var g int; func main() { g[0] = 1; }", "not an array")
+	wantErr(t, "func f(x int) {} func main() { f(); }", "expects 1 arguments, got 0")
+	wantErr(t, "func f(x int) {} func main() { f(1, 2); }", "expects 1 arguments, got 2")
+	wantErr(t, "var g int; func main() { g(); }", "not callable")
+	wantErr(t, "func main() { print(1, 2); }", "exactly one argument")
+	wantErr(t, "var h func() int; func f() {} func main() { h = f; }", "cannot assign")
+}
+
+func TestReturnChecks(t *testing.T) {
+	wantErr(t, "func f() int { return; } func main() {}", "must return a value")
+	wantErr(t, "func f() { return 1; } func main() {}", "returns no value")
+}
+
+func TestLoopChecks(t *testing.T) {
+	wantErr(t, "func main() { break; }", "break outside loop")
+	wantErr(t, "func main() { continue; }", "continue outside loop")
+	mustCheck(t, "func main() { while (1) { break; continue; } }")
+	mustCheck(t, "func main() { for (;;) { break; } }")
+}
+
+func TestArrayParamRejected(t *testing.T) {
+	wantErr(t, "func f(a [3]int) {} func main() {}", "array parameters")
+}
+
+func TestFuncValueUses(t *testing.T) {
+	// Passing a function name as a func-typed argument takes its address.
+	info := mustCheck(t, `
+func apply(f func(int) int, x int) int { return f(x); }
+func sq(x int) int { return x * x; }
+func main() { print(apply(sq, 5)); }`)
+	if !info.AddressTaken["sq"] {
+		t.Errorf("sq should be address-taken")
+	}
+	if info.AddressTaken["apply"] {
+		t.Errorf("apply is only called directly")
+	}
+}
+
+func TestVoidInExpr(t *testing.T) {
+	wantErr(t, "func f() {} func main() { print(f()); }", "expected int expression")
+}

@@ -1,0 +1,218 @@
+// Package sim executes mcode programs on a register-accurate virtual
+// machine modelled on the MIPS R2000: 32 general registers, a flat
+// word-addressed memory holding the data segment and a downward-growing
+// stack, and the R2000's integer cycle costs (single-cycle ALU, loads and
+// stores; 12-cycle multiply; 35-cycle divide). It fills a pixie.Stats with
+// the trace counters as it runs.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"chow88/internal/mach"
+	"chow88/internal/mcode"
+	"chow88/internal/pixie"
+)
+
+// Options configure a run.
+type Options struct {
+	// MemWords is the memory size in words; 0 selects a default sized to
+	// the program's data segment plus a 1 MiW stack.
+	MemWords int
+	// MaxInstrs bounds execution; 0 means the default (2e9).
+	MaxInstrs int64
+	// Profile records per-instruction execution counts in the result,
+	// enabling profile feedback to the register allocator.
+	Profile bool
+}
+
+const defaultMaxInstrs = int64(2_000_000_000)
+
+// Trap is a machine fault.
+type Trap struct {
+	Msg string
+	PC  int
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("pc %d: machine trap: %s", t.PC, t.Msg) }
+
+// ErrLimit reports instruction-budget exhaustion.
+var ErrLimit = errors.New("instruction budget exceeded")
+
+// Result carries the run outcome.
+type Result struct {
+	Output []int64
+	Stats  pixie.Stats
+	// InstrCounts holds per-code-index execution counts when Options.Profile
+	// was set (indexed like Program.Code).
+	InstrCounts []int64
+}
+
+// Run executes the program from its startup stub.
+func Run(p *mcode.Program, opts Options) (*Result, error) {
+	memWords := opts.MemWords
+	if memWords == 0 {
+		memWords = p.DataSize + 1<<20
+	}
+	maxInstrs := opts.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = defaultMaxInstrs
+	}
+	mem := make([]int64, memWords)
+	var regs [mach.NumRegs]int64
+	regs[mach.SP] = int64(memWords)
+	stackFloor := int64(p.DataSize)
+
+	res := &Result{}
+	if opts.Profile {
+		res.InstrCounts = make([]int64, len(p.Code))
+	}
+	st := &res.Stats
+	pc := 0
+
+	trap := func(format string, args ...any) error {
+		return &Trap{Msg: fmt.Sprintf(format, args...), PC: pc}
+	}
+	load := func(addr int64) (int64, error) {
+		if addr < 0 || addr >= int64(memWords) {
+			return 0, trap("load from bad address %d", addr)
+		}
+		return mem[addr], nil
+	}
+	store := func(addr, v int64) error {
+		if addr < 0 || addr >= int64(memWords) {
+			return trap("store to bad address %d", addr)
+		}
+		mem[addr] = v
+		return nil
+	}
+
+	for {
+		if pc < 0 || pc >= len(p.Code) {
+			return res, trap("control left the code image")
+		}
+		in := &p.Code[pc]
+		if res.InstrCounts != nil {
+			res.InstrCounts[pc]++
+		}
+		st.Instrs++
+		if st.Instrs > maxInstrs {
+			return res, fmt.Errorf("pc %d: %w", pc, ErrLimit)
+		}
+		st.Cycles++
+		nextPC := pc + 1
+
+		rt := func() int64 {
+			if in.HasImm {
+				return in.Imm
+			}
+			return regs[in.Rt]
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+
+		switch in.Op {
+		case mcode.LI:
+			regs[in.Rd] = in.Imm
+		case mcode.MOVE:
+			regs[in.Rd] = regs[in.Rs]
+		case mcode.ADD:
+			regs[in.Rd] = regs[in.Rs] + rt()
+		case mcode.SUB:
+			regs[in.Rd] = regs[in.Rs] - rt()
+		case mcode.MUL:
+			st.Cycles += 11 // 12 total
+			st.MulDiv++
+			regs[in.Rd] = regs[in.Rs] * rt()
+		case mcode.DIV, mcode.REM:
+			st.Cycles += 34 // 35 total
+			st.MulDiv++
+			d := rt()
+			if d == 0 {
+				return res, trap("division by zero")
+			}
+			n := regs[in.Rs]
+			if n == -1<<63 && d == -1 {
+				if in.Op == mcode.DIV {
+					regs[in.Rd] = n
+				} else {
+					regs[in.Rd] = 0
+				}
+			} else if in.Op == mcode.DIV {
+				regs[in.Rd] = n / d
+			} else {
+				regs[in.Rd] = n % d
+			}
+		case mcode.SLT:
+			regs[in.Rd] = b2i(regs[in.Rs] < rt())
+		case mcode.SLE:
+			regs[in.Rd] = b2i(regs[in.Rs] <= rt())
+		case mcode.SEQ:
+			regs[in.Rd] = b2i(regs[in.Rs] == rt())
+		case mcode.SNE:
+			regs[in.Rd] = b2i(regs[in.Rs] != rt())
+		case mcode.LW:
+			v, err := load(regs[in.Rs] + in.Imm)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+			st.Loads++
+			st.LoadsByClass[in.Class]++
+		case mcode.SW:
+			if err := store(regs[in.Rs]+in.Imm, regs[in.Rt]); err != nil {
+				return res, err
+			}
+			st.Stores++
+			st.StoresByClass[in.Class]++
+		case mcode.BEQZ:
+			st.Branches++
+			if regs[in.Rs] == 0 {
+				st.Taken++
+				nextPC = in.Target
+			}
+		case mcode.BNEZ:
+			st.Branches++
+			if regs[in.Rs] != 0 {
+				st.Taken++
+				nextPC = in.Target
+			}
+		case mcode.J:
+			nextPC = in.Target
+		case mcode.JAL:
+			st.Calls++
+			regs[mach.RA] = int64(pc + 1)
+			nextPC = in.Target
+		case mcode.JALR:
+			st.Calls++
+			fv := regs[in.Rs]
+			if fv < 1 || fv > int64(len(p.Funcs)) {
+				return res, trap("indirect call through invalid function value %d", fv)
+			}
+			fi := p.Funcs[fv-1]
+			if fi.Entry < 0 {
+				return res, trap("indirect call to extern function %s", fi.Name)
+			}
+			regs[mach.RA] = int64(pc + 1)
+			nextPC = fi.Entry
+		case mcode.JR:
+			nextPC = int(regs[in.Rs])
+		case mcode.PRINT:
+			res.Output = append(res.Output, regs[in.Rs])
+		case mcode.EXIT:
+			return res, nil
+		default:
+			return res, trap("illegal instruction %d", int(in.Op))
+		}
+		regs[mach.Zero] = 0
+		if regs[mach.SP] < stackFloor {
+			return res, trap("stack overflow (sp %d below floor %d)", regs[mach.SP], stackFloor)
+		}
+		pc = nextPC
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"chow88/internal/mach"
+	"chow88/internal/mcode"
+)
+
+// prog builds a runnable image from raw instructions placed in one
+// function after the startup stub.
+func prog(ins ...mcode.Instr) *mcode.Program {
+	code := []mcode.Instr{
+		{Op: mcode.JAL, Target: 2},
+		{Op: mcode.EXIT},
+	}
+	code = append(code, ins...)
+	return &mcode.Program{
+		Code:     code,
+		Funcs:    []*mcode.FuncInfo{{Name: "main", Entry: 2, End: len(code)}},
+		DataSize: 2048,
+	}
+}
+
+func TestALUAndPrint(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 6},
+		mcode.Instr{Op: mcode.LI, Rd: mach.T1, Imm: 7},
+		mcode.Instr{Op: mcode.MUL, Rd: mach.T2, Rs: mach.T0, Rt: mach.T1},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.T2},
+		mcode.Instr{Op: mcode.ADD, Rd: mach.T2, Rs: mach.T2, HasImm: true, Imm: -2},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.T2},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 2 || res.Output[0] != 42 || res.Output[1] != 40 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	// Cycle model: MUL costs 12.
+	if res.Stats.MulDiv != 1 {
+		t.Errorf("muldiv = %d", res.Stats.MulDiv)
+	}
+	wantCycles := int64(1 /*jal*/ + 1 /*exit*/ + 1 + 1 + 12 + 1 + 1 + 1 + 1)
+	if res.Stats.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", res.Stats.Cycles, wantCycles)
+	}
+}
+
+func TestMemoryAndClasses(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 99},
+		mcode.Instr{Op: mcode.SW, Rs: mach.Zero, Rt: mach.T0, Imm: 1024, Class: mcode.ClassScalar},
+		mcode.Instr{Op: mcode.LW, Rd: mach.T1, Rs: mach.Zero, Imm: 1024, Class: mcode.ClassSaveRestore},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.T1},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 99 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	st := res.Stats
+	if st.StoresByClass[mcode.ClassScalar] != 1 || st.LoadsByClass[mcode.ClassSaveRestore] != 1 {
+		t.Errorf("class counts wrong: %+v", st)
+	}
+	if st.ScalarLS() != 2 {
+		t.Errorf("scalarLS = %d", st.ScalarLS())
+	}
+}
+
+func TestDivTrap(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 5},
+		mcode.Instr{Op: mcode.DIV, Rd: mach.T1, Rs: mach.T0, Rt: mach.T2},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	_, err := Run(p, Options{})
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want trap", err)
+	}
+}
+
+func TestBadAddressTrap(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: -5},
+		mcode.Instr{Op: mcode.LW, Rd: mach.T1, Rs: mach.T0, Class: mcode.ClassScalar},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	var trap *Trap
+	if _, err := Run(p, Options{}); !errors.As(err, &trap) {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	// Infinite recursion: each frame drops SP by 64 words.
+	code := []mcode.Instr{
+		{Op: mcode.JAL, Target: 2},
+		{Op: mcode.EXIT},
+		{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: -64},
+		{Op: mcode.JAL, Target: 2},
+	}
+	p := &mcode.Program{
+		Code:     code,
+		Funcs:    []*mcode.FuncInfo{{Name: "main", Entry: 2, End: 4}},
+		DataSize: 2048,
+	}
+	var trap *Trap
+	if _, err := Run(p, Options{MemWords: 1 << 16}); !errors.As(err, &trap) {
+		t.Fatalf("want stack-overflow trap, got %v", err)
+	}
+}
+
+func TestInstrBudget(t *testing.T) {
+	code := []mcode.Instr{
+		{Op: mcode.JAL, Target: 2},
+		{Op: mcode.EXIT},
+		{Op: mcode.J, Target: 2},
+	}
+	p := &mcode.Program{
+		Code:     code,
+		Funcs:    []*mcode.FuncInfo{{Name: "main", Entry: 2, End: 3}},
+		DataSize: 2048,
+	}
+	if _, err := Run(p, Options{MaxInstrs: 1000}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want limit, got %v", err)
+	}
+}
+
+func TestBadIndirectTrap(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 0},
+		mcode.Instr{Op: mcode.JALR, Rs: mach.T0},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	var trap *Trap
+	if _, err := Run(p, Options{}); !errors.As(err, &trap) {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+func TestBranchesAndCounters(t *testing.T) {
+	// Loop 3 times: counts branches and taken-ness.
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 3},
+		// loop:
+		mcode.Instr{Op: mcode.ADD, Rd: mach.T0, Rs: mach.T0, HasImm: true, Imm: -1},
+		mcode.Instr{Op: mcode.BNEZ, Rs: mach.T0, Target: 3},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.T0},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 0 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	if res.Stats.Branches != 3 || res.Stats.Taken != 2 {
+		t.Errorf("branches=%d taken=%d", res.Stats.Branches, res.Stats.Taken)
+	}
+	if res.Stats.Calls != 1 {
+		t.Errorf("calls = %d", res.Stats.Calls)
+	}
+}
+
+func TestZeroRegisterStaysZero(t *testing.T) {
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.Zero, Imm: 77},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.Zero},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 0 {
+		t.Errorf("$zero = %d", res.Output[0])
+	}
+}
+
+func TestSignedDivisionSemantics(t *testing.T) {
+	mk := func(a, b int64, op mcode.OpCode) int64 {
+		p := prog(
+			mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: a},
+			mcode.Instr{Op: mcode.LI, Rd: mach.T1, Imm: b},
+			mcode.Instr{Op: op, Rd: mach.T2, Rs: mach.T0, Rt: mach.T1},
+			mcode.Instr{Op: mcode.PRINT, Rs: mach.T2},
+			mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+		)
+		res, err := Run(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output[0]
+	}
+	if got := mk(-7, 2, mcode.DIV); got != -3 {
+		t.Errorf("-7/2 = %d", got)
+	}
+	if got := mk(-7, 2, mcode.REM); got != -1 {
+		t.Errorf("-7%%2 = %d", got)
+	}
+	if got := mk(-1<<63, -1, mcode.DIV); got != -1<<63 {
+		t.Errorf("overflow div = %d", got)
+	}
+	if got := mk(-1<<63, -1, mcode.REM); got != 0 {
+		t.Errorf("overflow rem = %d", got)
+	}
+}

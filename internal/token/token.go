@@ -1,0 +1,150 @@
+// Package token defines the lexical tokens of the CW language, the small
+// C-like language used to drive the register-allocation experiments.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The zero value is Illegal.
+const (
+	Illegal Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident // foo
+	Int   // 123
+
+	// Operators and delimiters.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	Assign // =
+	Eq     // ==
+	Neq    // !=
+	Lt     // <
+	Leq    // <=
+	Gt     // >
+	Geq    // >=
+
+	AndAnd // &&
+	OrOr   // ||
+	Not    // !
+
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwInt
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwExtern
+)
+
+var kindNames = map[Kind]string{
+	Illegal:  "illegal",
+	EOF:      "eof",
+	Ident:    "identifier",
+	Int:      "int literal",
+	Plus:     "+",
+	Minus:    "-",
+	Star:     "*",
+	Slash:    "/",
+	Percent:  "%",
+	Assign:   "=",
+	Eq:       "==",
+	Neq:      "!=",
+	Lt:       "<",
+	Leq:      "<=",
+	Gt:       ">",
+	Geq:      ">=",
+	AndAnd:   "&&",
+	OrOr:     "||",
+	Not:      "!",
+	LParen:   "(",
+	RParen:   ")",
+	LBrace:   "{",
+	RBrace:   "}",
+	LBracket: "[",
+	RBracket: "]",
+	Comma:    ",",
+	Semi:     ";",
+
+	KwVar:      "var",
+	KwFunc:     "func",
+	KwInt:      "int",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwExtern:   "extern",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"var":      KwVar,
+	"func":     KwFunc,
+	"int":      KwInt,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"extern":   KwExtern,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for Ident and Int
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

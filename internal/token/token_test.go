@@ -1,0 +1,34 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	if Plus.String() != "+" || KwFunc.String() != "func" || Ident.String() != "identifier" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds need a fallback rendering")
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	if Keywords["while"] != KwWhile || Keywords["extern"] != KwExtern {
+		t.Error("keyword table wrong")
+	}
+	if _, ok := Keywords["notakeyword"]; ok {
+		t.Error("bogus keyword")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "abc", Pos: Pos{Line: 2, Col: 5}}
+	if tok.String() != `identifier "abc"` {
+		t.Errorf("got %s", tok)
+	}
+	if tok.Pos.String() != "2:5" {
+		t.Errorf("pos = %s", tok.Pos)
+	}
+	if (Token{Kind: Semi}).String() != ";" {
+		t.Error("operator token rendering wrong")
+	}
+}

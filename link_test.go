@@ -1,0 +1,132 @@
+package chow88
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const unitMath = `
+func square(x int) int { return x * x; }
+func cube(x int) int { return square(x) * x; }
+`
+
+const unitMain = `
+extern func square(x int) int;
+extern func cube(x int) int;
+
+func main() {
+    print(square(5));
+    print(cube(3));
+}
+`
+
+// TestLinkUnits: cross-unit extern declarations resolve against defining
+// units (§7), and the linked whole program allocates inter-procedurally —
+// the imported functions become closed.
+func TestLinkUnits(t *testing.T) {
+	prog, err := CompileUnits(ModeC(), unitMath, unitMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{25, 27}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	sq := prog.Module.Lookup("square")
+	if fp := prog.Plan.Funcs[sq]; fp == nil || fp.Open {
+		t.Errorf("linked square should be closed to the allocator")
+	}
+}
+
+// TestCompileSeparate: without linking, the imported functions stay open and
+// the program still runs identically — only the allocator's knowledge
+// differs.
+func TestCompileSeparate(t *testing.T) {
+	linked, err := CompileUnits(ModeC(), unitMath, unitMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := CompileSeparate(ModeC(), unitMath, unitMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := linked.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lres.Output, sres.Output) {
+		t.Fatalf("outputs differ: %v vs %v", lres.Output, sres.Output)
+	}
+	sq := sep.Module.Lookup("square")
+	if fp := sep.Plan.Funcs[sq]; fp == nil || !fp.Open {
+		t.Errorf("separately compiled square must be open")
+	}
+	// The paper's point: linking can only help (or tie) the save/restore
+	// traffic, since the allocator gains exact summaries.
+	if lres.Stats.SaveRestoreLS() > sres.Stats.SaveRestoreLS() {
+		t.Errorf("linking increased save/restore traffic: %d vs %d",
+			lres.Stats.SaveRestoreLS(), sres.Stats.SaveRestoreLS())
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	if _, err := LinkUnits(); err == nil {
+		t.Error("no units must fail")
+	}
+	_, err := LinkUnits("func f() int { return 1; } func main() {}", "func f() int { return 2; }")
+	if err == nil || !strings.Contains(err.Error(), "defined in unit") {
+		t.Errorf("duplicate definition not caught: %v", err)
+	}
+	_, err = LinkUnits("var g int; func main() {}", "var g int;")
+	if err == nil || !strings.Contains(err.Error(), "global g") {
+		t.Errorf("duplicate global not caught: %v", err)
+	}
+	if _, err := LinkUnits("func f( {"); err == nil {
+		t.Error("parse errors must propagate")
+	}
+}
+
+// TestLinkKeepsTrueExterns: an extern no unit defines stays extern and
+// calling it traps, as in single-unit compilation.
+func TestLinkKeepsTrueExterns(t *testing.T) {
+	prog, err := CompileUnits(ModeC(), `
+extern func mystery(x int) int;
+func main() { print(mystery(1)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(); err == nil {
+		t.Error("calling a true extern should trap")
+	}
+}
+
+// TestLinkThreeUnits exercises a longer import chain across units.
+func TestLinkThreeUnits(t *testing.T) {
+	u1 := `func base(x int) int { return x + 1; }`
+	u2 := `
+extern func base(x int) int;
+func mid(x int) int { return base(x) * 2; }`
+	u3 := `
+extern func mid(x int) int;
+func main() { print(mid(10)); }`
+	prog, err := CompileUnits(ModeC(), u1, u2, u3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{22}) {
+		t.Fatalf("output = %v", res.Output)
+	}
+}

@@ -1,0 +1,112 @@
+package chow88
+
+import (
+	"fmt"
+
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/mcode"
+	"chow88/internal/opt"
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+	"chow88/internal/sim"
+)
+
+// CompileProfiled implements the paper's stated future work: "The feedback
+// of profile data to the register allocator is a capability that we plan to
+// add in the future" (§8). It compiles a training build under the baseline
+// mode, executes it once recording per-basic-block execution counts, writes
+// those counts back onto the IR as block frequencies (replacing the static
+// 10^loop-depth estimate), and recompiles under the requested mode.
+//
+// With measured frequencies, the allocator's save/restore placement follows
+// the program's actual behaviour: the ccom-style failure the paper analyses
+// (propagation moving saves into a region that runs more often than the
+// region they left) cannot happen, because the priorities now see the real
+// relative frequencies of the call-graph levels.
+func CompileProfiled(src string, mode Mode) (*Program, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	if mode.Optimize {
+		opt.Run(mod)
+	}
+
+	// Training build: the baseline configuration on the same IR.
+	train := core.ModeBase()
+	train.Optimize = mode.Optimize
+	train.ForceOpen = mode.ForceOpen
+	trainPlan := core.PlanModule(mod, train)
+	trainCode, err := codegen.Generate(trainPlan)
+	if err != nil {
+		return nil, fmt.Errorf("training codegen: %w", err)
+	}
+	trainRes, err := sim.Run(trainCode, sim.Options{Profile: true})
+	if err != nil {
+		return nil, fmt.Errorf("training run: %w", err)
+	}
+	if err := ApplyProfile(mod, trainCode, trainRes); err != nil {
+		return nil, err
+	}
+
+	plan := core.PlanModule(mod, mode)
+	code, err := codegen.Generate(plan)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	return &Program{Mode: mode, Module: mod, Plan: plan, Code: code}, nil
+}
+
+// ApplyProfile folds a profiling run's per-instruction execution counts back
+// onto the IR module the code was generated from: each basic block receives
+// the execution count of its first instruction. The module must be the one
+// the code image was generated from (block identities must match).
+func ApplyProfile(mod *ir.Module, code *mcode.Program, res *sim.Result) error {
+	if res.InstrCounts == nil {
+		return fmt.Errorf("profile: run was not executed with Profile enabled")
+	}
+	for _, fi := range code.Funcs {
+		if fi.Extern {
+			continue
+		}
+		f := mod.Lookup(fi.Name)
+		if f == nil {
+			return fmt.Errorf("profile: image function %s not in module", fi.Name)
+		}
+		byID := make(map[int]*ir.Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			byID[b.ID] = b
+		}
+		for _, span := range fi.Blocks {
+			b, ok := byID[span.BlockID]
+			if !ok {
+				return fmt.Errorf("profile: %s has no block %d", fi.Name, span.BlockID)
+			}
+			if span.Start < len(res.InstrCounts) {
+				b.SetProfile(res.InstrCounts[span.Start])
+			}
+		}
+	}
+	return nil
+}
+
+// ClearProfile removes attached profile data, restoring the static
+// loop-depth frequency estimates.
+func ClearProfile(mod *ir.Module) {
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			b.ClearProfile()
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package chow88
+
+import (
+	"reflect"
+	"testing"
+
+	"chow88/internal/progen"
+)
+
+// highPressureSrc keeps far more values live across calls than seven
+// registers can hold, forcing spills that the splitting round should turn
+// into block-local register residency.
+const highPressureSrc = `
+func leaf(v int) int { return v * 2 + 1; }
+
+func heavy(x int) int {
+    var a int; var b int; var c int; var d int;
+    var e int; var f int; var g int; var h int;
+    var i int; var j int;
+    a = leaf(x);
+    b = leaf(a + 1);
+    c = leaf(b + 2);
+    d = leaf(c + 3);
+    e = leaf(d + 4);
+    f = leaf(e + 5);
+    g = leaf(f + 6);
+    h = leaf(g + 7);
+    i = leaf(h + 8);
+    j = leaf(i + 9);
+    // The ranges span into a call-free loop with repeated uses: split
+    // pieces can live in registers here even though the whole ranges
+    // cannot.
+    var k int;
+    var s int;
+    s = 0;
+    for (k = 0; k < 8; k = k + 1) {
+        s = s + a + b + c + d + e + f + g + h + i + j;
+        s = s * 2 + a + j + e;
+    }
+    return s;
+}
+
+func main() {
+    var k int;
+    var s int;
+    s = 0;
+    for (k = 0; k < 50; k = k + 1) {
+        s = (s + heavy(k)) % 1000000007;
+    }
+    print(s);
+}
+`
+
+// TestSplittingReducesSpillTraffic: with only 7 registers, the splitting
+// round must strictly reduce scalar memory traffic versus spilling whole
+// ranges, without changing results.
+func TestSplittingReducesSpillTraffic(t *testing.T) {
+	withSplit := ModeD()
+	noSplit := ModeD()
+	noSplit.DisableSplitting = true
+	noSplit.Name += "/nosplit"
+
+	progSplit, err := Compile(highPressureSrc, withSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progNo, err := Compile(highPressureSrc, noSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSplit, err := progSplit.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNo, err := progNo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resSplit.Output, resNo.Output) {
+		t.Fatalf("outputs differ: %v vs %v", resSplit.Output, resNo.Output)
+	}
+	if resSplit.Stats.ScalarLS() > resNo.Stats.ScalarLS() {
+		t.Errorf("splitting increased scalar traffic: %d (split) vs %d (unsplit)",
+			resSplit.Stats.ScalarLS(), resNo.Stats.ScalarLS())
+	}
+	t.Logf("scalar l+s: split=%d unsplit=%d cycles: split=%d unsplit=%d",
+		resSplit.Stats.ScalarLS(), resNo.Stats.ScalarLS(),
+		resSplit.Stats.Cycles, resNo.Stats.Cycles)
+}
+
+// TestSplittingWinsWhenPiecesFit: a few hot spilled ranges reused in a
+// call-free loop are exactly what block-level splitting monetizes.
+func TestSplittingWinsWhenPiecesFit(t *testing.T) {
+	// Under 7 registers: v1..v4, s and k stay hot everywhere; a is hot only
+	// in the first loop and b only in the second, but their whole ranges
+	// interfere with everything (a is live through loop 2 and b through
+	// loop 1), so whole-range coloring must spill one of them and pay per
+	// use. Block-level pieces interfere only inside their own loop, fit the
+	// register file there, and cost one reload per iteration instead of two.
+	src := `
+func hot(x int) int {
+    var v1 int; var v2 int; var v3 int; var v4 int;
+    var a int; var b int;
+    v1 = x + 1; v2 = x + 2; v3 = x + 3; v4 = x + 4;
+    a = x * 3 + 1;
+    b = x * 5 + 2;
+    var k int;
+    var s int;
+    s = 0;
+    for (k = 0; k < 15; k = k + 1) {
+        s = s + v1 + v2 + v3 + v4 + a;
+        s = s * 2 + a;
+    }
+    for (k = 0; k < 15; k = k + 1) {
+        s = s + v1 + v2 + v3 + v4 + b;
+        s = s * 2 + b;
+    }
+    return s + a + b + v1;
+}
+
+func main() {
+    var k int;
+    var s int;
+    s = 0;
+    for (k = 0; k < 30; k = k + 1) {
+        s = (s + hot(k)) % 1000000007;
+    }
+    print(s);
+}
+`
+	withSplit := ModeD()
+	noSplit := ModeD()
+	noSplit.DisableSplitting = true
+	noSplit.Name += "/nosplit"
+	progSplit, err := Compile(src, withSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progNo, err := Compile(src, noSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSplit, err := progSplit.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNo, err := progNo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resSplit.Output, resNo.Output) {
+		t.Fatalf("outputs differ: %v vs %v", resSplit.Output, resNo.Output)
+	}
+	if resSplit.Stats.ScalarLS() >= resNo.Stats.ScalarLS() {
+		t.Errorf("splitting should win here: %d (split) vs %d (unsplit)",
+			resSplit.Stats.ScalarLS(), resNo.Stats.ScalarLS())
+	}
+	t.Logf("scalar l+s: split=%d unsplit=%d", resSplit.Stats.ScalarLS(), resNo.Stats.ScalarLS())
+}
+
+// TestSplittingCorrectOnRandomPrograms: the splitting round must preserve
+// semantics under heavy pressure (restricted register files) on generated
+// programs. (The main differential tests already run with splitting on;
+// this adds the split-vs-unsplit cross-check.)
+func TestSplittingCorrectOnRandomPrograms(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for seed := 0; seed < n; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		want, ok := oracle(src)
+		if !ok {
+			continue
+		}
+		for _, base := range []Mode{ModeD(), ModeE()} {
+			noSplit := base
+			noSplit.DisableSplitting = true
+			for _, mode := range []Mode{base, noSplit} {
+				prog, err := Compile(src, mode)
+				if err != nil {
+					t.Fatalf("seed %d [%s]: compile: %v", seed, mode.Name, err)
+				}
+				res, err := prog.Run()
+				if err != nil {
+					t.Fatalf("seed %d [%s]: run: %v", seed, mode.Name, err)
+				}
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Fatalf("seed %d [%s]: output mismatch\n got %v\nwant %v\n%s",
+						seed, mode.Name, res.Output, want, src)
+				}
+			}
+		}
+	}
+}
