@@ -1,0 +1,40 @@
+# chow88 — build and verification entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench ci fmt-check vet clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full test suite under the race detector (includes the parallel-pipeline
+# determinism and wide-call-graph race tests).
+race:
+	$(GO) test -race ./...
+
+# Compile-speed benchmarks; run twice into old.txt/new.txt and compare with
+# benchstat (see README "Benchmarking the compiler").
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile' -benchmem ./
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The gate every change must pass: formatting, vet, build, the race-enabled
+# test suite, and a one-iteration smoke of the compile benchmarks.
+ci: fmt-check vet build race
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile' -benchtime 1x ./
+
+clean:
+	$(GO) clean ./...

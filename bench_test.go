@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"chow88/internal/benchprog"
+	"chow88/internal/codegen"
+	"chow88/internal/core"
 	"chow88/internal/experiments"
+	"chow88/internal/ir"
 )
 
 // The bench harness regenerates every measurement of the paper's evaluation
@@ -88,15 +91,105 @@ func BenchmarkFigures(b *testing.B) {
 	}
 }
 
-// BenchmarkCompile measures compilation speed itself (the paper reports the
-// back-end cost of linked-Ucode compilation; this is our analogue).
+// compileBenchPrograms are the compile-speed workloads: two real suite
+// programs and the synthetic wide-call-graph program built for the pipeline.
+func compileBenchPrograms() []benchprog.Benchmark {
+	return []benchprog.Benchmark{
+		*benchprog.Lookup("nim"),
+		*benchprog.Lookup("uopt"),
+		benchprog.Large(),
+	}
+}
+
+// BenchmarkCompile measures end-to-end compilation speed (the paper reports
+// the back-end cost of linked-Ucode compilation; this is our analogue), in
+// both pipeline configurations. "parallel" is the default pipeline —
+// wavefront allocation, concurrent codegen, warm front-end cache;
+// "sequential" is the original single-threaded walk with the cache bypassed.
+// Compare with benchstat; the parallel columns only separate from the
+// sequential ones when GOMAXPROCS > 1 (see README).
 func BenchmarkCompile(b *testing.B) {
-	for _, progName := range []string{"nim", "tex", "uopt"} {
-		p := benchprog.Lookup(progName)
-		for _, mode := range []Mode{ModeBase(), ModeC()} {
-			b.Run(fmt.Sprintf("%s/%s", progName, mode.Name), func(b *testing.B) {
+	for _, p := range compileBenchPrograms() {
+		for _, variant := range []string{"sequential", "parallel"} {
+			mode := ModeC()
+			mode.Sequential = variant == "sequential"
+			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := Compile(p.Source, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompileFrontend isolates the mode-independent prefix of the
+// pipeline (parse → sema → lower → -O2). "cold" rebuilds from source every
+// iteration; "cached" measures a front-end cache hit, i.e. the cost of deep-
+// copying the frozen master module.
+func BenchmarkCompileFrontend(b *testing.B) {
+	for _, p := range compileBenchPrograms() {
+		b.Run(p.Name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := buildFrontend(p.Source, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(p.Name+"/cached", func(b *testing.B) {
+			if _, err := frontend(p.Source, true, true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := frontend(p.Source, true, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompilePlan isolates register allocation (PlanModule): the
+// wavefront-parallel walk against the sequential one. Live-range splitting
+// rewrites the IR, so each iteration plans a fresh clone of a prebuilt
+// master module; the clone cost is common to both variants.
+func BenchmarkCompilePlan(b *testing.B) {
+	for _, p := range compileBenchPrograms() {
+		master, err := buildFrontend(p.Source, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, variant := range []string{"sequential", "parallel"} {
+			mode := ModeC()
+			mode.Sequential = variant == "sequential"
+			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.PlanModule(ir.CloneModule(master), mode)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompileCodegen isolates machine-code emission (Generate) over a
+// fixed plan: concurrent per-function emission against module-order
+// emission. Generate does not mutate the plan, so one plan serves all
+// iterations.
+func BenchmarkCompileCodegen(b *testing.B) {
+	for _, p := range compileBenchPrograms() {
+		for _, variant := range []string{"sequential", "parallel"} {
+			mode := ModeC()
+			mode.Sequential = variant == "sequential"
+			master, err := buildFrontend(p.Source, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := core.PlanModule(master, mode)
+			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := codegen.Generate(plan); err != nil {
 						b.Fatal(err)
 					}
 				}

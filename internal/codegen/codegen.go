@@ -11,7 +11,10 @@ package codegen
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"chow88/internal/core"
 	"chow88/internal/ir"
@@ -21,33 +24,86 @@ import (
 )
 
 // Generate produces a linked program image from the allocation plan.
+//
+// Every function's body is emitted independently of the others — emission
+// reads only the (now frozen) plan and the oracle — so by default the bodies
+// are generated concurrently and then linked in deterministic module order,
+// which keeps the image byte-identical to sequential generation
+// (pp.Mode.Sequential).
 func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 	prog := &mcode.Program{DataSize: pp.Module.DataSize()}
 
 	// Startup stub: call main, then exit.
 	prog.Code = append(prog.Code, mcode.Instr{Op: mcode.JAL}, mcode.Instr{Op: mcode.EXIT})
 
+	// Emit all function bodies into per-function buffers.
+	gens := make([]*fngen, len(pp.Module.Funcs))
+	errs := make([]error, len(pp.Module.Funcs))
+	genOne := func(i int) {
+		f := pp.Module.Funcs[i]
+		if f.Extern {
+			return
+		}
+		fp := pp.Funcs[f]
+		if fp == nil {
+			errs[i] = fmt.Errorf("codegen: no plan for %s", f.Name)
+			return
+		}
+		g := newFngen(pp, fp)
+		if err := g.run(); err != nil {
+			errs[i] = fmt.Errorf("codegen %s: %w", f.Name, err)
+			return
+		}
+		gens[i] = g
+	}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && !pp.Mode.Sequential {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		if workers > len(pp.Module.Funcs) {
+			workers = len(pp.Module.Funcs)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(pp.Module.Funcs) {
+						return
+					}
+					genOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range pp.Module.Funcs {
+			genOne(i)
+		}
+	}
+	// First error in module order wins, for a deterministic message.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Link: concatenate the buffers in module order and record the layout.
 	type pending struct {
 		fi    *mcode.FuncInfo
 		fixes []fixup
 		base  int
 	}
 	var fixAll []pending
-	for _, f := range pp.Module.Funcs {
+	for i, f := range pp.Module.Funcs {
 		fi := &mcode.FuncInfo{Name: f.Name, Extern: f.Extern}
 		prog.Funcs = append(prog.Funcs, fi)
 		if f.Extern {
 			fi.Entry = -1
 			continue
 		}
-		fp := pp.Funcs[f]
-		if fp == nil {
-			return nil, fmt.Errorf("codegen: no plan for %s", f.Name)
-		}
-		g := newFngen(pp, fp)
-		if err := g.run(); err != nil {
-			return nil, fmt.Errorf("codegen %s: %w", f.Name, err)
-		}
+		g := gens[i]
 		fi.Entry = len(prog.Code)
 		fi.FrameSize = g.frameSize
 		prog.Code = append(prog.Code, g.code...)

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"chow88/internal/callgraph"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
@@ -26,6 +30,13 @@ type Mode struct {
 	// DisableSplitting turns off the live-range splitting round (for
 	// ablation; Chow's allocator splits by default).
 	DisableSplitting bool
+	// Sequential runs the original single-threaded pipeline and bypasses the
+	// front-end compile cache: PlanModule walks the call graph one function
+	// at a time and codegen emits functions in module order. The default
+	// (false) pipeline — wavefront-parallel allocation, parallel per-function
+	// codegen, cached front end — produces byte-identical output; this switch
+	// exists for differential testing and debugging.
+	Sequential bool
 }
 
 // The paper's measurement modes. Base is the baseline of all comparisons:
@@ -96,16 +107,23 @@ type ProgramPlan struct {
 }
 
 // PlanModule performs register allocation for every function of m under the
-// given mode: one pass over the call graph in depth-first order, extending
+// given mode: one pass over the call graph in bottom-up order, extending
 // the intra-procedural priority-based coloring with callee register-usage
 // summaries exactly as in §2–§4 and §6 of the paper.
+//
+// The pass only requires that a function's closed callees be planned before
+// the function itself (their summaries are its only cross-function input),
+// so by default the call graph is condensed into dependency levels
+// (callgraph.Wavefronts) and each level's functions are allocated
+// concurrently by a bounded worker pool. Per-function planning is pure given
+// the oracle, and summaries publish through the synchronized oracle, so the
+// result is byte-identical to the sequential walk (mode.Sequential).
 func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 	forceOpen := map[string]bool{}
 	for _, n := range mode.ForceOpen {
 		forceOpen[n] = true
 	}
 	g := callgraph.Build(m, forceOpen)
-	cfg := mode.Config
 
 	pp := &ProgramPlan{
 		Module: m,
@@ -115,108 +133,185 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 		Order:  g.PostOrder,
 	}
 	var oracle regalloc.Oracle
-	var summaries map[*ir.Func]*Summary
+	publish := func(*ir.Func, *Summary) {}
 	if mode.IPRA {
-		summaries = map[*ir.Func]*Summary{}
-		oracle = &ipraOracle{cfg: cfg, summaries: summaries}
+		o := newIPRAOracle(mode.Config)
+		oracle = o
+		publish = o.publish
 	} else {
-		oracle = regalloc.DefaultOracle{Config: cfg}
+		oracle = regalloc.DefaultOracle{Config: mode.Config}
 	}
 	pp.Oracle = oracle
 
-	for _, f := range g.PostOrder {
-		if f.Extern {
-			continue
+	plan := func(f *ir.Func) *FuncPlan {
+		fp := planFunc(f, g, mode, oracle)
+		if fp.Summary != nil {
+			publish(f, fp.Summary)
 		}
-		open := g.Open[f]
-		interMode := mode.IPRA && !open
+		return fp
+	}
 
-		// Registers destroyed by the subtrees of this function's calls.
-		var childUsed mach.RegSet
-		for _, cs := range f.CallSites() {
-			childUsed = childUsed.Union(oracle.Clobbered(cs.Instr))
+	workers := runtime.GOMAXPROCS(0)
+	if mode.Sequential || workers <= 1 {
+		for _, f := range g.PostOrder {
+			if f.Extern {
+				continue
+			}
+			pp.Funcs[f] = plan(f)
 		}
+		return pp
+	}
 
-		opts := regalloc.Options{
-			Config: cfg,
-			Oracle: oracle,
-		}
-		if interMode {
-			opts.Mode = regalloc.Inter
-			// Prefer registers already used in the call tree, minimizing
-			// the tree's register footprint (Fig. 1).
-			opts.Prefer = childUsed
-		} else {
-			opts.Mode = regalloc.Intra
-			opts.ParamIn = regalloc.DefaultArgLocs(cfg, len(f.Params))
-			if mode.IPRA {
-				// An open procedure must save the callee-saved registers
-				// its closed children use without saving; having paid that,
-				// it may use them freely itself (§3).
-				opts.MustSave = childUsed & cfg.CalleeSaved
+	// Wavefront schedule: each level's functions have all their summary
+	// inputs published by earlier levels, so they plan concurrently; the
+	// level barrier orders publication against the next level's reads.
+	levels := g.Wavefronts()
+	if !mode.IPRA {
+		// Without summaries there are no cross-function inputs at all:
+		// every function is independent.
+		levels = [][]*ir.Func{g.PostOrder}
+	}
+	for _, level := range levels {
+		fps := make([]*FuncPlan, len(level))
+		runIndexed(len(level), workers, func(i int) {
+			if !level[i].Extern {
+				fps[i] = plan(level[i])
+			}
+		})
+		for i, f := range level {
+			if fps[i] != nil {
+				pp.Funcs[f] = fps[i]
 			}
 		}
-		alloc := regalloc.Allocate(f, opts)
-		// Live-range splitting (one round): ranges that failed to color are
-		// broken into block-local pieces connected through home slots and
-		// the function re-colored; the rewrite is kept only if the predicted
-		// memory traffic improves.
-		if !mode.DisableSplitting && alloc.Spilled > 0 {
-			alloc = trySplit(f, alloc, opts, oracle)
-		}
-
-		treeUsed := alloc.UsedRegs.Union(childUsed)
-		calleeSavedInTree := treeUsed & cfg.CalleeSaved
-
-		fp := &FuncPlan{
-			F:          f,
-			Open:       open,
-			OpenReason: g.OpenReason[f],
-			Alloc:      alloc,
-			TreeUsed:   treeUsed,
-		}
-
-		if interMode {
-			var localSave mach.RegSet
-			if mode.ShrinkWrap && !calleeSavedInTree.Empty() {
-				// §6: keep the save local (shrink-wrapped) when the usage
-				// range does not span the whole procedure; propagate to the
-				// ancestors when the save would sit at the entry anyway.
-				app := regAPP(f, alloc, oracle, calleeSavedInTree)
-				p := ShrinkWrap(f, app, calleeSavedInTree)
-				calleeSavedInTree.ForEach(func(r mach.Reg) {
-					if p.SaveAtEntryOnly(f, r) {
-						p.Drop(r)
-					} else {
-						localSave = localSave.Add(r)
-					}
-				})
-				fp.Plan = p
-			} else {
-				// Without shrink-wrapping every save/restore propagates up
-				// the call graph (§3).
-				fp.Plan = NewSavePlan()
-			}
-			fp.Summary = &Summary{
-				Used: treeUsed.Minus(localSave),
-				Args: paramLocs(f, alloc),
-			}
-			summaries[f] = fp.Summary
-		} else {
-			// Default linkage: this procedure saves every callee-saved
-			// register its own body uses, plus (under IPRA) those its
-			// closed children use without saving.
-			managed := calleeSavedInTree
-			if mode.ShrinkWrap && !managed.Empty() {
-				app := regAPP(f, alloc, oracle, managed)
-				fp.Plan = ShrinkWrap(f, app, managed)
-			} else {
-				fp.Plan = EntryExitPlan(f, managed)
-			}
-		}
-		pp.Funcs[f] = fp
 	}
 	return pp
+}
+
+// runIndexed executes fn(0..n-1) on up to `workers` goroutines, returning
+// when all calls complete. Work is handed out through an atomic counter so
+// uneven function sizes balance across workers.
+func runIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// planFunc computes the complete allocation decision for one function. It
+// mutates only f (live-range splitting rewrites) and consults other
+// functions exclusively through the oracle, which is what makes concurrent
+// planning of independent functions sound — and, given identical oracle
+// answers, deterministic.
+func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle) *FuncPlan {
+	cfg := mode.Config
+	open := g.Open[f]
+	interMode := mode.IPRA && !open
+
+	// Registers destroyed by the subtrees of this function's calls.
+	var childUsed mach.RegSet
+	for _, cs := range f.CallSites() {
+		childUsed = childUsed.Union(oracle.Clobbered(cs.Instr))
+	}
+
+	opts := regalloc.Options{
+		Config: cfg,
+		Oracle: oracle,
+	}
+	if interMode {
+		opts.Mode = regalloc.Inter
+		// Prefer registers already used in the call tree, minimizing
+		// the tree's register footprint (Fig. 1).
+		opts.Prefer = childUsed
+	} else {
+		opts.Mode = regalloc.Intra
+		opts.ParamIn = regalloc.DefaultArgLocs(cfg, len(f.Params))
+		if mode.IPRA {
+			// An open procedure must save the callee-saved registers
+			// its closed children use without saving; having paid that,
+			// it may use them freely itself (§3).
+			opts.MustSave = childUsed & cfg.CalleeSaved
+		}
+	}
+	alloc := regalloc.Allocate(f, opts)
+	// Live-range splitting (one round): ranges that failed to color are
+	// broken into block-local pieces connected through home slots and
+	// the function re-colored; the rewrite is kept only if the predicted
+	// memory traffic improves.
+	if !mode.DisableSplitting && alloc.Spilled > 0 {
+		alloc = trySplit(f, alloc, opts, oracle)
+	}
+
+	treeUsed := alloc.UsedRegs.Union(childUsed)
+	calleeSavedInTree := treeUsed & cfg.CalleeSaved
+
+	fp := &FuncPlan{
+		F:          f,
+		Open:       open,
+		OpenReason: g.OpenReason[f],
+		Alloc:      alloc,
+		TreeUsed:   treeUsed,
+	}
+
+	if interMode {
+		var localSave mach.RegSet
+		if mode.ShrinkWrap && !calleeSavedInTree.Empty() {
+			// §6: keep the save local (shrink-wrapped) when the usage
+			// range does not span the whole procedure; propagate to the
+			// ancestors when the save would sit at the entry anyway.
+			app := regAPP(f, alloc, oracle, calleeSavedInTree)
+			p := ShrinkWrap(f, app, calleeSavedInTree)
+			calleeSavedInTree.ForEach(func(r mach.Reg) {
+				if p.SaveAtEntryOnly(f, r) {
+					p.Drop(r)
+				} else {
+					localSave = localSave.Add(r)
+				}
+			})
+			fp.Plan = p
+		} else {
+			// Without shrink-wrapping every save/restore propagates up
+			// the call graph (§3).
+			fp.Plan = NewSavePlan()
+		}
+		fp.Summary = &Summary{
+			Used: treeUsed.Minus(localSave),
+			Args: paramLocs(f, alloc),
+		}
+	} else {
+		// Default linkage: this procedure saves every callee-saved
+		// register its own body uses, plus (under IPRA) those its
+		// closed children use without saving.
+		managed := calleeSavedInTree
+		if mode.ShrinkWrap && !managed.Empty() {
+			app := regAPP(f, alloc, oracle, managed)
+			fp.Plan = ShrinkWrap(f, app, managed)
+		} else {
+			fp.Plan = EntryExitPlan(f, managed)
+		}
+	}
+	return fp
 }
 
 // paramLocs derives the published parameter locations of a closed procedure

@@ -107,14 +107,27 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 	loops := dataflow.Loops(f)
 	blocks := f.RPO()
 
-	antIn := map[*ir.Block]mach.RegSet{}
-	antOut := map[*ir.Block]mach.RegSet{}
-	avIn := map[*ir.Block]mach.RegSet{}
-	avOut := map[*ir.Block]mach.RegSet{}
-	isExit := map[*ir.Block]bool{}
+	// The flow sets are dense over block IDs: one flat slice per equation
+	// family instead of a hash lookup in every fixpoint step.
+	maxID := 0
+	for _, b := range f.Blocks {
+		if b.ID > maxID {
+			maxID = b.ID
+		}
+	}
+	sets := make([]mach.RegSet, 5*(maxID+1))
+	antIn := sets[0*(maxID+1) : 1*(maxID+1)]
+	antOut := sets[1*(maxID+1) : 2*(maxID+1)]
+	avIn := sets[2*(maxID+1) : 3*(maxID+1)]
+	avOut := sets[3*(maxID+1) : 4*(maxID+1)]
+	appv := sets[4*(maxID+1) : 5*(maxID+1)]
+	for b, s := range app {
+		appv[b.ID] = s
+	}
+	isExit := make([]bool, maxID+1)
 	for _, b := range blocks {
 		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
-			isExit[b] = true
+			isExit[b.ID] = true
 		}
 	}
 	entry := f.Entry()
@@ -126,11 +139,11 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 		for _, l := range loops {
 			var union mach.RegSet
 			for b := range l.Blocks {
-				union = union.Union(app[b])
+				union = union.Union(appv[b.ID])
 			}
 			for b := range l.Blocks {
-				if app[b] != app[b].Union(union) {
-					app[b] = app[b].Union(union)
+				if appv[b.ID] != appv[b.ID].Union(union) {
+					appv[b.ID] = appv[b.ID].Union(union)
 					changed = true
 				}
 			}
@@ -144,30 +157,30 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 		// Anticipability: backward, all-paths. Initialize interior to the
 		// full set so the intersections converge downward.
 		for _, b := range blocks {
-			if isExit[b] {
-				antOut[b] = 0
+			if isExit[b.ID] {
+				antOut[b.ID] = 0
 			} else {
-				antOut[b] = managed
+				antOut[b.ID] = managed
 			}
-			antIn[b] = app[b].Union(antOut[b])
+			antIn[b.ID] = appv[b.ID].Union(antOut[b.ID])
 		}
 		for changed := true; changed; {
 			changed = false
 			for i := len(blocks) - 1; i >= 0; i-- {
 				b := blocks[i]
-				if !isExit[b] {
+				if !isExit[b.ID] {
 					out := managed
 					for _, s := range b.Succs {
-						out &= antIn[s]
+						out &= antIn[s.ID]
 					}
-					if out != antOut[b] {
-						antOut[b] = out
+					if out != antOut[b.ID] {
+						antOut[b.ID] = out
 						changed = true
 					}
 				}
-				in := app[b].Union(antOut[b])
-				if in != antIn[b] {
-					antIn[b] = in
+				in := appv[b.ID].Union(antOut[b.ID])
+				if in != antIn[b.ID] {
+					antIn[b.ID] = in
 					changed = true
 				}
 			}
@@ -175,11 +188,11 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 		// Availability: forward, all-paths.
 		for _, b := range blocks {
 			if b == entry {
-				avIn[b] = 0
+				avIn[b.ID] = 0
 			} else {
-				avIn[b] = managed
+				avIn[b.ID] = managed
 			}
-			avOut[b] = app[b].Union(avIn[b])
+			avOut[b.ID] = appv[b.ID].Union(avIn[b.ID])
 		}
 		for changed := true; changed; {
 			changed = false
@@ -187,16 +200,16 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 				if b != entry {
 					in := managed
 					for _, p := range b.Preds {
-						in &= avOut[p]
+						in &= avOut[p.ID]
 					}
-					if in != avIn[b] {
-						avIn[b] = in
+					if in != avIn[b.ID] {
+						avIn[b.ID] = in
 						changed = true
 					}
 				}
-				out := app[b].Union(avIn[b])
-				if out != avOut[b] {
-					avOut[b] = out
+				out := appv[b.ID].Union(avIn[b.ID])
+				if out != avOut[b.ID] {
+					avOut[b.ID] = out
 					changed = true
 				}
 			}
@@ -214,40 +227,40 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 			// available. A predecessor that neither anticipates nor has the
 			// use available is an uncovered path; if any other predecessor
 			// is covered, extend APP into the uncovered ones.
-			need := antIn[b] &^ avIn[b]
+			need := antIn[b.ID] &^ avIn[b.ID]
 			if need != 0 && len(b.Preds) > 0 {
 				var covered, uncovered mach.RegSet
 				for _, p := range b.Preds {
-					cov := antIn[p].Union(avOut[p])
+					cov := antIn[p.ID].Union(avOut[p.ID])
 					covered = covered.Union(cov & need)
 					uncovered = uncovered.Union(need &^ cov)
 				}
 				ext := covered & uncovered
 				if ext != 0 {
 					for _, p := range b.Preds {
-						add := ext &^ (antIn[p].Union(avOut[p]))
+						add := ext &^ (antIn[p.ID].Union(avOut[p.ID]))
 						if add != 0 {
-							app[p] = app[p].Union(add)
+							appv[p.ID] = appv[p.ID].Union(add)
 							changed = true
 						}
 					}
 				}
 			}
 			// Restore side, symmetric on the reverse graph.
-			need = avOut[b] &^ antOut[b]
+			need = avOut[b.ID] &^ antOut[b.ID]
 			if need != 0 && len(b.Succs) > 0 {
 				var covered, uncovered mach.RegSet
 				for _, s := range b.Succs {
-					cov := avOut[s].Union(antIn[s])
+					cov := avOut[s.ID].Union(antIn[s.ID])
 					covered = covered.Union(cov & need)
 					uncovered = uncovered.Union(need &^ cov)
 				}
 				ext := covered & uncovered
 				if ext != 0 {
 					for _, s := range b.Succs {
-						add := ext &^ (avOut[s].Union(antIn[s]))
+						add := ext &^ (avOut[s.ID].Union(antIn[s.ID]))
 						if add != 0 {
-							app[s] = app[s].Union(add)
+							appv[s.ID] = appv[s.ID].Union(add)
 							changed = true
 						}
 					}
@@ -270,18 +283,18 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 	// SAVE (3.5): at entries of blocks where the use is anticipated, not
 	// yet available, and not anticipated in any predecessor.
 	for _, b := range blocks {
-		save := antIn[b] &^ avIn[b]
+		save := antIn[b.ID] &^ avIn[b.ID]
 		for _, p := range b.Preds {
-			save &^= antIn[p].Union(avOut[p])
+			save &^= antIn[p.ID].Union(avOut[p.ID])
 		}
 		save.ForEach(func(r mach.Reg) {
 			plan.SaveAt[r] = append(plan.SaveAt[r], b)
 		})
 		// RESTORE (3.6): at exits of blocks where the use is available, no
 		// longer anticipated, and not available in any successor.
-		restore := avOut[b] &^ antOut[b]
+		restore := avOut[b.ID] &^ antOut[b.ID]
 		for _, s := range b.Succs {
-			restore &^= avOut[s].Union(antIn[s])
+			restore &^= avOut[s.ID].Union(antIn[s.ID])
 		}
 		restore.ForEach(func(r mach.Reg) {
 			plan.RestoreAt[r] = append(plan.RestoreAt[r], b)

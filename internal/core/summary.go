@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"chow88/internal/ir"
 	"chow88/internal/mach"
@@ -49,12 +50,42 @@ func (s *Summary) String() string {
 // for open, extern, and indirect callees (§3: open procedures need not
 // specify usage information — all caller-saved registers are assumed used
 // and all callee-saved registers preserved).
+//
+// The oracle is the one cross-function channel of the wavefront-parallel
+// pipeline: each worker publishes its function's summary when planning
+// completes, and workers of later levels read it. Publication and lookup are
+// synchronized; the level barrier guarantees a closed callee's summary is
+// published before any of its callers is dispatched, so lookups are never
+// stale, only racy without the lock.
 type ipraOracle struct {
 	cfg       *mach.Config
+	mu        sync.RWMutex
 	summaries map[*ir.Func]*Summary
 }
 
 var _ regalloc.Oracle = (*ipraOracle)(nil)
+
+func newIPRAOracle(cfg *mach.Config) *ipraOracle {
+	return &ipraOracle{cfg: cfg, summaries: map[*ir.Func]*Summary{}}
+}
+
+// publish records a closed procedure's summary for its callers.
+func (o *ipraOracle) publish(f *ir.Func, s *Summary) {
+	o.mu.Lock()
+	o.summaries[f] = s
+	o.mu.Unlock()
+}
+
+// summary returns the published summary of a direct call's callee, or nil.
+func (o *ipraOracle) summary(call *ir.Instr) *Summary {
+	if call.Op != ir.OpCall {
+		return nil
+	}
+	o.mu.RLock()
+	s := o.summaries[call.Callee]
+	o.mu.RUnlock()
+	return s
+}
 
 func (o *ipraOracle) defaultClobber() mach.RegSet {
 	return o.cfg.CallerSaved.Union(o.cfg.ParamSet())
@@ -62,20 +93,16 @@ func (o *ipraOracle) defaultClobber() mach.RegSet {
 
 // Clobbered implements regalloc.Oracle.
 func (o *ipraOracle) Clobbered(call *ir.Instr) mach.RegSet {
-	if call.Op == ir.OpCall {
-		if s := o.summaries[call.Callee]; s != nil {
-			return s.Used
-		}
+	if s := o.summary(call); s != nil {
+		return s.Used
 	}
 	return o.defaultClobber()
 }
 
 // ArgLocs implements regalloc.Oracle.
 func (o *ipraOracle) ArgLocs(call *ir.Instr) []regalloc.ArgLoc {
-	if call.Op == ir.OpCall {
-		if s := o.summaries[call.Callee]; s != nil {
-			return s.Args
-		}
+	if s := o.summary(call); s != nil {
+		return s.Args
 	}
 	return regalloc.DefaultArgLocs(o.cfg, len(call.Args))
 }

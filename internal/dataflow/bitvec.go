@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 // BitVec is a fixed-capacity bit set. The zero value of a word slice of the
@@ -90,13 +91,18 @@ func (v BitVec) Count() int {
 	return n
 }
 
-// FillAll sets the first n bits.
+// FillAll sets the first n bits and clears the rest.
 func (v BitVec) FillAll(n int) {
+	full := n / 64
 	for i := range v {
-		v[i] = ^uint64(0)
-	}
-	if n%64 != 0 && len(v) > 0 {
-		v[len(v)-1] = (1 << (uint(n) % 64)) - 1
+		switch {
+		case i < full:
+			v[i] = ^uint64(0)
+		case i == full && n%64 != 0:
+			v[i] = (1 << (uint(n) % 64)) - 1
+		default:
+			v[i] = 0
+		}
 	}
 }
 
@@ -117,6 +123,29 @@ func (v BitVec) ForEach(fn func(i int)) {
 		}
 	}
 }
+
+// scratchPool recycles the transient vectors of the allocator's hot loops
+// (liveness fixpoints, interference construction). Vectors from different
+// functions share the pool, so capacities vary; Get re-slices or reallocates
+// as needed.
+var scratchPool = sync.Pool{New: func() any { return BitVec(nil) }}
+
+// GetScratch returns an empty vector able to hold n bits, drawn from a
+// process-wide recycling pool. Safe for concurrent use; callers must return
+// the vector with PutScratch once done and not use it afterwards.
+func GetScratch(n int) BitVec {
+	words := (n + 63) / 64
+	v := scratchPool.Get().(BitVec)
+	if cap(v) < words {
+		return make(BitVec, words)
+	}
+	v = v[:words]
+	v.ClearAll()
+	return v
+}
+
+// PutScratch returns a vector obtained from GetScratch to the pool.
+func PutScratch(v BitVec) { scratchPool.Put(v) } //nolint:staticcheck // slice header boxing is cheaper than the allocs avoided
 
 // String renders the set bits, e.g. "{1, 5, 9}".
 func (v BitVec) String() string {

@@ -1,0 +1,64 @@
+package dataflow
+
+import "testing"
+
+// FillAll once left every leading word saturated when n sat more than one
+// word below capacity: FillAll(3) on a 2-word vector produced {0..63, 64,65,
+// 66} instead of {0,1,2}. The fix must mask every word.
+func TestFillAllShortPrefix(t *testing.T) {
+	for _, tc := range []struct {
+		capBits int
+		n       int
+	}{
+		{128, 3},   // n more than one word below capacity (the bug)
+		{192, 3},   // two saturated leading words under the old code
+		{192, 64},  // word-aligned fill with trailing words to clear
+		{192, 65},  // one full word plus one bit
+		{128, 0},   // empty fill must clear everything
+		{128, 128}, // full fill
+		{64, 17},   // single word, partial
+	} {
+		v := NewBitVec(tc.capBits)
+		// Pre-soil the vector: FillAll must also clear stale trailing bits.
+		v.FillAll(tc.capBits)
+		v.FillAll(tc.n)
+		for i := 0; i < tc.capBits; i++ {
+			want := i < tc.n
+			if got := v.Get(i); got != want {
+				t.Fatalf("FillAll(%d) on %d-bit vector: bit %d = %v, want %v",
+					tc.n, tc.capBits, i, got, want)
+			}
+		}
+		if got := v.Count(); got != tc.n {
+			t.Fatalf("FillAll(%d): Count = %d", tc.n, got)
+		}
+	}
+}
+
+func TestScratchPoolReuse(t *testing.T) {
+	a := GetScratch(100)
+	if len(a) != 2 {
+		t.Fatalf("GetScratch(100): %d words, want 2", len(a))
+	}
+	a.Set(5)
+	a.Set(99)
+	PutScratch(a)
+	// A recycled vector must come back empty whatever was left in it.
+	b := GetScratch(70)
+	if !b.Empty() {
+		t.Fatalf("recycled scratch not empty: %s", b)
+	}
+	if len(b) != 2 {
+		t.Fatalf("GetScratch(70): %d words, want 2", len(b))
+	}
+	PutScratch(b)
+	// Growing past the pooled capacity must allocate a larger vector.
+	c := GetScratch(1000)
+	if len(c) != 16 {
+		t.Fatalf("GetScratch(1000): %d words, want 16", len(c))
+	}
+	if !c.Empty() {
+		t.Fatalf("fresh scratch not empty")
+	}
+	PutScratch(c)
+}

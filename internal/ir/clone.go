@@ -1,0 +1,124 @@
+package ir
+
+// CloneModule returns a deep copy of m sharing no mutable state with the
+// original: optimizing or allocating the copy leaves m frozen. All IDs,
+// names, block ordering and operand structure are preserved exactly, so
+// compiling the clone is byte-identical to compiling the original. This is
+// what lets the front-end compile cache hand out a pristine pre-optimization
+// module per compilation while keeping one master per source text.
+func CloneModule(m *Module) *Module {
+	out := NewModule()
+	gmap := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := *g
+		out.Globals = append(out.Globals, &ng)
+		gmap[g] = &ng
+	}
+	// Create all function shells first: instructions reference callees
+	// anywhere in the module.
+	fmap := make(map[*Func]*Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Name:         f.Name,
+			Returns:      f.Returns,
+			Extern:       f.Extern,
+			AddressTaken: f.AddressTaken,
+			nextTemp:     f.nextTemp,
+			nextBlock:    f.nextBlock,
+		}
+		out.AddFunc(nf)
+		fmap[f] = nf
+	}
+	for i, f := range m.Funcs {
+		cloneFuncInto(f, out.Funcs[i], fmap, gmap)
+	}
+	return out
+}
+
+func cloneFuncInto(f, nf *Func, fmap map[*Func]*Func, gmap map[*Global]*Global) {
+	tmap := make(map[*Temp]*Temp, len(f.temps))
+	if f.temps != nil {
+		nf.temps = make([]*Temp, len(f.temps))
+		for i, t := range f.temps {
+			nt := *t
+			nf.temps[i] = &nt
+			tmap[t] = &nt
+		}
+	}
+	remapT := func(t *Temp) *Temp {
+		if t == nil {
+			return nil
+		}
+		if nt, ok := tmap[t]; ok {
+			return nt
+		}
+		// Temp constructed outside NewTemp (hand-built IR): copy it once.
+		nt := *t
+		tmap[t] = &nt
+		return &nt
+	}
+	remapOp := func(o Operand) Operand {
+		o.Temp = remapT(o.Temp)
+		return o
+	}
+	if f.Params != nil {
+		nf.Params = make([]*Temp, len(f.Params))
+		for i, p := range f.Params {
+			nf.Params[i] = remapT(p)
+		}
+	}
+	amap := make(map[*LocalArray]*LocalArray, len(f.LocalArrays))
+	for _, a := range f.LocalArrays {
+		na := *a
+		nf.LocalArrays = append(nf.LocalArrays, &na)
+		amap[a] = &na
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, LoopDepth: b.LoopDepth, ProfCount: b.ProfCount}
+		nf.Blocks = append(nf.Blocks, nb)
+		bmap[b] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			v := *in
+			v.Dst = remapT(v.Dst)
+			v.A = remapOp(v.A)
+			v.B = remapOp(v.B)
+			if in.Args != nil {
+				v.Args = make([]Operand, len(in.Args))
+				for j, a := range in.Args {
+					v.Args[j] = remapOp(a)
+				}
+			}
+			if v.Callee != nil {
+				v.Callee = fmap[v.Callee]
+			}
+			if v.Global != nil {
+				v.Global = gmap[v.Global]
+			}
+			if v.Arr.Global != nil {
+				v.Arr.Global = gmap[v.Arr.Global]
+			}
+			if v.Arr.Local != nil {
+				v.Arr.Local = amap[v.Arr.Local]
+			}
+			if v.Target != nil {
+				v.Target = bmap[v.Target]
+			}
+			if v.Else != nil {
+				v.Else = bmap[v.Else]
+			}
+			nb.Instrs[i] = &v
+		}
+		// Preserve the exact CFG edge ordering rather than recomputing it.
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, bmap[p])
+		}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, bmap[s])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package ir
+
+import "testing"
+
+// buildCloneFixture makes a module exercising every cross-reference a clone
+// must remap: globals, local arrays, call/func-addr edges, branch targets
+// and parameter temps.
+func buildCloneFixture() *Module {
+	m := NewModule()
+	g := &Global{Name: "g", Size: 1}
+	arr := &Global{Name: "arr", Size: 8, IsArray: true}
+	m.Globals = append(m.Globals, g, arr)
+
+	leaf := NewFunc("leaf")
+	leaf.Returns = true
+	p := leaf.NewTemp("p", true)
+	leaf.Params = []*Temp{p}
+	lb := leaf.NewBlock()
+	t0 := leaf.NewTemp("", false)
+	lb.Instrs = append(lb.Instrs,
+		&Instr{Op: OpAdd, Dst: t0, A: TempOp(p), B: ConstOp(1)},
+		&Instr{Op: OpRet, A: TempOp(t0)},
+	)
+
+	main := NewFunc("main")
+	la := &LocalArray{Name: "buf", Size: 4}
+	main.LocalArrays = append(main.LocalArrays, la)
+	b0 := main.NewBlock()
+	b1 := main.NewBlock()
+	b2 := main.NewBlock()
+	x := main.NewTemp("x", true)
+	y := main.NewTemp("y", false)
+	b0.Instrs = append(b0.Instrs,
+		&Instr{Op: OpLoadG, Dst: x, Global: g},
+		&Instr{Op: OpCall, Dst: y, Callee: leaf, Args: []Operand{TempOp(x)}},
+		&Instr{Op: OpBr, A: TempOp(y), Target: b1, Else: b2},
+	)
+	b1.Instrs = append(b1.Instrs,
+		&Instr{Op: OpStoreIdx, Arr: ArrayRef{Local: la}, A: ConstOp(0), B: TempOp(y)},
+		&Instr{Op: OpJmp, Target: b2},
+	)
+	b2.Instrs = append(b2.Instrs,
+		&Instr{Op: OpStoreG, Global: g, A: TempOp(y)},
+		&Instr{Op: OpRet},
+	)
+	main.ComputeCFG()
+	leaf.ComputeCFG()
+
+	m.AddFunc(leaf)
+	m.AddFunc(main)
+	m.Layout()
+	return m
+}
+
+func TestCloneModuleIsolated(t *testing.T) {
+	m := buildCloneFixture()
+	want := ModuleString(m)
+
+	c := CloneModule(m)
+	if got := ModuleString(c); got != want {
+		t.Fatalf("clone renders differently:\n--- original ---\n%s\n--- clone ---\n%s", want, got)
+	}
+
+	// No structural sharing: funcs, blocks, instrs, temps, globals must all
+	// be distinct objects.
+	cm := c.Lookup("main")
+	om := m.Lookup("main")
+	if cm == om {
+		t.Fatal("clone shares *Func")
+	}
+	if cm.Blocks[0] == om.Blocks[0] {
+		t.Fatal("clone shares *Block")
+	}
+	if cm.Blocks[0].Instrs[0] == om.Blocks[0].Instrs[0] {
+		t.Fatal("clone shares *Instr")
+	}
+	if cm.Temps()[0] == om.Temps()[0] {
+		t.Fatal("clone shares *Temp")
+	}
+	if c.Globals[0] == m.Globals[0] {
+		t.Fatal("clone shares *Global")
+	}
+	// Internal references must point inside the clone, not back at m.
+	if call := cm.Blocks[0].Instrs[1]; call.Callee != c.Lookup("leaf") {
+		t.Fatal("clone's call edge escapes to the original module")
+	}
+	if br := cm.Blocks[0].Instrs[2]; br.Target != cm.Blocks[1] || br.Else != cm.Blocks[2] {
+		t.Fatal("clone's branch targets escape to the original module")
+	}
+	if cm.Blocks[1].Instrs[0].Arr.Local == om.LocalArrays[0] {
+		t.Fatal("clone shares *LocalArray")
+	}
+
+	// Mutating the clone must leave the original untouched.
+	cm.Blocks[2].Instrs[0].Global = c.Globals[1]
+	cm.NewTemp("extra", false)
+	cm.Blocks[1].Instrs = cm.Blocks[1].Instrs[:1]
+	c.Lookup("leaf").Blocks[0].Instrs[0].B = ConstOp(99)
+	if got := ModuleString(m); got != want {
+		t.Fatalf("mutating the clone changed the original:\n--- before ---\n%s\n--- after ---\n%s", want, got)
+	}
+}
+
+func TestCloneModulePreservesCounters(t *testing.T) {
+	m := buildCloneFixture()
+	c := CloneModule(m)
+	om, cm := m.Lookup("main"), c.Lookup("main")
+	if cm.NumTemps() != om.NumTemps() {
+		t.Fatalf("NumTemps: %d != %d", cm.NumTemps(), om.NumTemps())
+	}
+	// Fresh temps and blocks in the clone must continue the original's ID
+	// sequences (identical numbering for identical downstream rewrites).
+	ot, ct := om.NewTemp("", false), cm.NewTemp("", false)
+	if ot.ID != ct.ID || ot.Name != ct.Name {
+		t.Fatalf("temp counters diverge: %d/%s vs %d/%s", ot.ID, ot.Name, ct.ID, ct.Name)
+	}
+	ob, cb := om.NewBlock(), cm.NewBlock()
+	if ob.ID != cb.ID || ob.Name != cb.Name {
+		t.Fatalf("block counters diverge: %d/%s vs %d/%s", ob.ID, ob.Name, cb.ID, cb.Name)
+	}
+}

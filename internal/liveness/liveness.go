@@ -27,10 +27,18 @@ func Analyze(f *ir.Func) *Result {
 	}
 	use := make(map[*ir.Block]dataflow.BitVec, len(f.Blocks))
 	def := make(map[*ir.Block]dataflow.BitVec, len(f.Blocks))
+	// One contiguous backing array per vector family: four allocations for
+	// the whole function instead of four per block.
+	words := (n + 63) / 64
+	backing := make(dataflow.BitVec, 4*words*len(f.Blocks))
+	carve := func() dataflow.BitVec {
+		v := backing[:words:words]
+		backing = backing[words:]
+		return v
+	}
 	var buf []*ir.Temp
 	for _, b := range f.Blocks {
-		u := dataflow.NewBitVec(n)
-		d := dataflow.NewBitVec(n)
+		u, d := carve(), carve()
 		for _, in := range b.Instrs {
 			buf = in.Uses(buf[:0])
 			for _, t := range buf {
@@ -43,11 +51,12 @@ func Analyze(f *ir.Func) *Result {
 			}
 		}
 		use[b], def[b] = u, d
-		res.LiveIn[b] = dataflow.NewBitVec(n)
-		res.LiveOut[b] = dataflow.NewBitVec(n)
+		res.LiveIn[b] = carve()
+		res.LiveOut[b] = carve()
 	}
 	// Iterate to fixpoint over postorder (reverse RPO) for fast convergence.
 	rpo := f.RPO()
+	in := dataflow.GetScratch(n)
 	for changed := true; changed; {
 		changed = false
 		for i := len(rpo) - 1; i >= 0; i-- {
@@ -58,7 +67,6 @@ func Analyze(f *ir.Func) *Result {
 					changed = true
 				}
 			}
-			in := dataflow.NewBitVec(n)
 			in.Copy(out)
 			in.AndNot(def[b])
 			in.Union(use[b])
@@ -68,6 +76,7 @@ func Analyze(f *ir.Func) *Result {
 			}
 		}
 	}
+	dataflow.PutScratch(in)
 	return res
 }
 
@@ -103,12 +112,13 @@ func Ranges(f *ir.Func, res *Result) []*Range {
 		ranges[i] = &Range{Temp: t, Blocks: map[*ir.Block]bool{}}
 	}
 	var buf []*ir.Temp
+	live := dataflow.GetScratch(n)
+	defer dataflow.PutScratch(live)
 	for _, b := range f.Blocks {
 		freq := b.Freq()
 		res.LiveIn[b].ForEach(func(i int) { ranges[i].Blocks[b] = true })
 		res.LiveOut[b].ForEach(func(i int) { ranges[i].Blocks[b] = true })
 		// Backward scan for live-across-call sets.
-		live := dataflow.NewBitVec(n)
 		live.Copy(res.LiveOut[b])
 		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
 			in := b.Instrs[ii]
@@ -155,11 +165,15 @@ type Interference struct {
 	adj []dataflow.BitVec
 }
 
-// NewInterference creates an empty graph over n temps.
+// NewInterference creates an empty graph over n temps. The rows share one
+// contiguous backing array, so building the graph costs two allocations.
 func NewInterference(n int) *Interference {
 	g := &Interference{n: n, adj: make([]dataflow.BitVec, n)}
+	words := (n + 63) / 64
+	backing := make(dataflow.BitVec, words*n)
 	for i := range g.adj {
-		g.adj[i] = dataflow.NewBitVec(n)
+		g.adj[i] = backing[:words:words]
+		backing = backing[words:]
 	}
 	return g
 }
@@ -190,8 +204,9 @@ func BuildInterference(f *ir.Func, res *Result) *Interference {
 	n := f.NumTemps()
 	g := NewInterference(n)
 	var buf []*ir.Temp
+	live := dataflow.GetScratch(n)
+	defer dataflow.PutScratch(live)
 	for _, b := range f.Blocks {
-		live := dataflow.NewBitVec(n)
 		live.Copy(res.LiveOut[b])
 		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
 			in := b.Instrs[ii]

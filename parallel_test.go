@@ -1,0 +1,175 @@
+package chow88
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"chow88/internal/benchprog"
+)
+
+// forceParallel raises GOMAXPROCS so the wavefront scheduler and parallel
+// codegen actually spawn workers even on a single-core machine (the pipeline
+// falls back to the sequential walk when only one proc is available).
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestParallelPipelineDeterminism is the pipeline's contract: for every
+// suite program under every measurement mode, the parallel pipeline
+// (wavefront allocation, concurrent codegen, cached front end) must produce
+// byte-identical machine code to the sequential pipeline.
+func TestParallelPipelineDeterminism(t *testing.T) {
+	forceParallel(t)
+	progs := benchprog.All()
+	progs = append(progs, benchprog.Large())
+	for _, p := range progs {
+		for _, mode := range allModes() {
+			t.Run(fmt.Sprintf("%s/%s", p.Name, mode.Name), func(t *testing.T) {
+				seqMode := mode
+				seqMode.Sequential = true
+				seq, err := Compile(p.Source, seqMode)
+				if err != nil {
+					t.Fatalf("sequential compile: %v", err)
+				}
+				par, err := Compile(p.Source, mode)
+				if err != nil {
+					t.Fatalf("parallel compile: %v", err)
+				}
+				want, got := seq.Disassemble(), par.Disassemble()
+				if want != got {
+					t.Errorf("parallel pipeline diverges from sequential (%d vs %d bytes)\n%s",
+						len(want), len(got), firstDiff(want, got))
+				}
+				// A second parallel compile exercises the cache-hit path;
+				// it must be identical too (the clone shares nothing).
+				again, err := Compile(p.Source, mode)
+				if err != nil {
+					t.Fatalf("cached compile: %v", err)
+				}
+				if d := again.Disassemble(); d != want {
+					t.Errorf("cache-hit compile diverges\n%s", firstDiff(want, d))
+				}
+			})
+		}
+	}
+}
+
+// firstDiff renders the first disagreeing line of two disassemblies.
+func firstDiff(a, b string) string {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			start := i - 40
+			if start < 0 {
+				start = 0
+			}
+			end := i + 40
+			ea, eb := end, end
+			if ea > len(a) {
+				ea = len(a)
+			}
+			if eb > len(b) {
+				eb = len(b)
+			}
+			return fmt.Sprintf("first divergence at byte %d:\n  seq: %q\n  par: %q", i, a[start:ea], b[start:eb])
+		}
+	}
+	return fmt.Sprintf("one output is a prefix of the other (%d vs %d bytes)", len(a), len(b))
+}
+
+// wideFlatSource builds a call graph with many independent leaves under one
+// root: the widest wavefront level the scheduler can see, and therefore the
+// configuration most likely to expose races in summary publication.
+func wideFlatSource(leaves int) string {
+	src := "var work [32]int;\n"
+	for i := 0; i < leaves; i++ {
+		src += fmt.Sprintf(`func w%d(x int) int {
+    var i int;
+    var s int;
+    s = x + %d;
+    for (i = 0; i < %d; i = i + 1) { s = s + i * %d; work[i %% 32] = s; }
+    return s + work[%d];
+}
+`, i, i, 3+i%5, 1+i%3, i%32)
+	}
+	src += "func main() {\n    var t int;\n    t = 0;\n"
+	for i := 0; i < leaves; i++ {
+		src += fmt.Sprintf("    t = t + w%d(%d);\n", i, i)
+	}
+	src += "    print(t);\n}\n"
+	return src
+}
+
+// TestPlanModuleWideCallGraphRace repeatedly compiles a wide, flat call
+// graph — many leaves, one root — under the parallel pipeline, from several
+// goroutines at once. Run under `go test -race` this drives the
+// wavefront workers, the synchronized oracle, the parallel code generator
+// and the front-end cache through their contended paths.
+func TestPlanModuleWideCallGraphRace(t *testing.T) {
+	forceParallel(t)
+	src := wideFlatSource(48)
+	seqMode := ModeC()
+	seqMode.Sequential = true
+	ref, err := Compile(src, seqMode)
+	if err != nil {
+		t.Fatalf("sequential compile: %v", err)
+	}
+	want := ref.Disassemble()
+
+	const goroutines, iters = 4, 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				prog, err := Compile(src, ModeC())
+				if err != nil {
+					errc <- fmt.Errorf("compile: %w", err)
+					return
+				}
+				if got := prog.Disassemble(); got != want {
+					errc <- fmt.Errorf("concurrent compile diverged (%d vs %d bytes)", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestLargeProgramRuns pins down that the synthetic large program is valid,
+// terminating CW whose compiled output matches the reference interpreter —
+// so the compile benchmarks measure a real program.
+func TestLargeProgramRuns(t *testing.T) {
+	forceParallel(t)
+	p := benchprog.Large()
+	want, err := Interpret(p.Source)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	prog, err := Compile(p.Source, ModeC())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output length %d, want %d", len(res.Output), len(want))
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+}
