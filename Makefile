@@ -17,10 +17,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Compile-speed benchmarks; run twice into old.txt/new.txt and compare with
-# benchstat (see README "Benchmarking the compiler").
+# Compile-speed and simulator benchmarks; run twice into old.txt/new.txt and
+# compare with benchstat (see README "Benchmarking the compiler").
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkCompile' -benchmem ./
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchmem ./
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -32,9 +32,10 @@ vet:
 	$(GO) vet ./...
 
 # The gate every change must pass: formatting, vet, build, the race-enabled
-# test suite, and a one-iteration smoke of the compile benchmarks.
+# test suite, and a one-iteration smoke of the compile and simulator
+# benchmarks (both engines).
 ci: fmt-check vet build race
-	$(GO) test -run '^$$' -bench 'BenchmarkCompile' -benchtime 1x ./
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
 
 clean:
 	$(GO) clean ./...

@@ -8,7 +8,10 @@ import (
 	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/experiments"
+	"chow88/internal/front"
 	"chow88/internal/ir"
+	"chow88/internal/mcode"
+	"chow88/internal/sim"
 )
 
 // The bench harness regenerates every measurement of the paper's evaluation
@@ -91,6 +94,50 @@ func BenchmarkFigures(b *testing.B) {
 	}
 }
 
+// BenchmarkSim measures raw simulator speed over compiled programs: the
+// predecoded block-batched engine ("fast", the default behind Prog.Run)
+// against the per-instruction reference interpreter. Both engines produce
+// bit-identical Output/Stats/InstrCounts (see TestEnginesBitIdenticalOnSuite);
+// this benchmark measures the speed gap the predecoding buys.
+func BenchmarkSim(b *testing.B) {
+	benchSimEngines(b, sim.Options{})
+}
+
+// BenchmarkSimProfile is BenchmarkSim with per-instruction profiling on —
+// the configuration every CompileProfiled training run pays for.
+func BenchmarkSimProfile(b *testing.B) {
+	benchSimEngines(b, sim.Options{Profile: true})
+}
+
+func benchSimEngines(b *testing.B, opts sim.Options) {
+	engines := map[string]func(*mcode.Program, sim.Options) (*sim.Result, error){
+		"fast": sim.Run,
+		"ref":  sim.RunReference,
+	}
+	for _, p := range compileBenchPrograms() {
+		prog, err := Compile(p.Source, ModeC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, engine := range []string{"fast", "ref"} {
+			run := engines[engine]
+			b.Run(fmt.Sprintf("%s/%s", p.Name, engine), func(b *testing.B) {
+				var instrs int64
+				for i := 0; i < b.N; i++ {
+					res, err := run(prog.Code, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = res.Stats.Instrs
+				}
+				if elapsed := b.Elapsed(); elapsed > 0 {
+					b.ReportMetric(float64(instrs)*float64(b.N)/elapsed.Seconds()/1e6, "Minstr/s")
+				}
+			})
+		}
+	}
+}
+
 // compileBenchPrograms are the compile-speed workloads: two real suite
 // programs and the synthetic wide-call-graph program built for the pipeline.
 func compileBenchPrograms() []benchprog.Benchmark {
@@ -132,18 +179,18 @@ func BenchmarkCompileFrontend(b *testing.B) {
 	for _, p := range compileBenchPrograms() {
 		b.Run(p.Name+"/cold", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := buildFrontend(p.Source, true); err != nil {
+				if _, err := front.Build(p.Source, true); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(p.Name+"/cached", func(b *testing.B) {
-			if _, err := frontend(p.Source, true, true); err != nil {
+			if _, err := front.Module(p.Source, true, true); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := frontend(p.Source, true, true); err != nil {
+				if _, err := front.Module(p.Source, true, true); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -157,7 +204,7 @@ func BenchmarkCompileFrontend(b *testing.B) {
 // master module; the clone cost is common to both variants.
 func BenchmarkCompilePlan(b *testing.B) {
 	for _, p := range compileBenchPrograms() {
-		master, err := buildFrontend(p.Source, true)
+		master, err := front.Build(p.Source, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +229,7 @@ func BenchmarkCompileCodegen(b *testing.B) {
 		for _, variant := range []string{"sequential", "parallel"} {
 			mode := ModeC()
 			mode.Sequential = variant == "sequential"
-			master, err := buildFrontend(p.Source, true)
+			master, err := front.Build(p.Source, true)
 			if err != nil {
 				b.Fatal(err)
 			}

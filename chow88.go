@@ -26,17 +26,14 @@
 package chow88
 
 import (
-	"crypto/sha256"
 	"fmt"
-	"sync"
 
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
 	"chow88/internal/interp"
 	"chow88/internal/ir"
-	"chow88/internal/lower"
 	"chow88/internal/mcode"
-	"chow88/internal/opt"
 	"chow88/internal/parser"
 	"chow88/internal/pixie"
 	"chow88/internal/sema"
@@ -71,88 +68,16 @@ type Program struct {
 	Code *mcode.Program
 }
 
-// frontendKey identifies a cached front-end result. Everything up to
-// register allocation is mode-independent except whether the -O2 optimizer
-// ran, so that single bit joins the source hash in the key.
-type frontendKey struct {
-	src      [sha256.Size]byte
-	optimize bool
-}
-
-// frontendCache memoizes the mode-independent prefix of the pipeline
-// (parse → sema → lower, and optionally → opt). Each cached module is a
-// frozen, verified master that is never mutated again; every compilation
-// works on a private deep copy, so a cache hit is byte-identical to a cold
-// compile. This is what lets the six-mode benchmark matrix lower and
-// optimize each program once instead of six times.
-var frontendCache = struct {
-	sync.Mutex
-	mods map[frontendKey]*ir.Module
-}{mods: map[frontendKey]*ir.Module{}}
-
-// frontendCacheCap bounds the cache. When full, the cache resets wholesale:
-// the working set (a benchmark suite, a test matrix) is far below the cap,
-// so eviction is a correctness backstop, not a tuning knob.
-const frontendCacheCap = 64
-
-// buildFrontend runs the mode-independent prefix of the pipeline.
-func buildFrontend(src string, optimize bool) (*ir.Module, error) {
-	tree, err := parser.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
-	}
-	mod, err := lower.Build(info)
-	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
-	}
-	if optimize {
-		opt.Run(mod)
-		if err := ir.VerifyModule(mod); err != nil {
-			return nil, fmt.Errorf("optimizer broke the IR: %w", err)
-		}
-	}
-	return mod, nil
-}
-
-// frontend returns a module for src that the caller owns outright,
-// consulting the compile cache unless bypassed.
-func frontend(src string, optimize, useCache bool) (*ir.Module, error) {
-	if !useCache {
-		return buildFrontend(src, optimize)
-	}
-	key := frontendKey{src: sha256.Sum256([]byte(src)), optimize: optimize}
-	frontendCache.Lock()
-	master := frontendCache.mods[key]
-	frontendCache.Unlock()
-	if master == nil {
-		var err error
-		master, err = buildFrontend(src, optimize)
-		if err != nil {
-			return nil, err
-		}
-		frontendCache.Lock()
-		if len(frontendCache.mods) >= frontendCacheCap {
-			frontendCache.mods = make(map[frontendKey]*ir.Module, frontendCacheCap)
-		}
-		frontendCache.mods[key] = master
-		frontendCache.Unlock()
-	}
-	return ir.CloneModule(master), nil
-}
-
 // Compile compiles CW source under the given mode.
 //
 // The pipeline is parallel by default: the front end (through the -O2
-// optimizer) is shared across modes through a source-keyed cache, register
-// allocation proceeds wavefront-parallel over the call graph, and machine
-// code is emitted per function concurrently. Output is byte-identical to the
-// sequential pipeline, which remains reachable via mode.Sequential.
+// optimizer) is shared across modes through internal/front's source-keyed
+// cache, register allocation proceeds wavefront-parallel over the call
+// graph, and machine code is emitted per function concurrently. Output is
+// byte-identical to the sequential pipeline, which remains reachable via
+// mode.Sequential.
 func Compile(src string, mode Mode) (*Program, error) {
-	mod, err := frontend(src, mode.Optimize, !mode.Sequential)
+	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
 		return nil, err
 	}

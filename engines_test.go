@@ -1,0 +1,89 @@
+package chow88
+
+import (
+	"reflect"
+	"testing"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/progen"
+	"chow88/internal/sim"
+)
+
+// requireEnginesAgree runs a compiled image on both simulator engines with
+// profiling on and requires bit-identical Output, Stats, InstrCounts and
+// error text — the fidelity contract behind every pixie number the paper's
+// tables report.
+func requireEnginesAgree(t *testing.T, label string, prog *Program, opts sim.Options) (*sim.Result, error) {
+	t.Helper()
+	fast, ferr := sim.Run(prog.Code, opts)
+	ref, rerr := sim.RunReference(prog.Code, opts)
+	switch {
+	case (ferr == nil) != (rerr == nil):
+		t.Fatalf("%s: engines disagree on error:\nfast: %v\n ref: %v", label, ferr, rerr)
+	case ferr != nil && ferr.Error() != rerr.Error():
+		t.Fatalf("%s: engines disagree on error text:\nfast: %v\n ref: %v", label, ferr, rerr)
+	}
+	if !reflect.DeepEqual(fast.Output, ref.Output) {
+		t.Fatalf("%s: output diverged\nfast: %v\n ref: %v", label, fast.Output, ref.Output)
+	}
+	if fast.Stats != ref.Stats {
+		t.Fatalf("%s: stats diverged\nfast: %+v\n ref: %+v", label, fast.Stats, ref.Stats)
+	}
+	if !reflect.DeepEqual(fast.InstrCounts, ref.InstrCounts) {
+		t.Fatalf("%s: instruction counts diverged", label)
+	}
+	return fast, ferr
+}
+
+// TestEnginesBitIdenticalOnSuite runs every suite program under all six
+// measurement modes on the predecoded engine, the reference interpreter
+// and (for output) the AST interpreter, asserting exact agreement.
+func TestEnginesBitIdenticalOnSuite(t *testing.T) {
+	progs := benchprog.All()
+	if testing.Short() {
+		progs = progs[:4]
+	}
+	for _, bp := range progs {
+		want, err := Interpret(bp.Source)
+		if err != nil {
+			t.Fatalf("%s: interp: %v", bp.Name, err)
+		}
+		for _, mode := range allModes() {
+			label := bp.Name + "/" + mode.Name
+			prog, err := Compile(bp.Source, mode)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", label, err)
+			}
+			res, err := requireEnginesAgree(t, label, prog, sim.Options{Profile: true})
+			if err != nil {
+				t.Fatalf("%s: run: %v", label, err)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("%s: output != interpreter\n got: %v\nwant: %v", label, res.Output, want)
+			}
+		}
+	}
+}
+
+// TestEnginesRandomPrograms sweeps randomized programs through both
+// engines. Errors (budget exhaustion, traps) must match exactly too, so
+// the sweep exercises the fast engine's precise trap paths as well as its
+// happy path.
+func TestEnginesRandomPrograms(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 15
+	}
+	modes := []Mode{ModeBase(), ModeC()}
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), progen.DefaultConfig())
+		for _, mode := range modes {
+			prog, err := Compile(src, mode)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: compile: %v\n%s", seed, mode.Name, err, src)
+			}
+			label := mode.Name
+			requireEnginesAgree(t, label, prog, sim.Options{Profile: true, MaxInstrs: 2_000_000})
+		}
+	}
+}

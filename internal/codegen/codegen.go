@@ -151,6 +151,11 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 		return nil, fmt.Errorf("codegen: no main")
 	}
 	prog.Code[0].Target = prog.Funcs[mainIdx].Entry
+	// Static link-time check: a malformed image (bad target, bad register
+	// field) fails here rather than trapping mid-run in the simulator.
+	if err := mcode.Verify(prog); err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
 	return prog, nil
 }
 

@@ -181,3 +181,57 @@ func main() { print(add(1, 2)); }`, core.ModeBase())
 		t.Error("stub must exit after main returns")
 	}
 }
+
+// TestGeneratedImagesVerify: every mode's output must pass the static
+// verifier (Generate runs it at link time; this asserts it directly and
+// that corrupting an image is caught).
+func TestGeneratedImagesVerify(t *testing.T) {
+	src := `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    var i int;
+    i = 0;
+    while (i < 5) { print(fib(i)); i = i + 1; }
+}`
+	for _, mode := range []core.Mode{
+		core.ModeBase(), core.ModeA(), core.ModeB(),
+		core.ModeC(), core.ModeD(), core.ModeE(),
+	} {
+		prog := compile(t, src, mode)
+		if err := mcode.Verify(prog); err != nil {
+			t.Fatalf("%s: generated image fails verify: %v", mode.Name, err)
+		}
+	}
+
+	prog := compile(t, src, core.ModeBase())
+	corrupt := func(mutate func(p *mcode.Program)) error {
+		clone := *prog
+		clone.Code = append([]mcode.Instr(nil), prog.Code...)
+		mutate(&clone)
+		return mcode.Verify(&clone)
+	}
+	if err := corrupt(func(p *mcode.Program) {
+		for i := range p.Code {
+			if p.Code[i].Op == mcode.BEQZ || p.Code[i].Op == mcode.BNEZ {
+				p.Code[i].Target = len(p.Code) + 7
+				return
+			}
+		}
+		t.Fatal("no branch to corrupt")
+	}); err == nil {
+		t.Error("out-of-range branch target must fail verify")
+	}
+	if err := corrupt(func(p *mcode.Program) {
+		p.Code[3].Rd = 200
+	}); err == nil {
+		t.Error("register index out of range must fail verify")
+	}
+	if err := corrupt(func(p *mcode.Program) {
+		p.Code[0].Target = len(p.Code) + 1
+	}); err == nil {
+		t.Error("out-of-range call target must fail verify")
+	}
+}

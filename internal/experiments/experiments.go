@@ -12,31 +12,19 @@ import (
 	"chow88/internal/benchprog"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
 	"chow88/internal/ir"
-	"chow88/internal/lower"
-	"chow88/internal/opt"
-	"chow88/internal/parser"
 	"chow88/internal/pixie"
-	"chow88/internal/sema"
 	"chow88/internal/sim"
 )
 
 // run compiles src under mode and executes it, returning the trace stats.
+// The front end is shared across modes through internal/front's cache, so
+// a table's six-mode matrix lowers and optimizes each benchmark once.
 func run(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
-	tree, err := parser.Parse(src)
+	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
 		return nil, nil, err
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, nil, err
-	}
-	mod, err := lower.Build(info)
-	if err != nil {
-		return nil, nil, err
-	}
-	if mode.Optimize {
-		opt.Run(mod)
 	}
 	plan := core.PlanModule(mod, mode)
 	code, err := codegen.Generate(plan)
@@ -181,32 +169,11 @@ func DetailRow(m *Measurement, key string) string {
 
 // irModuleFor compiles src to optimized IR (shared by the figure demos).
 func irModuleFor(src string) (*ir.Module, error) {
-	tree, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, err
-	}
-	mod, err := lower.Build(info)
-	if err != nil {
-		return nil, err
-	}
-	opt.Run(mod)
-	return mod, nil
+	return front.Module(src, true, true)
 }
 
 // irModuleNoOpt lowers src without running the optimizer, preserving named
 // variables for the allocation demonstrations.
 func irModuleNoOpt(src string) (*ir.Module, error) {
-	tree, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, err
-	}
-	return lower.Build(info)
+	return front.Module(src, false, true)
 }

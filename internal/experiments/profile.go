@@ -7,33 +7,21 @@ import (
 	"chow88/internal/benchprog"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
 	"chow88/internal/ir"
-	"chow88/internal/lower"
 	"chow88/internal/mcode"
-	"chow88/internal/opt"
-	"chow88/internal/parser"
 	"chow88/internal/pixie"
-	"chow88/internal/sema"
 	"chow88/internal/sim"
 )
 
 // runProfiled compiles src under mode with profile feedback from a baseline
 // training run (the paper's §8 future-work capability) and executes it.
+// The cached front end returns a private clone, so the profile counts
+// written onto the module never leak into other compilations.
 func runProfiled(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
-	tree, err := parser.Parse(src)
+	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
 		return nil, nil, err
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, nil, err
-	}
-	mod, err := lower.Build(info)
-	if err != nil {
-		return nil, nil, err
-	}
-	if mode.Optimize {
-		opt.Run(mod)
 	}
 	train := core.ModeBase()
 	train.Optimize = mode.Optimize

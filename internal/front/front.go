@@ -1,0 +1,90 @@
+// Package front runs the mode-independent prefix of the compilation
+// pipeline — parse → sema → lower, and optionally the -O2 optimizer — and
+// memoizes the result behind a source-keyed cache. Everything up to
+// register allocation is identical across the paper's measurement modes
+// except whether the optimizer ran, so the six-mode benchmark matrix
+// lowers and optimizes each program once instead of six times. The root
+// package, the profile-feedback builds and the experiments harness all
+// share this one cache.
+package front
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"chow88/internal/ir"
+	"chow88/internal/lower"
+	"chow88/internal/opt"
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+)
+
+// key identifies a cached front-end result: the source hash plus the
+// single mode bit (-O2 on or off) that affects the prefix.
+type key struct {
+	src      [sha256.Size]byte
+	optimize bool
+}
+
+// cache memoizes frozen, verified master modules. A master is never
+// mutated again; every caller works on a private deep copy, so a cache hit
+// is byte-identical to a cold build.
+var cache = struct {
+	sync.Mutex
+	mods map[key]*ir.Module
+}{mods: map[key]*ir.Module{}}
+
+// cacheCap bounds the cache. When full, the cache resets wholesale: the
+// working set (a benchmark suite, a test matrix) is far below the cap, so
+// eviction is a correctness backstop, not a tuning knob.
+const cacheCap = 64
+
+// Build runs the front end cold, bypassing the cache.
+func Build(src string, optimize bool) (*ir.Module, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	mod, err := lower.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	if optimize {
+		opt.Run(mod)
+		if err := ir.VerifyModule(mod); err != nil {
+			return nil, fmt.Errorf("optimizer broke the IR: %w", err)
+		}
+	}
+	return mod, nil
+}
+
+// Module returns an IR module for src that the caller owns outright,
+// consulting the compile cache unless bypassed.
+func Module(src string, optimize, useCache bool) (*ir.Module, error) {
+	if !useCache {
+		return Build(src, optimize)
+	}
+	k := key{src: sha256.Sum256([]byte(src)), optimize: optimize}
+	cache.Lock()
+	master := cache.mods[k]
+	cache.Unlock()
+	if master == nil {
+		var err error
+		master, err = Build(src, optimize)
+		if err != nil {
+			return nil, err
+		}
+		cache.Lock()
+		if len(cache.mods) >= cacheCap {
+			cache.mods = make(map[key]*ir.Module, cacheCap)
+		}
+		cache.mods[k] = master
+		cache.Unlock()
+	}
+	return ir.CloneModule(master), nil
+}

@@ -1,0 +1,108 @@
+package mcode
+
+import (
+	"fmt"
+
+	"chow88/internal/mach"
+)
+
+// Verify statically checks a linked Program: every register field names a
+// real register, every opcode and memory class is in range, the function
+// table is a consistent partition, branch targets stay inside their
+// function and land on recorded block heads, and calls land on function
+// entries. The code generator runs it at link time so a bad image fails
+// when it is built, not by trapping mid-run; the predecoder runs it before
+// translation so the fast engine can trust static targets.
+//
+// Functions without recorded block spans (hand-assembled test images) are
+// held only to the range and ownership rules, not the block-head rule.
+func Verify(p *Program) error {
+	n := len(p.Code)
+	// owner[pc] is the index in p.Funcs of the function covering pc, or -1.
+	// head marks function entries and recorded block starts — the only
+	// legal landing sites for static control transfers.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	head := make([]bool, n)
+	hasBlocks := make([]bool, len(p.Funcs))
+	hasExtern := false
+
+	for fi, f := range p.Funcs {
+		if f.Extern {
+			hasExtern = true
+			if f.Entry >= 0 {
+				return fmt.Errorf("mcode verify: extern func %s has code entry %d", f.Name, f.Entry)
+			}
+			continue
+		}
+		if f.Entry < 0 || f.End > n || f.Entry >= f.End {
+			return fmt.Errorf("mcode verify: func %s spans [%d,%d) in a %d-instruction image", f.Name, f.Entry, f.End, n)
+		}
+		for pc := f.Entry; pc < f.End; pc++ {
+			if owner[pc] >= 0 {
+				return fmt.Errorf("mcode verify: funcs %s and %s overlap at pc %d", p.Funcs[owner[pc]].Name, f.Name, pc)
+			}
+			owner[pc] = fi
+		}
+		head[f.Entry] = true
+		if len(f.Blocks) > 0 {
+			hasBlocks[fi] = true
+			for _, bs := range f.Blocks {
+				if bs.Start < f.Entry || bs.Start >= f.End {
+					return fmt.Errorf("mcode verify: func %s block %d starts at %d, outside [%d,%d)", f.Name, bs.BlockID, bs.Start, f.Entry, f.End)
+				}
+				head[bs.Start] = true
+			}
+		}
+	}
+
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op < 0 || in.Op > EXIT {
+			return fmt.Errorf("mcode verify: pc %d: illegal opcode %d", pc, int(in.Op))
+		}
+		if badReg(in.Rd) || badReg(in.Rs) || badReg(in.Rt) {
+			return fmt.Errorf("mcode verify: pc %d: %s: register index out of range", pc, in)
+		}
+		switch in.Op {
+		case LW, SW:
+			if in.Class < 0 || int(in.Class) >= len(classNames) {
+				return fmt.Errorf("mcode verify: pc %d: %s: bad memory class %d", pc, in.Op, int(in.Class))
+			}
+		case BEQZ, BNEZ, J:
+			t := in.Target
+			if t < 0 || t >= n {
+				return fmt.Errorf("mcode verify: pc %d: %s target %d out of range", pc, in.Op, t)
+			}
+			if o := owner[pc]; o >= 0 {
+				if owner[t] != o {
+					return fmt.Errorf("mcode verify: pc %d: %s target %d leaves func %s", pc, in.Op, t, p.Funcs[o].Name)
+				}
+				if hasBlocks[o] && !head[t] {
+					return fmt.Errorf("mcode verify: pc %d: %s target %d is not a block head", pc, in.Op, t)
+				}
+			}
+		case JAL:
+			t := in.Target
+			if t == -1 {
+				// Unresolved call: legal only as a call to a declared
+				// extern; it traps at run time if actually executed.
+				if !hasExtern {
+					return fmt.Errorf("mcode verify: pc %d: unresolved call target", pc)
+				}
+				continue
+			}
+			if t < 0 || t >= n {
+				return fmt.Errorf("mcode verify: pc %d: call target %d out of range", pc, t)
+			}
+			if !head[t] {
+				return fmt.Errorf("mcode verify: pc %d: call target %d is not a function entry or block head", pc, t)
+			}
+		}
+	}
+	return nil
+}
+
+func badReg(r mach.Reg) bool { return r < 0 || r >= mach.NumRegs }

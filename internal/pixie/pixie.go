@@ -27,6 +27,27 @@ type Stats struct {
 	MulDiv        int64
 }
 
+// Add accumulates d into s.
+func (s *Stats) Add(d *Stats) { s.AddN(d, 1) }
+
+// AddN accumulates d into s n times. The block-batched simulator counts
+// block entries during execution and materializes the statistics once at
+// the end — one AddN per basic block with n = its entry count.
+func (s *Stats) AddN(d *Stats, n int64) {
+	s.Cycles += n * d.Cycles
+	s.Instrs += n * d.Instrs
+	s.Calls += n * d.Calls
+	s.Loads += n * d.Loads
+	s.Stores += n * d.Stores
+	for i := range s.LoadsByClass {
+		s.LoadsByClass[i] += n * d.LoadsByClass[i]
+		s.StoresByClass[i] += n * d.StoresByClass[i]
+	}
+	s.Branches += n * d.Branches
+	s.Taken += n * d.Taken
+	s.MulDiv += n * d.MulDiv
+}
+
 // ScalarLoads returns loads attributable to scalar variables, temporaries
 // and register saves/restores.
 func (s *Stats) ScalarLoads() int64 {

@@ -4,11 +4,20 @@
 // stack, and the R2000's integer cycle costs (single-cycle ALU, loads and
 // stores; 12-cycle multiply; 35-cycle divide). It fills a pixie.Stats with
 // the trace counters as it runs.
+//
+// Two engines share the machine model. Run, the default, executes a
+// predecoded image: the program is translated once into a dense internal
+// ISA, basic blocks are discovered, and each block's statistics are
+// accumulated in one step per block entry (see predecode.go / fastvm.go).
+// RunReference is the original per-instruction interpreter; the two are
+// bit-identical in Output, Stats and InstrCounts, which the differential
+// tests enforce.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
@@ -49,8 +58,111 @@ type Result struct {
 	InstrCounts []int64
 }
 
-// Run executes the program from its startup stub.
-func Run(p *mcode.Program, opts Options) (*Result, error) {
+// machine is the mutable state of one run, shared by the predecoded engine
+// and the per-instruction reference interpreter (which doubles as the fast
+// engine's precise mode around traps and non-block entry points).
+type machine struct {
+	p   *mcode.Program
+	mem []int64
+	// regs holds the 32 architectural registers plus a scratch slot
+	// (zeroSink): the predecoded engine renames writes to $zero into the
+	// scratch, so the hardwired zero needs no per-instruction re-clearing.
+	// The array is sized 256 so that the fast engine's uint8 register
+	// fields can never index out of range — the compiler drops every
+	// bounds check in the hot loop. The reference interpreter uses slots
+	// 0..31 only and re-clears $zero as before.
+	regs       [256]int64
+	memWords   int64
+	stackFloor int64
+	maxInstrs  int64
+	// loData/hiData and loStack/hiStack bound the memory words the run has
+	// written (all writes go through SW or a store run), split at
+	// stackFloor. release clears exactly those ranges before pooling the
+	// buffer, keeping the pool's all-zero invariant without paying a full
+	// memclr of the 8 MiB default memory on every run. Two ranges matter:
+	// almost every program dirties both the globals at the bottom of
+	// memory and the stack at the top, so a single range would span — and
+	// release would clear — nearly the whole buffer.
+	loData, hiData   int64
+	loStack, hiStack int64
+	res              *Result
+}
+
+// memPool recycles memory buffers between runs. Every pooled buffer is
+// all-zero over its full capacity (release restores that invariant by
+// clearing the words the run dirtied), so a fresh machine can slice one
+// without clearing. Runs with a program's default sizing dominate, so the
+// capacity check almost always hits.
+var memPool sync.Pool
+
+func getMem(n int) []int64 {
+	if v := memPool.Get(); v != nil {
+		if buf := *v.(*[]int64); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+// release returns the machine's memory to the pool with its dirtied words
+// re-zeroed. The Result never aliases the buffer, so this is safe as soon
+// as the run has ended.
+func (m *machine) release() {
+	if m.loData < m.hiData {
+		clear(m.mem[m.loData:m.hiData])
+	}
+	if m.loStack < m.hiStack {
+		clear(m.mem[m.loStack:m.hiStack])
+	}
+	buf := m.mem[:cap(m.mem)]
+	memPool.Put(&buf)
+	m.mem = nil
+}
+
+// noteStore records a write to mem[addr], growing the data- or stack-side
+// dirty range for release.
+func (m *machine) noteStore(addr int64) {
+	if addr < m.stackFloor {
+		if addr < m.loData {
+			m.loData = addr
+		}
+		if addr >= m.hiData {
+			m.hiData = addr + 1
+		}
+	} else {
+		if addr < m.loStack {
+			m.loStack = addr
+		}
+		if addr >= m.hiStack {
+			m.hiStack = addr + 1
+		}
+	}
+}
+
+// noteStoreRange records writes covering mem[lo:hi), splitting the span at
+// stackFloor when it straddles the boundary.
+func (m *machine) noteStoreRange(lo, hi int64) {
+	if lo < m.stackFloor {
+		t := min(hi, m.stackFloor)
+		if lo < m.loData {
+			m.loData = lo
+		}
+		if t > m.hiData {
+			m.hiData = t
+		}
+	}
+	if hi > m.stackFloor {
+		f := max(lo, m.stackFloor)
+		if f < m.loStack {
+			m.loStack = f
+		}
+		if hi > m.hiStack {
+			m.hiStack = hi
+		}
+	}
+}
+
+func newMachine(p *mcode.Program, opts Options) *machine {
 	memWords := opts.MemWords
 	if memWords == 0 {
 		memWords = p.DataSize + 1<<20
@@ -59,126 +171,163 @@ func Run(p *mcode.Program, opts Options) (*Result, error) {
 	if maxInstrs == 0 {
 		maxInstrs = defaultMaxInstrs
 	}
-	mem := make([]int64, memWords)
-	var regs [mach.NumRegs]int64
-	regs[mach.SP] = int64(memWords)
-	stackFloor := int64(p.DataSize)
-
-	res := &Result{}
+	m := &machine{
+		p:          p,
+		mem:        getMem(memWords),
+		memWords:   int64(memWords),
+		stackFloor: int64(p.DataSize),
+		maxInstrs:  maxInstrs,
+		loData:     int64(memWords),
+		loStack:    int64(memWords),
+		res:        &Result{},
+	}
+	m.regs[mach.SP] = int64(memWords)
 	if opts.Profile {
-		res.InstrCounts = make([]int64, len(p.Code))
+		m.res.InstrCounts = make([]int64, len(p.Code))
 	}
-	st := &res.Stats
-	pc := 0
+	return m
+}
 
-	trap := func(format string, args ...any) error {
-		return &Trap{Msg: fmt.Sprintf(format, args...), PC: pc}
+// Run executes the program from its startup stub on the predecoded engine.
+// Images that fail static verification — and degenerate configurations
+// whose initial stack pointer already sits below the data segment — take
+// the reference interpreter wholesale: exactness over speed for bad inputs.
+func Run(p *mcode.Program, opts Options) (*Result, error) {
+	m := newMachine(p, opts)
+	defer m.release()
+	img := imageFor(p)
+	if img == nil || m.regs[mach.SP] < m.stackFloor {
+		_, _, err := m.interpret(0, nil)
+		return m.res, err
 	}
-	load := func(addr int64) (int64, error) {
-		if addr < 0 || addr >= int64(memWords) {
-			return 0, trap("load from bad address %d", addr)
-		}
-		return mem[addr], nil
-	}
-	store := func(addr, v int64) error {
-		if addr < 0 || addr >= int64(memWords) {
-			return trap("store to bad address %d", addr)
-		}
-		mem[addr] = v
-		return nil
-	}
+	return m.res, m.runFast(img)
+}
 
+// RunReference executes the program on the per-instruction reference
+// interpreter. It is the oracle the predecoded engine is differentially
+// tested against; Output, Stats and InstrCounts match Run bit for bit.
+func RunReference(p *mcode.Program, opts Options) (*Result, error) {
+	m := newMachine(p, opts)
+	defer m.release()
+	_, _, err := m.interpret(0, nil)
+	return m.res, err
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rt returns the right operand of an ALU instruction: the immediate or the
+// Rt register. (Hoisted out of the interpreter loop — it used to be a
+// closure rebuilt every instruction.)
+func (m *machine) rt(in *mcode.Instr) int64 {
+	if in.HasImm {
+		return in.Imm
+	}
+	return m.regs[in.Rt]
+}
+
+func (m *machine) trap(pc int, format string, args ...any) error {
+	return &Trap{Msg: fmt.Sprintf(format, args...), PC: pc}
+}
+
+// interpret is the reference interpreter loop, executing from pc until the
+// program exits or faults. When stopAt is non-nil, control arriving at an
+// index with stopAt[pc] >= 0 suspends the loop instead, returning
+// (pc, false, nil) so the predecoded engine can resume block execution;
+// callers guarantee the entry pc itself is not a stop point. On
+// termination it returns (0, true, err) with err nil for a clean exit.
+func (m *machine) interpret(pc int, stopAt []int32) (int, bool, error) {
+	p := m.p
+	st := &m.res.Stats
+	counts := m.res.InstrCounts
 	for {
 		if pc < 0 || pc >= len(p.Code) {
-			return res, trap("control left the code image")
+			return 0, true, m.trap(pc, "control left the code image")
+		}
+		if stopAt != nil && stopAt[pc] >= 0 {
+			return pc, false, nil
 		}
 		in := &p.Code[pc]
-		if res.InstrCounts != nil {
-			res.InstrCounts[pc]++
+		if counts != nil {
+			counts[pc]++
 		}
 		st.Instrs++
-		if st.Instrs > maxInstrs {
-			return res, fmt.Errorf("pc %d: %w", pc, ErrLimit)
+		if st.Instrs > m.maxInstrs {
+			return 0, true, fmt.Errorf("pc %d: %w", pc, ErrLimit)
 		}
 		st.Cycles++
 		nextPC := pc + 1
 
-		rt := func() int64 {
-			if in.HasImm {
-				return in.Imm
-			}
-			return regs[in.Rt]
-		}
-		b2i := func(b bool) int64 {
-			if b {
-				return 1
-			}
-			return 0
-		}
-
 		switch in.Op {
 		case mcode.LI:
-			regs[in.Rd] = in.Imm
+			m.regs[in.Rd] = in.Imm
 		case mcode.MOVE:
-			regs[in.Rd] = regs[in.Rs]
+			m.regs[in.Rd] = m.regs[in.Rs]
 		case mcode.ADD:
-			regs[in.Rd] = regs[in.Rs] + rt()
+			m.regs[in.Rd] = m.regs[in.Rs] + m.rt(in)
 		case mcode.SUB:
-			regs[in.Rd] = regs[in.Rs] - rt()
+			m.regs[in.Rd] = m.regs[in.Rs] - m.rt(in)
 		case mcode.MUL:
 			st.Cycles += 11 // 12 total
 			st.MulDiv++
-			regs[in.Rd] = regs[in.Rs] * rt()
+			m.regs[in.Rd] = m.regs[in.Rs] * m.rt(in)
 		case mcode.DIV, mcode.REM:
 			st.Cycles += 34 // 35 total
 			st.MulDiv++
-			d := rt()
+			d := m.rt(in)
 			if d == 0 {
-				return res, trap("division by zero")
+				return 0, true, m.trap(pc, "division by zero")
 			}
-			n := regs[in.Rs]
+			n := m.regs[in.Rs]
 			if n == -1<<63 && d == -1 {
 				if in.Op == mcode.DIV {
-					regs[in.Rd] = n
+					m.regs[in.Rd] = n
 				} else {
-					regs[in.Rd] = 0
+					m.regs[in.Rd] = 0
 				}
 			} else if in.Op == mcode.DIV {
-				regs[in.Rd] = n / d
+				m.regs[in.Rd] = n / d
 			} else {
-				regs[in.Rd] = n % d
+				m.regs[in.Rd] = n % d
 			}
 		case mcode.SLT:
-			regs[in.Rd] = b2i(regs[in.Rs] < rt())
+			m.regs[in.Rd] = b2i(m.regs[in.Rs] < m.rt(in))
 		case mcode.SLE:
-			regs[in.Rd] = b2i(regs[in.Rs] <= rt())
+			m.regs[in.Rd] = b2i(m.regs[in.Rs] <= m.rt(in))
 		case mcode.SEQ:
-			regs[in.Rd] = b2i(regs[in.Rs] == rt())
+			m.regs[in.Rd] = b2i(m.regs[in.Rs] == m.rt(in))
 		case mcode.SNE:
-			regs[in.Rd] = b2i(regs[in.Rs] != rt())
+			m.regs[in.Rd] = b2i(m.regs[in.Rs] != m.rt(in))
 		case mcode.LW:
-			v, err := load(regs[in.Rs] + in.Imm)
-			if err != nil {
-				return res, err
+			addr := m.regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= m.memWords {
+				return 0, true, m.trap(pc, "load from bad address %d", addr)
 			}
-			regs[in.Rd] = v
+			m.regs[in.Rd] = m.mem[addr]
 			st.Loads++
 			st.LoadsByClass[in.Class]++
 		case mcode.SW:
-			if err := store(regs[in.Rs]+in.Imm, regs[in.Rt]); err != nil {
-				return res, err
+			addr := m.regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= m.memWords {
+				return 0, true, m.trap(pc, "store to bad address %d", addr)
 			}
+			m.noteStore(addr)
+			m.mem[addr] = m.regs[in.Rt]
 			st.Stores++
 			st.StoresByClass[in.Class]++
 		case mcode.BEQZ:
 			st.Branches++
-			if regs[in.Rs] == 0 {
+			if m.regs[in.Rs] == 0 {
 				st.Taken++
 				nextPC = in.Target
 			}
 		case mcode.BNEZ:
 			st.Branches++
-			if regs[in.Rs] != 0 {
+			if m.regs[in.Rs] != 0 {
 				st.Taken++
 				nextPC = in.Target
 			}
@@ -186,32 +335,32 @@ func Run(p *mcode.Program, opts Options) (*Result, error) {
 			nextPC = in.Target
 		case mcode.JAL:
 			st.Calls++
-			regs[mach.RA] = int64(pc + 1)
+			m.regs[mach.RA] = int64(pc + 1)
 			nextPC = in.Target
 		case mcode.JALR:
 			st.Calls++
-			fv := regs[in.Rs]
+			fv := m.regs[in.Rs]
 			if fv < 1 || fv > int64(len(p.Funcs)) {
-				return res, trap("indirect call through invalid function value %d", fv)
+				return 0, true, m.trap(pc, "indirect call through invalid function value %d", fv)
 			}
 			fi := p.Funcs[fv-1]
 			if fi.Entry < 0 {
-				return res, trap("indirect call to extern function %s", fi.Name)
+				return 0, true, m.trap(pc, "indirect call to extern function %s", fi.Name)
 			}
-			regs[mach.RA] = int64(pc + 1)
+			m.regs[mach.RA] = int64(pc + 1)
 			nextPC = fi.Entry
 		case mcode.JR:
-			nextPC = int(regs[in.Rs])
+			nextPC = int(m.regs[in.Rs])
 		case mcode.PRINT:
-			res.Output = append(res.Output, regs[in.Rs])
+			m.res.Output = append(m.res.Output, m.regs[in.Rs])
 		case mcode.EXIT:
-			return res, nil
+			return 0, true, nil
 		default:
-			return res, trap("illegal instruction %d", int(in.Op))
+			return 0, true, m.trap(pc, "illegal instruction %d", int(in.Op))
 		}
-		regs[mach.Zero] = 0
-		if regs[mach.SP] < stackFloor {
-			return res, trap("stack overflow (sp %d below floor %d)", regs[mach.SP], stackFloor)
+		m.regs[mach.Zero] = 0
+		if m.regs[mach.SP] < m.stackFloor {
+			return 0, true, m.trap(pc, "stack overflow (sp %d below floor %d)", m.regs[mach.SP], m.stackFloor)
 		}
 		pc = nextPC
 	}

@@ -5,12 +5,9 @@ import (
 
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
 	"chow88/internal/ir"
-	"chow88/internal/lower"
 	"chow88/internal/mcode"
-	"chow88/internal/opt"
-	"chow88/internal/parser"
-	"chow88/internal/sema"
 	"chow88/internal/sim"
 )
 
@@ -27,20 +24,9 @@ import (
 // region they left) cannot happen, because the priorities now see the real
 // relative frequencies of the call-graph levels.
 func CompileProfiled(src string, mode Mode) (*Program, error) {
-	tree, err := parser.Parse(src)
+	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	info, err := sema.Check(tree)
-	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
-	}
-	mod, err := lower.Build(info)
-	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
-	}
-	if mode.Optimize {
-		opt.Run(mod)
+		return nil, err
 	}
 
 	// Training build: the baseline configuration on the same IR.
