@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet clean
+.PHONY: all build test race bench ci fmt-check vet trace clean
 
 all: build
 
@@ -33,9 +33,17 @@ vet:
 
 # The gate every change must pass: formatting, vet, build, the race-enabled
 # test suite, and a one-iteration smoke of the compile and simulator
-# benchmarks (both engines).
+# benchmarks (both engines) plus the obs-disabled zero-allocation check.
 ci: fmt-check vet build race
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
+	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
+
+# Observability smoke: compile and run a Table 1 program with tracing on,
+# then check the emitted Chrome trace JSON is well formed.
+trace:
+	$(GO) run ./cmd/chowcc -O3 -stats -trace=trace.json -run testdata/nim.cw > /dev/null
+	$(GO) run ./cmd/tracelint trace.json
 
 clean:
 	$(GO) clean ./...
+	rm -f trace.json

@@ -34,6 +34,7 @@ import (
 	"chow88/internal/interp"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 	"chow88/internal/parser"
 	"chow88/internal/pixie"
 	"chow88/internal/sema"
@@ -66,6 +67,9 @@ type Program struct {
 	Plan *core.ProgramPlan
 	// Code is the linked machine-code image.
 	Code *mcode.Program
+	// Report carries the compilation's phase timings and allocator metrics
+	// when an obs session is active (obs.Begin); nil otherwise.
+	Report *obs.CompileReport
 }
 
 // Compile compiles CW source under the given mode.
@@ -77,22 +81,43 @@ type Program struct {
 // byte-identical to the sequential pipeline, which remains reachable via
 // mode.Sequential.
 func Compile(src string, mode Mode) (*Program, error) {
+	s := obs.Current()
+	snap := s.Snap()
+	var sp obs.Span
+	if s != nil {
+		sp = s.Span(obs.PhaseCompile, "Compile "+mode.Name)
+	}
 	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	plan := core.PlanModule(mod, mode)
 	code, err := codegen.Generate(plan)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("codegen: %w", err)
 	}
-	return &Program{Mode: mode, Module: mod, Plan: plan, Code: code}, nil
+	sp.End()
+	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code}
+	if s != nil {
+		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap)}
+	}
+	return p, nil
 }
 
 // RunResult is the outcome of executing a compiled program.
 type RunResult struct {
 	Output []int64
 	Stats  Stats
+	// Engine names the simulator engine that executed the run ("fast" or
+	// "reference"); FallbackReason explains a reference run the fast engine
+	// declined (see sim.Result).
+	Engine         string
+	FallbackReason string
+	// Report carries the run's metrics window when an obs session is
+	// active; nil otherwise.
+	Report *obs.RunReport
 }
 
 // RunOptions bound simulator resource use.
@@ -107,7 +132,11 @@ func (p *Program) RunWith(opts RunOptions) (*RunResult, error) {
 	if res == nil {
 		return nil, err
 	}
-	return &RunResult{Output: res.Output, Stats: res.Stats}, err
+	return &RunResult{
+		Output: res.Output, Stats: res.Stats,
+		Engine: res.Engine, FallbackReason: res.FallbackReason,
+		Report: res.Report,
+	}, err
 }
 
 // Disassemble renders the generated machine code.

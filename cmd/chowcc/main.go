@@ -19,9 +19,13 @@
 //	-plan            print the call graph, open/closed classification and
 //	                 register summaries
 //	-open f,g        force the named procedures open (separate compilation)
+//	-stats           print compile and run metrics tables on stderr
+//	-trace=out.json  write a Chrome trace_event file (open in Perfetto)
+//	-json            emit the run result as a JSON document on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +36,8 @@ import (
 	"chow88/internal/core"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
+	"chow88/internal/obs"
+	"chow88/internal/pixie"
 )
 
 func main() {
@@ -44,7 +50,14 @@ func main() {
 	doIR := flag.Bool("ir", false, "print optimized IR")
 	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
 	openList := flag.String("open", "", "comma-separated procedures to force open")
+	stats := flag.Bool("stats", false, "print compile and run metrics tables on stderr")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file to the given path")
+	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout (implies -run)")
 	flag.Parse()
+
+	if *stats || *jsonOut || *traceOut != "" {
+		obs.Begin(obs.Options{Trace: *traceOut != ""})
+	}
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: chowcc [flags] file.cw [more.cw ...]")
@@ -96,15 +109,59 @@ func main() {
 	if *doAsm {
 		fmt.Print(prog.Disassemble())
 	}
-	if *doRun || !(*doIR || *doPlan || *doAsm) {
-		res, err := prog.Run()
+	var res *chow88.RunResult
+	if *doRun || *jsonOut || !(*doIR || *doPlan || *doAsm) {
+		res, err = prog.Run()
 		if err != nil {
 			fatal(err)
 		}
-		for _, v := range res.Output {
-			fmt.Println(v)
+		if *jsonOut {
+			writeJSON(mode.Name, prog, res)
+		} else {
+			pixie.PrintRun(os.Stdout, os.Stderr, mode.Name, res.Output, &res.Stats)
 		}
-		fmt.Fprintf(os.Stderr, "\n[%s]\n%s", mode.Name, res.Stats.String())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n%s", prog.Report.Table())
+		if res != nil && res.Report != nil {
+			fmt.Fprintf(os.Stderr, "\n%s", res.Report.Table())
+		}
+	}
+	if *traceOut != "" {
+		writeTrace(*traceOut)
+	}
+}
+
+// writeJSON emits the whole run — mode, program output, trace stats and the
+// observability reports — as one machine-readable document.
+func writeJSON(mode string, prog *chow88.Program, res *chow88.RunResult) {
+	doc := struct {
+		Mode           string
+		Output         []int64
+		Stats          chow88.Stats
+		Engine         string
+		FallbackReason string             `json:",omitempty"`
+		Compile        *obs.CompileReport `json:",omitempty"`
+		Run            *obs.RunReport     `json:",omitempty"`
+	}{mode, res.Output, res.Stats, res.Engine, res.FallbackReason, prog.Report, res.Report}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.End().WriteTrace(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"chow88/internal/experiments"
+	"chow88/internal/obs"
 )
 
 func main() {
@@ -24,10 +25,14 @@ func main() {
 	height := flag.Bool("height", false, "run the call-graph-height ablation (D vs E crossover)")
 	profile := flag.Bool("profile", false, "measure profile feedback vs static frequency estimates")
 	all := flag.Bool("all", false, "run everything")
+	stats := flag.Bool("stats", false, "collect and print per-measurement compile/run metrics")
 	flag.Parse()
 
 	if !(*t1 || *t2 || *f1 || *f2 || *f3 || *f4 || *height || *profile) {
 		*all = true
+	}
+	if *stats {
+		obs.Begin(obs.Options{})
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -43,6 +48,9 @@ func main() {
 			rows, experiments.Keys1))
 		fmt.Println("Key: A = -O2 + shrink-wrap; B = -O3; C = -O3 + shrink-wrap")
 		fmt.Println()
+		if s := experiments.FormatObs("Table 1 compile/run metrics", rows, experiments.Keys1); s != "" {
+			fmt.Println(s)
+		}
 	}
 	if *all || *t2 {
 		rows, err := experiments.Table2()
@@ -54,6 +62,9 @@ func main() {
 			rows, experiments.Keys2))
 		fmt.Println("Key: D = 7 caller-saved only; E = 7 callee-saved only")
 		fmt.Println()
+		if s := experiments.FormatObs("Table 2 compile/run metrics", rows, experiments.Keys2); s != "" {
+			fmt.Println(s)
+		}
 	}
 	type figFn struct {
 		on bool

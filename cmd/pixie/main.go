@@ -21,6 +21,7 @@ import (
 	"chow88/internal/core"
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
+	"chow88/internal/pixie"
 )
 
 func main() {
@@ -84,10 +85,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, v := range res.Output {
-		fmt.Println(v)
-	}
-	fmt.Fprint(os.Stderr, res.Stats.String())
+	pixie.PrintRun(os.Stdout, os.Stderr, "", res.Output, &res.Stats)
 }
 
 func fatal(err error) {

@@ -1,0 +1,98 @@
+// Command tracelint validates a Chrome trace_event JSON file of the kind
+// chowcc -trace emits: either the JSON Object Format ({"traceEvents": [...]})
+// or a bare event array. It checks that every event has a name and a phase,
+// that complete ("X") events carry a duration, and that timestamps are
+// non-negative. Exit status 1 means the file would not load cleanly in
+// Perfetto / chrome://tracing.
+//
+// Usage:
+//
+//	tracelint trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	PID  int      `json:"pid"`
+	TID  int      `json:"tid"`
+}
+
+type objectFormat struct {
+	TraceEvents *[]event `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint trace.json")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	events, err := parse(b)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", os.Args[1], err))
+	}
+	spans := 0
+	for i, e := range events {
+		if err := check(e); err != nil {
+			fatal(fmt.Errorf("%s: event %d: %w", os.Args[1], i, err))
+		}
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	fmt.Printf("%s: ok, %d events (%d spans)\n", os.Args[1], len(events), spans)
+}
+
+// parse accepts both trace_event containers: the object format and the
+// legacy bare array.
+func parse(b []byte) ([]event, error) {
+	var obj objectFormat
+	if err := json.Unmarshal(b, &obj); err == nil && obj.TraceEvents != nil {
+		return *obj.TraceEvents, nil
+	}
+	var arr []event
+	if err := json.Unmarshal(b, &arr); err != nil {
+		return nil, fmt.Errorf("neither a trace object nor an event array: %w", err)
+	}
+	return arr, nil
+}
+
+func check(e event) error {
+	if e.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if e.Ph == "" {
+		return fmt.Errorf("%q: missing phase", e.Name)
+	}
+	if e.TS != nil && *e.TS < 0 {
+		return fmt.Errorf("%q: negative timestamp %v", e.Name, *e.TS)
+	}
+	switch e.Ph {
+	case "X":
+		if e.TS == nil {
+			return fmt.Errorf("%q: complete event without ts", e.Name)
+		}
+		if e.Dur == nil || *e.Dur < 0 {
+			return fmt.Errorf("%q: complete event without a valid dur", e.Name)
+		}
+	case "M":
+		// Metadata events carry no timing.
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracelint:", err)
+	os.Exit(1)
+}

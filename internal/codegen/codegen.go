@@ -20,6 +20,7 @@ import (
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 	"chow88/internal/regalloc"
 )
 
@@ -31,6 +32,7 @@ import (
 // which keeps the image byte-identical to sequential generation
 // (pp.Mode.Sequential).
 func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
+	os := obs.Current()
 	prog := &mcode.Program{DataSize: pp.Module.DataSize()}
 
 	// Startup stub: call main, then exit.
@@ -39,7 +41,7 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 	// Emit all function bodies into per-function buffers.
 	gens := make([]*fngen, len(pp.Module.Funcs))
 	errs := make([]error, len(pp.Module.Funcs))
-	genOne := func(i int) {
+	genOne := func(tid, i int) {
 		f := pp.Module.Funcs[i]
 		if f.Extern {
 			return
@@ -49,12 +51,16 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 			errs[i] = fmt.Errorf("codegen: no plan for %s", f.Name)
 			return
 		}
+		sp := os.SpanTID(obs.PhaseCodegen, f.Name, tid)
 		g := newFngen(pp, fp)
 		if err := g.run(); err != nil {
+			sp.End()
 			errs[i] = fmt.Errorf("codegen %s: %w", f.Name, err)
 			return
 		}
 		gens[i] = g
+		sp.End()
+		os.Add(obs.CCodegenFuncs, 1)
 	}
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && !pp.Mode.Sequential {
 		var next atomic.Int64
@@ -63,23 +69,24 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 		if workers > len(pp.Module.Funcs) {
 			workers = len(pp.Module.Funcs)
 		}
+		os.SetMax(obs.GCodegenWorkers, int64(workers))
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(tid int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1))
 					if i >= len(pp.Module.Funcs) {
 						return
 					}
-					genOne(i)
+					genOne(tid, i)
 				}
-			}()
+			}(w + 1)
 		}
 		wg.Wait()
 	} else {
 		for i := range pp.Module.Funcs {
-			genOne(i)
+			genOne(0, i)
 		}
 	}
 	// First error in module order wins, for a deterministic message.
@@ -90,6 +97,8 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 	}
 
 	// Link: concatenate the buffers in module order and record the layout.
+	linkSpan := os.Span(obs.PhaseLink, "link")
+	defer linkSpan.End()
 	type pending struct {
 		fi    *mcode.FuncInfo
 		fixes []fixup
@@ -156,6 +165,7 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 	if err := mcode.Verify(prog); err != nil {
 		return nil, fmt.Errorf("codegen: %w", err)
 	}
+	os.Add(obs.CLinkCodeWords, int64(len(prog.Code)))
 	return prog, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"chow88/internal/callgraph"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
+	"chow88/internal/obs"
 	"chow88/internal/regalloc"
 )
 
@@ -152,13 +154,16 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 	}
 
 	workers := runtime.GOMAXPROCS(0)
+	s := obs.Current()
 	if mode.Sequential || workers <= 1 {
+		sp := s.Span(obs.PhasePlan, "PlanModule (sequential)")
 		for _, f := range g.PostOrder {
 			if f.Extern {
 				continue
 			}
 			pp.Funcs[f] = plan(f)
 		}
+		sp.End()
 		return pp
 	}
 
@@ -171,7 +176,14 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 		// every function is independent.
 		levels = [][]*ir.Func{g.PostOrder}
 	}
-	for _, level := range levels {
+	s.SetMax(obs.GPlanWorkers, int64(workers))
+	for li, level := range levels {
+		var sp obs.Span
+		if s != nil {
+			s.Add(obs.CPlanLevels, 1)
+			s.SetMax(obs.GMaxLevelWidth, int64(len(level)))
+			sp = s.Span(obs.PhasePlan, fmt.Sprintf("wavefront %d (%d funcs)", li, len(level)))
+		}
 		fps := make([]*FuncPlan, len(level))
 		runIndexed(len(level), workers, func(i int) {
 			if !level[i].Extern {
@@ -183,6 +195,7 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 				pp.Funcs[f] = fps[i]
 			}
 		}
+		sp.End()
 	}
 	return pp
 }
@@ -311,7 +324,50 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 			fp.Plan = EntryExitPlan(f, managed)
 		}
 	}
+	if s := obs.Current(); s != nil {
+		recordPlanObs(s, fp, cfg)
+	}
 	return fp
+}
+
+// recordPlanObs publishes one function's allocation decision to the
+// metrics registry: open/closed outcome, spills, callee-saved registers
+// the summary frees for callers, and where the save/restore sites landed
+// (shrink-wrapped into the body vs the default entry/exit placement).
+func recordPlanObs(s *obs.Session, fp *FuncPlan, cfg *mach.Config) {
+	s.Add(obs.CPlanFuncs, 1)
+	if fp.Open {
+		s.Add(obs.CProcsOpen, 1)
+	} else {
+		s.Add(obs.CProcsClosed, 1)
+	}
+	s.Add(obs.CSpilledRanges, int64(fp.Alloc.Spilled))
+	if fp.Summary != nil {
+		// Callee-saved registers the summary reports unused: callers keep
+		// values in them across calls with no save/restore (§2).
+		s.Add(obs.CCalleeSavedFreed, int64(cfg.CalleeSaved.Minus(fp.Summary.Used).Count()))
+	}
+	if fp.Plan == nil {
+		return
+	}
+	var saves, restores, shrunk, entryExit int64
+	for _, sites := range fp.Plan.SaveAt {
+		saves += int64(len(sites))
+	}
+	for _, sites := range fp.Plan.RestoreAt {
+		restores += int64(len(sites))
+	}
+	fp.Plan.Regs().ForEach(func(r mach.Reg) {
+		if fp.Plan.SaveAtEntryOnly(fp.F, r) {
+			entryExit++
+		} else {
+			shrunk++
+		}
+	})
+	s.Add(obs.CSaveSites, saves)
+	s.Add(obs.CRestoreSites, restores)
+	s.Add(obs.CShrinkWrapRegs, shrunk)
+	s.Add(obs.CEntryExitRegs, entryExit)
 }
 
 // paramLocs derives the published parameter locations of a closed procedure

@@ -2,6 +2,7 @@ package core
 
 import (
 	"chow88/internal/ir"
+	"chow88/internal/obs"
 	"chow88/internal/regalloc"
 )
 
@@ -102,8 +103,10 @@ func trySplit(f *ir.Func, alloc *regalloc.Result, opts regalloc.Options, oracle 
 	if n == 0 {
 		return alloc
 	}
+	obs.Current().Add(obs.CSplitRounds, 1)
 	alloc2 := regalloc.Allocate(f, opts)
 	if estimateTraffic(f, alloc2, oracle) < before {
+		obs.Current().Add(obs.CSplitKept, 1)
 		return alloc2
 	}
 	snap.restore(f)

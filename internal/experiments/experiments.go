@@ -8,34 +8,60 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"chow88/internal/benchprog"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/ir"
+	"chow88/internal/obs"
 	"chow88/internal/pixie"
 	"chow88/internal/sim"
 )
 
+// measured is one compile+run of a benchmark under one mode: the trace
+// stats and output, plus the per-measurement obs reports when a session is
+// active (nil otherwise).
+type measured struct {
+	stats   *pixie.Stats
+	output  []int64
+	compile *obs.CompileReport
+	run     *obs.RunReport
+}
+
 // run compiles src under mode and executes it, returning the trace stats.
 // The front end is shared across modes through internal/front's cache, so
 // a table's six-mode matrix lowers and optimizes each benchmark once.
-func run(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
+func run(src string, mode core.Mode) (*measured, error) {
+	s := obs.Current()
+	snap := s.Snap()
+	var sp obs.Span
+	if s != nil {
+		sp = s.Span(obs.PhaseCompile, "Compile "+mode.Name)
+	}
 	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
-		return nil, nil, err
+		sp.End()
+		return nil, err
 	}
 	plan := core.PlanModule(mod, mode)
 	code, err := codegen.Generate(plan)
 	if err != nil {
-		return nil, nil, err
+		sp.End()
+		return nil, err
+	}
+	sp.End()
+	out := &measured{}
+	if s != nil {
+		out.compile = &obs.CompileReport{Report: *s.ReportSince(snap)}
 	}
 	res, err := sim.Run(code, sim.Options{})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return &res.Stats, res.Output, nil
+	out.stats, out.output, out.run = &res.Stats, res.Output, res.Report
+	return out, nil
 }
 
 // Measurement holds one benchmark's stats under every mode of a table.
@@ -48,6 +74,11 @@ type Measurement struct {
 	Base *pixie.Stats
 	// ByMode holds stats per mode key (e.g. "A", "B", "C", "D", "E").
 	ByMode map[string]*pixie.Stats
+	// CompileObs and RunObs hold the per-measurement observability reports
+	// when a session is active, keyed like ByMode plus "base"; empty
+	// otherwise.
+	CompileObs map[string]*obs.CompileReport
+	RunObs     map[string]*obs.RunReport
 }
 
 // CycleReduction returns column I for the given mode key: % reduction in
@@ -83,35 +114,103 @@ func RunSuite(keys []string) ([]*Measurement, error) {
 	modes := modesFor(keys)
 	var out []*Measurement
 	for _, b := range benchprog.All() {
-		base, wantOut, err := run(b.Source, core.ModeBase())
+		base, err := run(b.Source, core.ModeBase())
 		if err != nil {
 			return nil, fmt.Errorf("%s [base]: %w", b.Name, err)
 		}
+		wantOut := base.output
 		m := &Measurement{
 			Name:          b.Name,
 			Lines:         b.Lines,
-			CyclesPerCall: base.CyclesPerCall(),
-			Base:          base,
+			CyclesPerCall: base.stats.CyclesPerCall(),
+			Base:          base.stats,
 			ByMode:        map[string]*pixie.Stats{},
+			CompileObs:    map[string]*obs.CompileReport{},
+			RunObs:        map[string]*obs.RunReport{},
 		}
+		m.noteObs("base", base)
 		for _, k := range keys {
-			st, gotOut, err := run(b.Source, modes[k])
+			got, err := run(b.Source, modes[k])
 			if err != nil {
 				return nil, fmt.Errorf("%s [%s]: %w", b.Name, k, err)
 			}
-			if len(gotOut) != len(wantOut) {
+			if len(got.output) != len(wantOut) {
 				return nil, fmt.Errorf("%s [%s]: output diverged", b.Name, k)
 			}
-			for i := range gotOut {
-				if gotOut[i] != wantOut[i] {
+			for i := range got.output {
+				if got.output[i] != wantOut[i] {
 					return nil, fmt.Errorf("%s [%s]: output diverged at %d", b.Name, k, i)
 				}
 			}
-			m.ByMode[k] = st
+			m.ByMode[k] = got.stats
+			m.noteObs(k, got)
 		}
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// noteObs files one measurement's obs reports under the given mode key.
+func (m *Measurement) noteObs(key string, r *measured) {
+	if r.compile != nil {
+		m.CompileObs[key] = r.compile
+	}
+	if r.run != nil {
+		m.RunObs[key] = r.run
+	}
+}
+
+// FormatObs renders the per-measurement compile and run metrics collected
+// while an obs session was active: one row per (program, mode) with the
+// compile wall time and the headline allocator/engine counters beside it.
+// Returns "" when no reports were collected (observability disabled).
+func FormatObs(title string, rows []*Measurement, keys []string) string {
+	collected := false
+	for _, m := range rows {
+		if len(m.CompileObs) > 0 || len(m.RunObs) > 0 {
+			collected = true
+			break
+		}
+	}
+	if !collected {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s", title, "\n")
+	fmt.Fprintf(&b, "%-11s %-5s %10s %6s %7s %6s %10s %12s %10s%s",
+		"program", "mode", "compile", "funcs", "spilled", "saves",
+		"engine", "blk entries", "run", "\n")
+	all := append([]string{"base"}, keys...)
+	for _, m := range rows {
+		for _, k := range all {
+			cr, rr := m.CompileObs[k], m.RunObs[k]
+			if cr == nil && rr == nil {
+				continue
+			}
+			engine, entries, runWall := "-", int64(0), int64(0)
+			if rr != nil {
+				engine = rr.Engine
+				entries = rr.Counter("sim.block_entries")
+				runWall = rr.WallNanos
+			}
+			fmt.Fprintf(&b, "%-11s %-5s %10s %6d %7d %6d %10s %12d %10s%s",
+				m.Name, k,
+				fmtWall(cr),
+				cr.Counter("plan.funcs_planned"),
+				cr.Counter("regalloc.ranges_spilled"),
+				cr.Counter("plan.save_sites"),
+				engine, entries,
+				time.Duration(runWall).Round(time.Microsecond), "\n")
+		}
+	}
+	return b.String()
+}
+
+func fmtWall(cr *obs.CompileReport) string {
+	if cr == nil {
+		return "-"
+	}
+	return time.Duration(cr.WallNanos).Round(time.Microsecond).String()
 }
 
 // Table1 runs the measurements for the paper's Table 1 (columns A, B, C).

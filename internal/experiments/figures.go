@@ -278,17 +278,17 @@ func Fig3() (string, error) {
 			src := strings.Replace(fig3Src,
 				"func main() {\n    print(f());",
 				"func main() {\n    path1 = "+p1+"; path2 = "+p2+";\n    print(f());", 1)
-			off, _, err := run(src, core.ModeBase())
+			off, err := run(src, core.ModeBase())
 			if err != nil {
 				return "", err
 			}
-			on, _, err := run(src, core.ModeA())
+			on, err := run(src, core.ModeA())
 			if err != nil {
 				return "", err
 			}
 			fmt.Fprintf(&b, "      (%s,%s)      %19d %7d %7d\n",
-				p1, p2, off.SaveRestoreLS(), on.SaveRestoreLS(),
-				on.SaveRestoreLS()-off.SaveRestoreLS())
+				p1, p2, off.stats.SaveRestoreLS(), on.stats.SaveRestoreLS(),
+				on.stats.SaveRestoreLS()-off.stats.SaveRestoreLS())
 		}
 	}
 	b.WriteString("\n  negative delta = shrink-wrapping removed save/restore traffic on\n")
@@ -347,16 +347,16 @@ func Fig4() (string, error) {
 		src := strings.Replace(fig4Src,
 			"func main() {\n    print(p());",
 			fmt.Sprintf("func main() {\n    nq = %d; nr = %d;\n    print(p());", c.nq, c.nr), 1)
-		base, _, err := run(src, core.ModeBase())
+		base, err := run(src, core.ModeBase())
 		if err != nil {
 			return "", err
 		}
-		ipra, _, err := run(src, core.ModeC())
+		ipra, err := run(src, core.ModeC())
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&b, "      (%4d,%4d)          %14d %8d\n",
-			c.nq, c.nr, base.SaveRestoreLS(), ipra.SaveRestoreLS())
+			c.nq, c.nr, base.stats.SaveRestoreLS(), ipra.stats.SaveRestoreLS())
 	}
 	b.WriteString("\n  inter-procedural allocation lets the callee summaries decide which\n")
 	b.WriteString("  calls actually need protection, so the traffic tracks the cheaper\n")

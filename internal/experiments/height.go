@@ -57,21 +57,22 @@ func HeightSweep() (string, error) {
 	b.WriteString("  ------+----------------+----------------+------------+-----------\n")
 	for _, depth := range []int{2, 4, 6, 8, 10, 12} {
 		src := ChainProgram(depth, 3)
-		d, outD, err := run(src, core.ModeD())
+		d, err := run(src, core.ModeD())
 		if err != nil {
 			return "", fmt.Errorf("depth %d D: %w", depth, err)
 		}
-		e, outE, err := run(src, core.ModeE())
+		e, err := run(src, core.ModeE())
 		if err != nil {
 			return "", fmt.Errorf("depth %d E: %w", depth, err)
 		}
+		outD, outE := d.output, e.output
 		for i := range outD {
 			if outD[i] != outE[i] {
 				return "", fmt.Errorf("depth %d: outputs diverge", depth)
 			}
 		}
 		fmt.Fprintf(&b, "  %5d | %14d | %14d | %10d | %10d\n",
-			depth, d.SaveRestoreLS(), e.SaveRestoreLS(), d.Cycles, e.Cycles)
+			depth, d.stats.SaveRestoreLS(), e.stats.SaveRestoreLS(), d.stats.Cycles, e.stats.Cycles)
 	}
 	b.WriteString("\n  D = 7 caller-saved only; E = 7 callee-saved only (both -O3+sw).\n")
 	b.WriteString("\n  Reading: at height 2 the caller-saved class wins outright (no\n")

@@ -76,14 +76,16 @@ func ProfileFeedback() (string, error) {
 	b.WriteString("  program    | II.C% static | II.C% profiled | I.C% static | I.C% profiled\n")
 	b.WriteString("  -----------+--------------+----------------+-------------+--------------\n")
 	for _, bench := range benchprog.All() {
-		base, wantOut, err := run(bench.Source, core.ModeBase())
+		baseRun, err := run(bench.Source, core.ModeBase())
 		if err != nil {
 			return "", fmt.Errorf("%s base: %w", bench.Name, err)
 		}
-		static, outS, err := run(bench.Source, core.ModeC())
+		base, wantOut := baseRun.stats, baseRun.output
+		staticRun, err := run(bench.Source, core.ModeC())
 		if err != nil {
 			return "", fmt.Errorf("%s static: %w", bench.Name, err)
 		}
+		static, outS := staticRun.stats, staticRun.output
 		prof, outP, err := runProfiled(bench.Source, core.ModeC())
 		if err != nil {
 			return "", fmt.Errorf("%s profiled: %w", bench.Name, err)

@@ -12,9 +12,11 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chow88/internal/ir"
 	"chow88/internal/lower"
+	"chow88/internal/obs"
 	"chow88/internal/opt"
 	"chow88/internal/parser"
 	"chow88/internal/sema"
@@ -40,23 +42,64 @@ var cache = struct {
 // eviction is a correctness backstop, not a tuning knob.
 const cacheCap = 64
 
+// counters are the cache's lifetime event counts, kept independently of any
+// obs session so CacheStats answers even when observability is disabled.
+var counters struct {
+	hits, misses, resets atomic.Int64
+}
+
+// Stats is a point-in-time view of the compile cache.
+type Stats struct {
+	// Entries is the current occupancy; Cap the reset threshold.
+	Entries, Cap int
+	// Hits, Misses and Resets count cache events over the process lifetime
+	// (a reset is the wholesale eviction at Cap).
+	Hits, Misses, Resets int64
+}
+
+// CacheStats reports the compile cache's occupancy and lifetime hit/miss/
+// reset counts. The obs metrics registry mirrors the same events per
+// session; this accessor is the always-on view.
+func CacheStats() Stats {
+	cache.Lock()
+	n := len(cache.mods)
+	cache.Unlock()
+	return Stats{
+		Entries: n,
+		Cap:     cacheCap,
+		Hits:    counters.hits.Load(),
+		Misses:  counters.misses.Load(),
+		Resets:  counters.resets.Load(),
+	}
+}
+
 // Build runs the front end cold, bypassing the cache.
 func Build(src string, optimize bool) (*ir.Module, error) {
+	s := obs.Current()
+	sp := s.Span(obs.PhaseParse, "parse")
 	tree, err := parser.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	sp = s.Span(obs.PhaseSema, "sema")
 	info, err := sema.Check(tree)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
+	sp = s.Span(obs.PhaseLower, "lower")
 	mod, err := lower.Build(info)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
 	if optimize {
+		sp = s.Span(obs.PhaseOpt, "opt")
 		opt.Run(mod)
-		if err := ir.VerifyModule(mod); err != nil {
+		err := ir.VerifyModule(mod)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("optimizer broke the IR: %w", err)
 		}
 	}
@@ -69,11 +112,14 @@ func Module(src string, optimize, useCache bool) (*ir.Module, error) {
 	if !useCache {
 		return Build(src, optimize)
 	}
+	s := obs.Current()
 	k := key{src: sha256.Sum256([]byte(src)), optimize: optimize}
 	cache.Lock()
 	master := cache.mods[k]
 	cache.Unlock()
 	if master == nil {
+		counters.misses.Add(1)
+		s.Add(obs.CFrontCacheMiss, 1)
 		var err error
 		master, err = Build(src, optimize)
 		if err != nil {
@@ -82,9 +128,16 @@ func Module(src string, optimize, useCache bool) (*ir.Module, error) {
 		cache.Lock()
 		if len(cache.mods) >= cacheCap {
 			cache.mods = make(map[key]*ir.Module, cacheCap)
+			counters.resets.Add(1)
+			s.Add(obs.CFrontCacheReset, 1)
 		}
 		cache.mods[k] = master
+		n := len(cache.mods)
 		cache.Unlock()
+		s.SetMax(obs.GFrontCacheEntries, int64(n))
+	} else {
+		counters.hits.Add(1)
+		s.Add(obs.CFrontCacheHit, 1)
 	}
 	return ir.CloneModule(master), nil
 }

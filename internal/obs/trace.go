@@ -1,0 +1,64 @@
+// Chrome trace_event export. The session retains completed spans as
+// "X" (complete) events; WriteTrace serializes them in the JSON Object
+// Format ({"traceEvents": [...]}) that chrome://tracing and Perfetto load
+// directly. Timestamps and durations are microseconds since session start,
+// per the trace_event spec.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one trace_event record. Field names follow the Chrome
+// trace-event format document.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *Session) addEvent(e traceEvent) {
+	s.trace.Lock()
+	s.trace.events = append(s.trace.events, e)
+	s.trace.Unlock()
+}
+
+// Events reports how many trace events the session has retained.
+func (s *Session) Events() int {
+	if s == nil {
+		return 0
+	}
+	s.trace.Lock()
+	defer s.trace.Unlock()
+	return len(s.trace.events)
+}
+
+// traceFile is the serialized form: the trace_event JSON Object Format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace serializes the retained spans as Chrome trace_event JSON.
+// Safe on a nil session (writes an empty, still-valid trace).
+func (s *Session) WriteTrace(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if s != nil {
+		// Name the process so Perfetto's track header reads sensibly.
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M",
+			Args: map[string]any{"name": "chow88"},
+		})
+		s.trace.Lock()
+		f.TraceEvents = append(f.TraceEvents, s.trace.events...)
+		s.trace.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -7,6 +7,7 @@ package pixie
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"chow88/internal/mcode"
@@ -83,6 +84,20 @@ func PercentReduction(base, new int64) float64 {
 		return 0
 	}
 	return 100 * float64(base-new) / float64(base)
+}
+
+// PrintRun renders a finished run the way the CLI drivers present it: the
+// program's output values one per line on out, then the stats block on
+// errw — preceded by a blank line and a "[label]" header when label is
+// non-empty. chowcc -run and pixie share this one renderer.
+func PrintRun(out, errw io.Writer, label string, output []int64, st *Stats) {
+	for _, v := range output {
+		fmt.Fprintln(out, v)
+	}
+	if label != "" {
+		fmt.Fprintf(errw, "\n[%s]\n", label)
+	}
+	fmt.Fprint(errw, st.String())
 }
 
 // String renders a summary block.

@@ -19,6 +19,7 @@ import (
 	"chow88/internal/ir"
 	"chow88/internal/liveness"
 	"chow88/internal/mach"
+	"chow88/internal/obs"
 )
 
 // Mode selects the register-usage convention the allocator assumes.
@@ -162,6 +163,7 @@ func Allocate(f *ir.Func, opts Options) *Result {
 				res.Spilled++
 			}
 		}
+		res.recordObs()
 		return res
 	}
 
@@ -249,7 +251,24 @@ func Allocate(f *ir.Func, opts Options) *Result {
 		res.Locs[id] = Loc{Kind: LocReg, Reg: bestReg}
 		res.UsedRegs = res.UsedRegs.Add(bestReg)
 	}
+	res.recordObs()
 	return res
+}
+
+// recordObs publishes the allocation outcome to the active obs session.
+func (r *Result) recordObs() {
+	s := obs.Current()
+	if s == nil {
+		return
+	}
+	colored := int64(0)
+	for _, l := range r.Locs {
+		if l.Kind == LocReg {
+			colored++
+		}
+	}
+	s.Add(obs.CRangesColored, colored)
+	s.Add(obs.CRangesSpilled, int64(r.Spilled))
 }
 
 // better decides whether (net, reg) beats the current best, breaking ties

@@ -37,7 +37,7 @@ func runEngines(t *testing.T, p *mcode.Program, opts Options) (*Result, error) {
 // engine actually executes the predecoded image rather than falling back.
 func requireFastPath(t *testing.T, p *mcode.Program) {
 	t.Helper()
-	if imageFor(p) == nil {
+	if img, _ := imageFor(p); img == nil {
 		t.Fatalf("image rejected by verify; fast path not exercised:\n%v", mcode.Verify(p))
 	}
 }
@@ -225,7 +225,7 @@ func TestEnginesJumpIntoBlockMiddle(t *testing.T) {
 		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
 	)
 	requireFastPath(t, p)
-	if img := imageFor(p); img.blockIdx[6] >= 0 {
+	if img, _ := imageFor(p); img.blockIdx[6] >= 0 {
 		t.Fatal("test premise broken: pc 6 became a block head")
 	}
 	res, err := runEngines(t, p, profOpts())
@@ -332,7 +332,7 @@ func TestEnginesBadImageFallsBack(t *testing.T) {
 	p := prog(
 		mcode.Instr{Op: mcode.BEQZ, Rs: mach.T0, Target: 999},
 	)
-	if imageFor(p) != nil {
+	if img, _ := imageFor(p); img != nil {
 		t.Fatal("verifier should reject out-of-range branch")
 	}
 	if _, err := runEngines(t, p, profOpts()); err == nil {

@@ -31,6 +31,7 @@ package sim
 import (
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 )
 
 // runBaseMax bounds the base-register magnitude eligible for a memory
@@ -111,6 +112,20 @@ func (m *machine) runFast(img *image) error {
 					}
 				}
 			}
+			if m.superHits != nil {
+				// Attribute the block's dispatches to its predecoded span
+				// (tail-inlined bodies included — they live in the span).
+				// Never touched in the dispatch loop: the histogram, like
+				// Stats, materializes from the entry counters alone.
+				m.blockEntries += c
+				hi := int32(len(xcode))
+				if bi+1 < len(img.blocks) {
+					hi = img.blocks[bi+1].x0
+				}
+				for k := b.x0; k < hi; k++ {
+					m.superHits[xcode[k].op] += c
+				}
+			}
 			ents[bi].count = 0
 		}
 	}
@@ -166,6 +181,7 @@ func (m *machine) runFast(img *image) error {
 		if instrs > m.maxInstrs {
 			ents[0].count--
 			flush()
+			obs.Current().Add(obs.CSimBudgetHandoff, 1)
 			_, _, err := m.interpret(0, nil)
 			return err
 		}
@@ -967,6 +983,7 @@ func (m *machine) runFast(img *image) error {
 				// within one block of instructions).
 				e.count--
 				flush()
+				obs.Current().Add(obs.CSimBudgetHandoff, 1)
 				_, _, err := m.interpret(int(img.blocks[nbi].start), nil)
 				return err
 			}

@@ -25,6 +25,7 @@ import (
 
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 	"chow88/internal/pixie"
 )
 
@@ -306,34 +307,55 @@ type image struct {
 	blockIdx []int32
 }
 
-// imageCache memoizes predecoded images per program identity. A nil image
-// is cached too: it records that verification rejected the program, so
-// every run of it takes the reference path without re-verifying. When the
+// imgEntry is one imageCache slot: the predecoded image, or nil with the
+// verification failure that rejected the program — cached too, so every
+// run of a bad image takes the reference path without re-verifying, and
+// the fallback reason survives to be reported on each Result.
+type imgEntry struct {
+	img    *image
+	reason string
+}
+
+// imageCache memoizes predecoded images per program identity. When the
 // cache fills it resets wholesale — the working set (a benchmark suite, a
 // test matrix) sits far below the cap, so eviction is a correctness
 // backstop rather than a tuning knob.
 var imageCache = struct {
 	sync.Mutex
-	imgs map[*mcode.Program]*image
-}{imgs: map[*mcode.Program]*image{}}
+	imgs map[*mcode.Program]imgEntry
+}{imgs: map[*mcode.Program]imgEntry{}}
 
 const imageCacheCap = 128
 
-func imageFor(p *mcode.Program) *image {
+// imageFor returns the memoized image for p, plus the verification
+// failure message when predecoding rejected it (the image is then nil).
+func imageFor(p *mcode.Program) (*image, string) {
+	s := obs.Current()
 	imageCache.Lock()
-	img, ok := imageCache.imgs[p]
+	e, ok := imageCache.imgs[p]
 	imageCache.Unlock()
 	if ok {
-		return img
+		s.Add(obs.CSimImageCacheHits, 1)
+		return e.img, e.reason
 	}
-	img = predecode(p)
+	sp := s.Span(obs.PhasePredecode, "predecode")
+	e.img, e.reason = predecode(p)
+	sp.End()
+	s.Add(obs.CSimPredecodes, 1)
+	if s != nil && e.img != nil {
+		inlined := 0
+		for _, t := range e.img.tails {
+			inlined += len(t)
+		}
+		s.Add(obs.CSimTailInlined, int64(inlined))
+	}
 	imageCache.Lock()
 	if len(imageCache.imgs) >= imageCacheCap {
-		imageCache.imgs = make(map[*mcode.Program]*image, imageCacheCap)
+		imageCache.imgs = make(map[*mcode.Program]imgEntry, imageCacheCap)
 	}
-	imageCache.imgs[p] = img
+	imageCache.imgs[p] = e
 	imageCache.Unlock()
-	return img
+	return e.img, e.reason
 }
 
 // runOffOK bounds offsets eligible for memory-run fusion; within it, the
@@ -381,12 +403,13 @@ func addInstrStats(st *pixie.Stats, in *mcode.Instr) {
 	}
 }
 
-// predecode builds the image, or returns nil when static verification
-// rejects the program (the caller then runs the reference interpreter,
-// which reproduces the original trap behaviour for bad images).
-func predecode(p *mcode.Program) *image {
-	if mcode.Verify(p) != nil {
-		return nil
+// predecode builds the image, or returns nil plus the verification error
+// when static verification rejects the program (the caller then runs the
+// reference interpreter, which reproduces the original trap behaviour for
+// bad images).
+func predecode(p *mcode.Program) (*image, string) {
+	if err := mcode.Verify(p); err != nil {
+		return nil, err.Error()
 	}
 	n := len(p.Code)
 
@@ -473,7 +496,7 @@ func predecode(p *mcode.Program) *image {
 		}
 		img.ents[bi] = e
 	}
-	return img
+	return img, ""
 }
 
 // inlineTailMax caps the predecoded length a block may grow to by tail

@@ -21,6 +21,7 @@ import (
 
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 	"chow88/internal/pixie"
 )
 
@@ -56,6 +57,18 @@ type Result struct {
 	// InstrCounts holds per-code-index execution counts when Options.Profile
 	// was set (indexed like Program.Code).
 	InstrCounts []int64
+	// Engine names the engine that executed the run: "fast" (the predecoded
+	// block-batched engine) or "reference" (the per-instruction
+	// interpreter).
+	Engine string
+	// FallbackReason explains a reference-engine run the fast engine
+	// declined — the static verification error, or the degenerate initial
+	// stack pointer. Empty when the fast engine ran or when the caller asked
+	// for the reference engine outright.
+	FallbackReason string
+	// Report carries the run's metrics window when an obs session is
+	// active; nil otherwise.
+	Report *obs.RunReport
 }
 
 // machine is the mutable state of one run, shared by the predecoded engine
@@ -86,6 +99,13 @@ type machine struct {
 	loData, hiData   int64
 	loStack, hiStack int64
 	res              *Result
+	// superHits and blockEntries accumulate the fast engine's per-
+	// superinstruction dispatch histogram (indexed by xop) and its total
+	// block entries. flush fills them from the block entry counters —
+	// never from the dispatch loop — and only when superHits is non-nil,
+	// which Run arranges exactly when an obs session is active.
+	superHits    []int64
+	blockEntries int64
 }
 
 // memPool recycles memory buffers between runs. Every pooled buffer is
@@ -98,9 +118,11 @@ var memPool sync.Pool
 func getMem(n int) []int64 {
 	if v := memPool.Get(); v != nil {
 		if buf := *v.(*[]int64); cap(buf) >= n {
+			obs.Current().Add(obs.CSimPoolReuse, 1)
 			return buf[:n]
 		}
 	}
+	obs.Current().Add(obs.CSimPoolAlloc, 1)
 	return make([]int64, n)
 }
 
@@ -193,24 +215,76 @@ func newMachine(p *mcode.Program, opts Options) *machine {
 // whose initial stack pointer already sits below the data segment — take
 // the reference interpreter wholesale: exactness over speed for bad inputs.
 func Run(p *mcode.Program, opts Options) (*Result, error) {
+	s := obs.Current()
+	snap := s.Snap()
+	sp := s.Span(obs.PhaseRun, "sim.Run")
 	m := newMachine(p, opts)
 	defer m.release()
-	img := imageFor(p)
-	if img == nil || m.regs[mach.SP] < m.stackFloor {
-		_, _, err := m.interpret(0, nil)
-		return m.res, err
+	img, reason := imageFor(p)
+	var err error
+	switch {
+	case img == nil:
+		m.res.Engine, m.res.FallbackReason = "reference", reason
+		s.Add(obs.CSimRunsRef, 1)
+		s.Add(obs.CSimVerifyFallback, 1)
+		_, _, err = m.interpret(0, nil)
+	case m.regs[mach.SP] < m.stackFloor:
+		m.res.Engine = "reference"
+		m.res.FallbackReason = "initial stack pointer below the data segment"
+		s.Add(obs.CSimRunsRef, 1)
+		s.Add(obs.CSimStackFallback, 1)
+		_, _, err = m.interpret(0, nil)
+	default:
+		m.res.Engine = "fast"
+		s.Add(obs.CSimRunsFast, 1)
+		if s != nil {
+			m.superHits = make([]int64, numXops)
+		}
+		err = m.runFast(img)
 	}
-	return m.res, m.runFast(img)
+	sp.End()
+	m.finishObs(s, snap)
+	return m.res, err
 }
 
 // RunReference executes the program on the per-instruction reference
 // interpreter. It is the oracle the predecoded engine is differentially
 // tested against; Output, Stats and InstrCounts match Run bit for bit.
 func RunReference(p *mcode.Program, opts Options) (*Result, error) {
+	s := obs.Current()
+	snap := s.Snap()
+	sp := s.Span(obs.PhaseRun, "sim.RunReference")
 	m := newMachine(p, opts)
 	defer m.release()
+	m.res.Engine = "reference"
+	s.Add(obs.CSimRunsRef, 1)
 	_, _, err := m.interpret(0, nil)
+	sp.End()
+	m.finishObs(s, snap)
 	return m.res, err
+}
+
+// finishObs publishes the run's accumulated engine metrics to the obs
+// session and attaches a RunReport covering the window since snap. No-op
+// when no session is active.
+func (m *machine) finishObs(s *obs.Session, snap obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	if m.superHits != nil {
+		s.Add(obs.CSimBlockEntries, m.blockEntries)
+		for op, n := range m.superHits {
+			if n != 0 {
+				s.AddLabeled(obs.SuperHitPrefix+xopName(xop(op)), n)
+			}
+		}
+	}
+	m.res.Report = &obs.RunReport{
+		Report:         *s.ReportSince(snap),
+		Engine:         m.res.Engine,
+		FallbackReason: m.res.FallbackReason,
+		SuperHits:      s.LabeledSince(snap, obs.SuperHitPrefix),
+	}
 }
 
 func b2i(b bool) int64 {
@@ -241,6 +315,9 @@ func (m *machine) trap(pc int, format string, args ...any) error {
 // callers guarantee the entry pc itself is not a stop point. On
 // termination it returns (0, true, err) with err nil for a clean exit.
 func (m *machine) interpret(pc int, stopAt []int32) (int, bool, error) {
+	if stopAt != nil {
+		obs.Current().Add(obs.CSimInterpBridges, 1)
+	}
 	p := m.p
 	st := &m.res.Stats
 	counts := m.res.InstrCounts

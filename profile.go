@@ -8,6 +8,7 @@ import (
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
+	"chow88/internal/obs"
 	"chow88/internal/sim"
 )
 
@@ -24,8 +25,15 @@ import (
 // region they left) cannot happen, because the priorities now see the real
 // relative frequencies of the call-graph levels.
 func CompileProfiled(src string, mode Mode) (*Program, error) {
+	s := obs.Current()
+	snap0 := s.Snap()
+	var sp obs.Span
+	if s != nil {
+		sp = s.Span(obs.PhaseCompile, "CompileProfiled "+mode.Name)
+	}
 	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 
@@ -36,22 +44,39 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 	trainPlan := core.PlanModule(mod, train)
 	trainCode, err := codegen.Generate(trainPlan)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("training codegen: %w", err)
 	}
 	trainRes, err := sim.Run(trainCode, sim.Options{Profile: true})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("training run: %w", err)
 	}
 	if err := ApplyProfile(mod, trainCode, trainRes); err != nil {
+		sp.End()
 		return nil, err
+	}
+
+	// The training window closes here; the final build reports separately.
+	var training *obs.Report
+	var snap1 obs.Snapshot
+	if s != nil {
+		training = s.ReportSince(snap0)
+		snap1 = s.Snap()
 	}
 
 	plan := core.PlanModule(mod, mode)
 	code, err := codegen.Generate(plan)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("codegen: %w", err)
 	}
-	return &Program{Mode: mode, Module: mod, Plan: plan, Code: code}, nil
+	sp.End()
+	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code}
+	if s != nil {
+		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap1), Training: training}
+	}
+	return p, nil
 }
 
 // ApplyProfile folds a profiling run's per-instruction execution counts back

@@ -1,0 +1,144 @@
+// nim - play the game of Nim with three heaps.
+var wins int;
+var losses int;
+var probes int;
+
+func max2(a int, b int) int {
+    if (a > b) { return a; }
+    return b;
+}
+
+func min2(a int, b int) int {
+    if (a < b) { return a; }
+    return b;
+}
+
+func isZero(a int, b int, c int) int {
+    return a == 0 && b == 0 && c == 0;
+}
+
+func note(win int) int {
+    if (win == 1) { wins = wins + 1; } else { losses = losses + 1; }
+    return win;
+}
+
+// winning returns 1 when the position (a,b,c) with the current player to
+// move is a first-player win under normal play.
+func winning(a int, b int, c int) int {
+    probes = probes + 1;
+    if (isZero(a, b, c)) { return note(0); }
+    var k int;
+    for (k = 1; k <= a; k = k + 1) {
+        if (!winning(a - k, b, c)) { return note(1); }
+    }
+    for (k = 1; k <= b; k = k + 1) {
+        if (!winning(a, b - k, c)) { return note(1); }
+    }
+    for (k = 1; k <= c; k = k + 1) {
+        if (!winning(a, b, c - k)) { return note(1); }
+    }
+    return note(0);
+}
+
+// xorHeaps computes the nim-sum without bitwise operators.
+func xorBit(a int, b int, bit int) int {
+    var x int;
+    var y int;
+    x = (a / bit) % 2;
+    y = (b / bit) % 2;
+    if (x != y) { return bit; }
+    return 0;
+}
+
+func nimXor(a int, b int) int {
+    var s int;
+    var bit int;
+    s = 0;
+    for (bit = 1; bit <= 8; bit = bit * 2) {
+        s = s + xorBit(a, b, bit);
+    }
+    return s;
+}
+
+var mvA int;
+var mvB int;
+var mvC int;
+
+// bestMove finds an optimal move from (a,b,c), storing the new position.
+func bestMove(a int, b int, c int) int {
+    var k int;
+    for (k = 1; k <= a; k = k + 1) {
+        if (nimXor(nimXor(a - k, b), c) == 0) { mvA = a - k; mvB = b; mvC = c; return 1; }
+    }
+    for (k = 1; k <= b; k = k + 1) {
+        if (nimXor(nimXor(a, b - k), c) == 0) { mvA = a; mvB = b - k; mvC = c; return 1; }
+    }
+    for (k = 1; k <= c; k = k + 1) {
+        if (nimXor(nimXor(a, b), c - k) == 0) { mvA = a; mvB = b; mvC = c - k; return 1; }
+    }
+    // Losing position: take one from the biggest heap.
+    if (a >= b && a >= c) { mvA = a - 1; mvB = b; mvC = c; return 0; }
+    if (b >= a && b >= c) { mvA = a; mvB = b - 1; mvC = c; return 0; }
+    mvA = a; mvB = b; mvC = c - 1;
+    return 0;
+}
+
+// playGame plays both sides optimally from (a,b,c); returns the number of
+// moves made.
+func playGame(a int, b int, c int) int {
+    var moves int;
+    moves = 0;
+    while (!isZero(a, b, c)) {
+        bestMove(a, b, c);
+        a = mvA; b = mvB; c = mvC;
+        moves = moves + 1;
+    }
+    return moves;
+}
+
+// tournament plays many games from systematically varied positions,
+// keeping its running totals in locals across the long call chains.
+func tournament(limit int) int {
+    var a int;
+    var total int;
+    var checks int;
+    total = 0;
+    checks = 0;
+    for (a = 1; a <= limit; a = a + 1) {
+        var b int;
+        for (b = 1; b <= limit; b = b + 1) {
+            var c int;
+            for (c = 1; c <= limit; c = c + 1) {
+                var moves int;
+                var theory int;
+                moves = playGame(a, b, c);
+                theory = nimXor(nimXor(a, b), c);
+                if (theory == 0) { checks = checks + 1; }
+                total = total + moves * 3 + max2(a, min2(b, c)) + checks;
+            }
+        }
+    }
+    return total;
+}
+
+func main() {
+    var a int;
+    var b int;
+    // Solve all positions up to (3,3,3) by brute force.
+    for (a = 0; a <= 3; a = a + 1) {
+        for (b = 0; b <= 3; b = b + 1) {
+            var c int;
+            for (c = 0; c <= 3; c = c + 1) {
+                var w int;
+                w = winning(a, b, c);
+                // Cross-check against nim-sum theory.
+                if (w != (nimXor(nimXor(a, b), c) != 0)) { print(-999); }
+            }
+        }
+    }
+    print(wins);
+    print(losses);
+    print(probes);
+    print(playGame(7, 11, 13));
+    print(tournament(9));
+}
