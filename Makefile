@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet trace clean
+.PHONY: all build test race bench ci fmt-check vet chaos fuzz trace clean
 
 all: build
 
@@ -31,12 +31,29 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Fault-injection differential suite: every registered injection point
+# against every suite program, plus the strict-mode and determinism checks
+# (see DESIGN.md §9). Also exercised by plain `make test`; this target runs
+# it alone, verbosely.
+chaos:
+	$(GO) test -run 'TestChaos|TestDemotionReplan' -v ./
+
+# Longer fuzzing session for the front-end containment and differential
+# compile targets. FUZZTIME can be raised for overnight runs.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./
+
 # The gate every change must pass: formatting, vet, build, the race-enabled
-# test suite, and a one-iteration smoke of the compile and simulator
-# benchmarks (both engines) plus the obs-disabled zero-allocation check.
+# test suite, a one-iteration smoke of the compile and simulator benchmarks
+# (both engines) plus the obs-disabled zero-allocation check, and a short
+# smoke of both fuzz targets (seed corpus + a few seconds of mutation).
 ci: fmt-check vet build race
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./
 
 # Observability smoke: compile and run a Table 1 program with tracing on,
 # then check the emitted Chrome trace JSON is well formed.

@@ -153,13 +153,17 @@ func compileBenchPrograms() []benchprog.Benchmark {
 // both pipeline configurations. "parallel" is the default pipeline —
 // wavefront allocation, concurrent codegen, warm front-end cache;
 // "sequential" is the original single-threaded walk with the cache bypassed.
+// Both run with the linkage validator off, so their numbers stay comparable
+// across the validator's introduction; "parallel+validate" measures the
+// default production configuration (validator on, injection disarmed).
 // Compare with benchstat; the parallel columns only separate from the
 // sequential ones when GOMAXPROCS > 1 (see README).
 func BenchmarkCompile(b *testing.B) {
 	for _, p := range compileBenchPrograms() {
-		for _, variant := range []string{"sequential", "parallel"} {
+		for _, variant := range []string{"sequential", "parallel", "parallel+validate"} {
 			mode := ModeC()
 			mode.Sequential = variant == "sequential"
+			mode.Validate = variant == "parallel+validate"
 			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := Compile(p.Source, mode); err != nil {
@@ -211,6 +215,7 @@ func BenchmarkCompilePlan(b *testing.B) {
 		for _, variant := range []string{"sequential", "parallel"} {
 			mode := ModeC()
 			mode.Sequential = variant == "sequential"
+			mode.Validate = false // isolate allocation: no worker panic containment
 			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					core.PlanModule(ir.CloneModule(master), mode)
@@ -229,6 +234,7 @@ func BenchmarkCompileCodegen(b *testing.B) {
 		for _, variant := range []string{"sequential", "parallel"} {
 			mode := ModeC()
 			mode.Sequential = variant == "sequential"
+			mode.Validate = false // isolate emission: no worker panic containment
 			master, err := front.Build(p.Source, true)
 			if err != nil {
 				b.Fatal(err)

@@ -26,9 +26,6 @@
 package chow88
 
 import (
-	"fmt"
-
-	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/interp"
@@ -36,6 +33,7 @@ import (
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
 	"chow88/internal/parser"
+	"chow88/internal/pipeline"
 	"chow88/internal/pixie"
 	"chow88/internal/sema"
 	"chow88/internal/sim"
@@ -70,6 +68,11 @@ type Program struct {
 	// Report carries the compilation's phase timings and allocator metrics
 	// when an obs session is active (obs.Begin); nil otherwise.
 	Report *obs.CompileReport
+	// Demotions records every graceful-degradation intervention taken while
+	// compiling (procedures demoted to the open convention or replanned
+	// after a validation failure or recovered worker panic). Empty for a
+	// clean compile. Also available on Report when one is attached.
+	Demotions []obs.Demotion
 }
 
 // Compile compiles CW source under the given mode.
@@ -80,6 +83,12 @@ type Program struct {
 // graph, and machine code is emitted per function concurrently. Output is
 // byte-identical to the sequential pipeline, which remains reachable via
 // mode.Sequential.
+//
+// Under mode.Validate (on in every mode constructor) the linkage-invariant
+// validator runs after planning and after code generation; a procedure
+// whose plan fails validation is demoted to the safe open convention and
+// the affected call-graph slice replanned, with the interventions recorded
+// on Program.Demotions. mode.Strict turns any such repair into an error.
 func Compile(src string, mode Mode) (*Program, error) {
 	s := obs.Current()
 	snap := s.Snap()
@@ -92,16 +101,15 @@ func Compile(src string, mode Mode) (*Program, error) {
 		sp.End()
 		return nil, err
 	}
-	plan := core.PlanModule(mod, mode)
-	code, err := codegen.Generate(plan)
+	plan, code, demotions, err := pipeline.Build(mod, mode)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("codegen: %w", err)
+		return nil, err
 	}
 	sp.End()
-	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code}
+	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code, Demotions: demotions}
 	if s != nil {
-		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap)}
+		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: demotions}
 	}
 	return p, nil
 }

@@ -14,18 +14,39 @@
 //	-shrinkwrap      enable shrink-wrapping (default true, as under -O2/-O3)
 //	-regs full|caller7|callee7
 //	-run             execute and print the program output and trace stats
+//	-timeout=10s     wall-clock limit for -run (0 = none)
 //	-S               print the disassembly
 //	-ir              print the optimized IR
 //	-plan            print the call graph, open/closed classification and
 //	                 register summaries
 //	-open f,g        force the named procedures open (separate compilation)
+//	-strict          fail on linkage-invariant violations instead of degrading
+//	-validate=false  disable the linkage-invariant validator
 //	-stats           print compile and run metrics tables on stderr
 //	-trace=out.json  write a Chrome trace_event file (open in Perfetto)
 //	-json            emit the run result as a JSON document on stdout
+//
+// Exit codes (each failure class is distinct, so scripts and the fuzz
+// harness can triage without parsing messages):
+//
+//	0  success
+//	1  internal error (lower/opt failure, recovered panic, I/O)
+//	2  usage error
+//	3  parse error
+//	4  semantic error
+//	5  linkage-invariant violation (compiling under -strict)
+//	6  code-generation failure
+//	7  machine trap at run time
+//	8  instruction budget exceeded
+//	9  wall-clock deadline exceeded (-timeout)
+//
+// Every failure prints exactly one structured diagnostic line on stderr:
+// "chowcc: <class>: <detail>".
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,11 +54,29 @@ import (
 	"strings"
 
 	"chow88"
+	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/obs"
+	"chow88/internal/pipeline"
 	"chow88/internal/pixie"
+	"chow88/internal/sim"
+)
+
+// Exit codes, one per failure class.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitParse    = 3
+	exitSema     = 4
+	exitValidate = 5
+	exitCodegen  = 6
+	exitTrap     = 7
+	exitBudget   = 8
+	exitDeadline = 9
 )
 
 func main() {
@@ -50,6 +89,9 @@ func main() {
 	doIR := flag.Bool("ir", false, "print optimized IR")
 	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
 	openList := flag.String("open", "", "comma-separated procedures to force open")
+	strict := flag.Bool("strict", false, "fail on linkage-invariant violations instead of degrading")
+	validate := flag.Bool("validate", true, "run the linkage-invariant validator after planning and codegen")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for -run (0 = none)")
 	stats := flag.Bool("stats", false, "print compile and run metrics tables on stderr")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file to the given path")
 	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout (implies -run)")
@@ -93,6 +135,8 @@ func main() {
 	if *openList != "" {
 		mode.ForceOpen = strings.Split(*openList, ",")
 	}
+	mode.Validate = *validate
+	mode.Strict = *strict
 	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, *regs)
 
 	prog, err := chow88.CompileUnits(mode, units...)
@@ -111,7 +155,7 @@ func main() {
 	}
 	var res *chow88.RunResult
 	if *doRun || *jsonOut || !(*doIR || *doPlan || *doAsm) {
-		res, err = prog.Run()
+		res, err = prog.RunWith(chow88.RunOptions{Deadline: *timeout})
 		if err != nil {
 			fatal(err)
 		}
@@ -205,7 +249,43 @@ func printPlan(pp *core.ProgramPlan) {
 	}
 }
 
+// classify maps an error to its failure class: the exit code and the label
+// of the one-line diagnostic.
+func classify(err error) (int, string) {
+	var se *front.StageError
+	var ve *pipeline.ValidationError
+	var fe *codegen.FuncError
+	var trap *sim.Trap
+	switch {
+	case errors.As(err, &se):
+		switch {
+		case se.Recovered:
+			return exitInternal, "internal error"
+		case se.Stage == "parse":
+			return exitParse, "parse error"
+		case se.Stage == "sema":
+			return exitSema, "semantic error"
+		default: // lower/opt failures are compiler bugs
+			return exitInternal, "internal error"
+		}
+	case errors.As(err, &ve):
+		return exitValidate, "linkage violation"
+	case errors.As(err, &fe):
+		return exitCodegen, "codegen error"
+	case errors.As(err, &trap):
+		return exitTrap, "machine trap"
+	case errors.Is(err, sim.ErrLimit):
+		return exitBudget, "instruction budget"
+	case errors.Is(err, sim.ErrDeadline):
+		return exitDeadline, "deadline"
+	}
+	return exitInternal, "internal error"
+}
+
+// fatal prints the structured one-line diagnostic for err and exits with
+// its class's code.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "chowcc:", err)
-	os.Exit(1)
+	code, label := classify(err)
+	fmt.Fprintf(os.Stderr, "chowcc: %s: %v\n", label, err)
+	os.Exit(code)
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"chow88/internal/codegen"
+	"chow88/internal/front"
+	"chow88/internal/pipeline"
+	"chow88/internal/sim"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{&front.StageError{Stage: "parse", Err: errors.New("x")}, exitParse},
+		{&front.StageError{Stage: "sema", Err: errors.New("x")}, exitSema},
+		{&front.StageError{Stage: "lower", Err: errors.New("x")}, exitInternal},
+		{&front.StageError{Stage: "parse", Recovered: true, Err: errors.New("x")}, exitInternal},
+		{&pipeline.ValidationError{Phase: "validate"}, exitValidate},
+		{&codegen.FuncError{Func: "f", Err: errors.New("x")}, exitCodegen},
+		{&sim.Trap{Msg: "x", PC: 1}, exitTrap},
+		{fmt.Errorf("pc 3: %w", sim.ErrLimit), exitBudget},
+		{fmt.Errorf("pc 3: %w", sim.ErrDeadline), exitDeadline},
+		{errors.New("anything else"), exitInternal},
+		// Wrapped variants classify the same way.
+		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), exitParse},
+	}
+	for _, c := range cases {
+		if code, _ := classify(c.err); code != c.code {
+			t.Errorf("classify(%v) = %d, want %d", c.err, code, c.code)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package chow88
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/front"
+	"chow88/internal/interp"
+	"chow88/internal/parser"
+	"chow88/internal/progen"
+	"chow88/internal/sema"
+)
+
+// fuzzSeeds feeds the corpus every suite benchmark, every testdata program
+// and a handful of generated call-intensive programs — real CW programs make
+// the mutator's starting points, so mutations explore near-valid inputs
+// instead of pure noise.
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	for _, b := range benchprog.All() {
+		f.Add(b.Source)
+	}
+	files, _ := filepath.Glob("testdata/*.cw")
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(progen.Generate(seed, progen.DefaultConfig()))
+	}
+}
+
+// FuzzParse drives arbitrary bytes through the front end. The contract is
+// containment: malformed or hostile input must come back as an error — a
+// StageError naming the stage that rejected it — never as a panic escaping
+// Build.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		_, err := front.Build(src, true)
+		if err == nil {
+			return
+		}
+		var se *front.StageError
+		if !errors.As(err, &se) {
+			t.Errorf("front-end failure is not a StageError: %v", err)
+		}
+	})
+}
+
+// FuzzCompile is the differential fuzzer: any program the front end accepts
+// must compile under full validation (ModeC + Strict, so a linkage-invariant
+// violation is a test failure, not a silent repair) and, when both the
+// compiled program and the AST interpreter terminate within budget, produce
+// identical output.
+func FuzzCompile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		tree, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		info, err := sema.Check(tree)
+		if err != nil {
+			return
+		}
+		mode := ModeC()
+		mode.Strict = true
+		prog, err := Compile(src, mode)
+		if err != nil {
+			t.Fatalf("front end accepted the program but the back end failed: %v", err)
+		}
+		res, runErr := prog.RunWith(RunOptions{
+			MaxInstrs: 2_000_000,
+			Deadline:  2 * time.Second,
+		})
+		if runErr != nil {
+			return // trap or budget expiry: no clean output to compare
+		}
+		want, interpErr := interp.Run(info, interp.Options{MaxSteps: 20_000_000})
+		if interpErr != nil {
+			return
+		}
+		if len(res.Output) != len(want.Output) {
+			t.Fatalf("output length diverged from the interpreter: %d vs %d",
+				len(res.Output), len(want.Output))
+		}
+		for i := range want.Output {
+			if res.Output[i] != want.Output[i] {
+				t.Fatalf("output[%d] = %d, interpreter says %d", i, res.Output[i], want.Output[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package check
+
+import (
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+	"chow88/internal/mcode"
+)
+
+// Code validates the emitted machine code against the linkage contracts of
+// the plan it was generated from: on every path through every non-extern
+// function, save/restore stack traffic balances (each restore pops a
+// matching save, nothing stays saved at a return), and no callee-saved
+// register is modified — by an instruction or by a call whose callee's
+// summary admits destroying it — while unsaved, unless the function's own
+// published summary declares the register used and so passes the
+// obligation to its callers.
+//
+// The walk is a forward dataflow over the function's block layout with a
+// per-register save-depth vector, the machine-level shadow of the plan
+// checks in Plan: a miscompiled save/restore schedule that slipped past
+// planning shows up here as an unbalanced or uncovered path.
+func Code(pp *core.ProgramPlan, prog *mcode.Program) []Violation {
+	c := &checker{pp: pp, cfg: pp.Mode.Config}
+	entryFunc := make(map[int]*ir.Func, len(prog.Funcs))
+	for i, fi := range prog.Funcs {
+		if i < len(pp.Module.Funcs) && !fi.Extern {
+			entryFunc[fi.Entry] = pp.Module.Funcs[i]
+		}
+	}
+	for i, fi := range prog.Funcs {
+		if fi.Extern || i >= len(pp.Module.Funcs) {
+			continue
+		}
+		fp := pp.Funcs[pp.Module.Funcs[i]]
+		if fp == nil {
+			continue // Plan already reported the missing plan
+		}
+		c.checkCodeFunc(fi, fp, prog, entryFunc)
+	}
+	return c.viols
+}
+
+// depths tracks, per register, how many unmatched save-class stores are
+// outstanding. Depth 2 is legitimate (a plan save plus an around-call
+// save); anything deeper is a schedule bug.
+type depths [mach.NumRegs]int8
+
+const maxSaveDepth = 3
+
+func (c *checker) checkCodeFunc(fi *mcode.FuncInfo, fp *core.FuncPlan, prog *mcode.Program, entryFunc map[int]*ir.Func) {
+	fn := fi.Name
+
+	// The function's own summary exempts the registers it declares used:
+	// destroying those is the callers' concern (§3).
+	var exempt mach.RegSet
+	if fp.Summary != nil {
+		exempt = fp.Summary.Used & c.cfg.CalleeSaved
+	}
+
+	// Span starts in layout order; each span is one basic block.
+	starts := make([]int, 0, len(fi.Blocks)+1)
+	index := make(map[int]int) // code index -> span number
+	add := func(s int) {
+		if _, ok := index[s]; !ok && s >= fi.Entry && s < fi.End {
+			index[s] = len(starts)
+			starts = append(starts, s)
+		}
+	}
+	add(fi.Entry)
+	for _, bs := range fi.Blocks {
+		add(bs.Start)
+	}
+	endOf := func(i int) int {
+		if i+1 < len(starts) {
+			return starts[i+1]
+		}
+		return fi.End
+	}
+
+	in := make([]depths, len(starts))
+	seen := make([]bool, len(starts))
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		si := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := in[si]
+		last := endOf(si) - 1
+		for pc := starts[si]; pc <= last; pc++ {
+			ins := &prog.Code[pc]
+			switch ins.Op {
+			case mcode.SW:
+				if ins.Class == mcode.ClassSaveRestore && ins.Rs == mach.SP {
+					d[ins.Rt]++
+					if d[ins.Rt] > maxSaveDepth {
+						c.report(fn, RuleCodeBalance, "pc %d: %s saved %d deep", pc, ins.Rt, d[ins.Rt])
+					}
+				}
+			case mcode.LW:
+				if ins.Class == mcode.ClassSaveRestore && ins.Rs == mach.SP {
+					if d[ins.Rd] == 0 {
+						c.report(fn, RuleCodeBalance, "pc %d: restore of %s, which is not saved on this path", pc, ins.Rd)
+					} else {
+						d[ins.Rd]--
+					}
+					continue // a restore is not a plain write
+				}
+				c.checkWrite(fn, pc, ins.Rd, &d, exempt)
+			case mcode.LI, mcode.MOVE, mcode.ADD, mcode.SUB, mcode.MUL, mcode.DIV,
+				mcode.REM, mcode.SLT, mcode.SLE, mcode.SEQ, mcode.SNE:
+				c.checkWrite(fn, pc, ins.Rd, &d, exempt)
+			case mcode.JAL:
+				if callee, ok := entryFunc[ins.Target]; ok {
+					if cp := c.pp.Funcs[callee]; cp != nil && cp.Summary != nil {
+						clob := cp.Summary.Used & c.cfg.CalleeSaved
+						clob.ForEach(func(r mach.Reg) {
+							if d[r] == 0 && !exempt.Has(r) {
+								c.report(fn, RuleCodeClobber,
+									"pc %d: call to %s may destroy unsaved %s", pc, callee.Name, r)
+							}
+						})
+					}
+				}
+			case mcode.JR:
+				for r := range d {
+					if d[r] != 0 {
+						c.report(fn, RuleCodeBalance, "pc %d: return with %s still saved", pc, mach.Reg(r))
+					}
+				}
+			}
+		}
+
+		// Successors from the span's final instruction.
+		var succ []int
+		t := &prog.Code[last]
+		switch t.Op {
+		case mcode.JR, mcode.EXIT:
+		case mcode.J:
+			succ = append(succ, t.Target)
+		case mcode.BEQZ, mcode.BNEZ:
+			succ = append(succ, t.Target, last+1)
+		default:
+			if last+1 >= fi.End {
+				c.report(fn, RuleCodeBalance, "pc %d: control falls off the end of the function", last)
+				continue
+			}
+			succ = append(succ, last+1)
+		}
+		for _, s := range succ {
+			ti, ok := index[s]
+			if !ok {
+				continue // branch out of the function; mcode.Verify's concern
+			}
+			if !seen[ti] {
+				seen[ti] = true
+				in[ti] = d
+				work = append(work, ti)
+			} else if in[ti] != d {
+				c.report(fn, RuleCodeBalance,
+					"pc %d: block at %d entered with differing save depths on different paths", last, s)
+			}
+		}
+	}
+}
+
+// checkWrite flags a write to an unsaved callee-saved register not covered
+// by the function's published summary.
+func (c *checker) checkWrite(fn string, pc int, rd mach.Reg, d *depths, exempt mach.RegSet) {
+	if !c.cfg.CalleeSaved.Has(rd) || d[rd] != 0 || exempt.Has(rd) {
+		return
+	}
+	c.report(fn, RuleCodeClobber, "pc %d: writes unsaved callee-saved %s", pc, rd)
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"chow88/internal/core"
+	"chow88/internal/faultinject"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
@@ -48,18 +49,17 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 		}
 		fp := pp.Funcs[f]
 		if fp == nil {
-			errs[i] = fmt.Errorf("codegen: no plan for %s", f.Name)
+			errs[i] = &FuncError{Func: f.Name, Err: fmt.Errorf("no plan recorded")}
 			return
 		}
 		sp := os.SpanTID(obs.PhaseCodegen, f.Name, tid)
-		g := newFngen(pp, fp)
-		if err := g.run(); err != nil {
-			sp.End()
-			errs[i] = fmt.Errorf("codegen %s: %w", f.Name, err)
+		g, err := emitOne(pp, fp)
+		sp.End()
+		if err != nil {
+			errs[i] = err
 			return
 		}
 		gens[i] = g
-		sp.End()
 		os.Add(obs.CCodegenFuncs, 1)
 	}
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && !pp.Mode.Sequential {
@@ -95,6 +95,52 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 			return nil, err
 		}
 	}
+
+	return link(pp, prog, gens, os)
+}
+
+// FuncError attributes a code-generation failure to one function, so the
+// pipeline can degrade just that procedure instead of failing the module.
+type FuncError struct {
+	Func string
+	// Recovered marks an error recovered from a worker panic (only under
+	// Mode.Validate; without validation panics propagate as before).
+	Recovered bool
+	Err       error
+}
+
+func (e *FuncError) Error() string {
+	if e.Recovered {
+		return fmt.Sprintf("codegen %s: recovered panic: %v", e.Func, e.Err)
+	}
+	return fmt.Sprintf("codegen %s: %v", e.Func, e.Err)
+}
+
+func (e *FuncError) Unwrap() error { return e.Err }
+
+// emitOne generates one function body. Under Mode.Validate a worker panic
+// is contained and surfaced as a *FuncError for graceful degradation.
+func emitOne(pp *core.ProgramPlan, fp *core.FuncPlan) (g *fngen, err error) {
+	if pp.Mode.Validate {
+		defer func() {
+			if r := recover(); r != nil {
+				obs.Current().Add(obs.CCheckPanics, 1)
+				g = nil
+				err = &FuncError{Func: fp.F.Name, Recovered: true, Err: fmt.Errorf("%v", r)}
+			}
+		}()
+	}
+	faultinject.PanicCodegen(fp.F.Name)
+	g = newFngen(pp, fp)
+	if e := g.run(); e != nil {
+		return nil, &FuncError{Func: fp.F.Name, Err: e}
+	}
+	return g, nil
+}
+
+// link concatenates the emitted bodies in module order and resolves
+// cross-function references.
+func link(pp *core.ProgramPlan, prog *mcode.Program, gens []*fngen, os *obs.Session) (*mcode.Program, error) {
 
 	// Link: concatenate the buffers in module order and record the layout.
 	linkSpan := os.Span(obs.PhaseLink, "link")

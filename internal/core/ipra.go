@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"chow88/internal/callgraph"
+	"chow88/internal/faultinject"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/obs"
@@ -39,27 +40,38 @@ type Mode struct {
 	// codegen, cached front end — produces byte-identical output; this switch
 	// exists for differential testing and debugging.
 	Sequential bool
+	// Validate runs the linkage-invariant validator (internal/check) after
+	// planning and after code generation, contains per-function worker
+	// panics, and gracefully degrades offending procedures (demotion to the
+	// open convention and re-planning of the affected call-graph slice)
+	// instead of miscompiling or crashing. The mode constructors enable it;
+	// a zero Mode leaves it off.
+	Validate bool
+	// Strict turns every degradation into a hard error: a validation
+	// failure or recovered panic fails the compile instead of demoting (for
+	// CI, where a plan that needed repair is itself the bug).
+	Strict bool
 }
 
 // The paper's measurement modes. Base is the baseline of all comparisons:
 // -O2 with shrink-wrap disabled.
 func ModeBase() Mode {
-	return Mode{Name: "O2", Optimize: true, Config: mach.Default()}
+	return Mode{Name: "O2", Optimize: true, Config: mach.Default(), Validate: true}
 }
 
 // ModeA is -O2 with shrink-wrap enabled (Table 1, column A).
 func ModeA() Mode {
-	return Mode{Name: "O2+sw", Optimize: true, ShrinkWrap: true, Config: mach.Default()}
+	return Mode{Name: "O2+sw", Optimize: true, ShrinkWrap: true, Config: mach.Default(), Validate: true}
 }
 
 // ModeB is -O3 with shrink-wrap disabled (Table 1, column B).
 func ModeB() Mode {
-	return Mode{Name: "O3", Optimize: true, IPRA: true, Config: mach.Default()}
+	return Mode{Name: "O3", Optimize: true, IPRA: true, Config: mach.Default(), Validate: true}
 }
 
 // ModeC is -O3 with shrink-wrap enabled (Table 1, column C).
 func ModeC() Mode {
-	return Mode{Name: "O3+sw", Optimize: true, IPRA: true, ShrinkWrap: true, Config: mach.Default()}
+	return Mode{Name: "O3+sw", Optimize: true, IPRA: true, ShrinkWrap: true, Config: mach.Default(), Validate: true}
 }
 
 // ModeD is mode C restricted to 7 caller-saved registers (Table 2, column D).
@@ -106,6 +118,22 @@ type ProgramPlan struct {
 	Order []*ir.Func
 	// Oracle answers call-site linkage queries for code generation.
 	Oracle regalloc.Oracle
+	// Failed records planning-worker panics recovered under Mode.Validate,
+	// keyed by function; the pipeline demotes and re-plans these.
+	Failed map[*ir.Func]string
+
+	failedMu sync.Mutex
+}
+
+// noteFailure records a recovered planning-worker panic for f.
+func (pp *ProgramPlan) noteFailure(f *ir.Func, cause any) {
+	pp.failedMu.Lock()
+	if pp.Failed == nil {
+		pp.Failed = map[*ir.Func]string{}
+	}
+	pp.Failed[f] = fmt.Sprint(cause)
+	pp.failedMu.Unlock()
+	obs.Current().Add(obs.CCheckPanics, 1)
 }
 
 // PlanModule performs register allocation for every function of m under the
@@ -145,8 +173,20 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 	}
 	pp.Oracle = oracle
 
-	plan := func(f *ir.Func) *FuncPlan {
-		fp := planFunc(f, g, mode, oracle)
+	plan := func(f *ir.Func) (fp *FuncPlan) {
+		if mode.Validate {
+			// Contain worker panics: the function is recorded as failed and
+			// the pipeline demotes and re-plans it instead of crashing the
+			// compile. Its summary is never published, so concurrently
+			// planned callers already see the safe default linkage.
+			defer func() {
+				if r := recover(); r != nil {
+					pp.noteFailure(f, r)
+					fp = nil
+				}
+			}()
+		}
+		fp = planFunc(f, g, mode, oracle)
 		if fp.Summary != nil {
 			publish(f, fp.Summary)
 		}
@@ -161,7 +201,9 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 			if f.Extern {
 				continue
 			}
-			pp.Funcs[f] = plan(f)
+			if fp := plan(f); fp != nil {
+				pp.Funcs[f] = fp
+			}
 		}
 		sp.End()
 		return pp
@@ -238,6 +280,7 @@ func runIndexed(n, workers int, fn func(i int)) {
 // planning of independent functions sound — and, given identical oracle
 // answers, deterministic.
 func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle) *FuncPlan {
+	faultinject.PanicPlan(f.Name)
 	cfg := mode.Config
 	open := g.Open[f]
 	interMode := mode.IPRA && !open
@@ -324,10 +367,54 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 			fp.Plan = EntryExitPlan(f, managed)
 		}
 	}
+	if faultinject.Armed() {
+		injectFaults(f, fp, cfg)
+	}
 	if s := obs.Current(); s != nil {
 		recordPlanObs(s, fp, cfg)
 	}
 	return fp
+}
+
+// injectFaults applies any armed chaos injection to the freshly built plan,
+// before the summary is published: a corrupted summary bit or flipped
+// parameter register propagates to every caller that consumes it, and a
+// dropped save site leaves a path that destroys a callee-saved register —
+// exactly the linkage corruption the validator exists to catch.
+func injectFaults(f *ir.Func, fp *FuncPlan, cfg *mach.Config) {
+	fired := 0
+	if s := fp.Summary; s != nil {
+		if used := faultinject.CorruptSummary(f.Name, s.Used); used != s.Used {
+			s.Used = used
+			fired++
+		}
+		for i := range s.Args {
+			if !s.Args[i].InReg {
+				continue
+			}
+			if wrong, ok := faultinject.FlipParamReg(f.Name, s.Args[i].Reg, cfg.Allocatable()); ok {
+				s.Args[i].Reg = wrong
+				fired++
+			}
+			break
+		}
+	}
+	if fp.Plan != nil {
+		var victim mach.Reg
+		found := false
+		fp.Plan.Regs().ForEach(func(r mach.Reg) {
+			if !found && len(fp.Plan.SaveAt[r]) > 0 {
+				victim, found = r, true
+			}
+		})
+		if found && faultinject.DropSave(f.Name, victim) {
+			fp.Plan.SaveAt[victim] = fp.Plan.SaveAt[victim][1:]
+			fired++
+		}
+	}
+	if fired > 0 {
+		obs.Current().Add(obs.CCheckFaults, int64(fired))
+	}
 }
 
 // recordPlanObs publishes one function's allocation decision to the

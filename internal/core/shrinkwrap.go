@@ -21,9 +21,13 @@ func NewSavePlan() *SavePlan {
 	return &SavePlan{SaveAt: map[mach.Reg][]*ir.Block{}, RestoreAt: map[mach.Reg][]*ir.Block{}}
 }
 
-// Regs returns the set of registers the plan manages.
+// Regs returns the set of registers the plan manages. A nil plan manages
+// nothing.
 func (p *SavePlan) Regs() mach.RegSet {
 	var s mach.RegSet
+	if p == nil {
+		return s
+	}
 	for r := range p.SaveAt {
 		s = s.Add(r)
 	}

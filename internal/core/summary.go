@@ -76,6 +76,15 @@ func (o *ipraOracle) publish(f *ir.Func, s *Summary) {
 	o.mu.Unlock()
 }
 
+// unpublish withdraws f's summary (graceful degradation: f is about to be
+// demoted or replanned, and callers must fall back to the default linkage
+// until a fresh summary is published).
+func (o *ipraOracle) unpublish(f *ir.Func) {
+	o.mu.Lock()
+	delete(o.summaries, f)
+	o.mu.Unlock()
+}
+
 // summary returns the published summary of a direct call's callee, or nil.
 func (o *ipraOracle) summary(call *ir.Instr) *Summary {
 	if call.Op != ir.OpCall {

@@ -11,11 +11,11 @@ import (
 	"time"
 
 	"chow88/internal/benchprog"
-	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/obs"
+	"chow88/internal/pipeline"
 	"chow88/internal/pixie"
 	"chow88/internal/sim"
 )
@@ -45,8 +45,7 @@ func run(src string, mode core.Mode) (*measured, error) {
 		sp.End()
 		return nil, err
 	}
-	plan := core.PlanModule(mod, mode)
-	code, err := codegen.Generate(plan)
+	_, code, demotions, err := pipeline.Build(mod, mode)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -54,7 +53,7 @@ func run(src string, mode core.Mode) (*measured, error) {
 	sp.End()
 	out := &measured{}
 	if s != nil {
-		out.compile = &obs.CompileReport{Report: *s.ReportSince(snap)}
+		out.compile = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: demotions}
 	}
 	res, err := sim.Run(code, sim.Options{})
 	if err != nil {

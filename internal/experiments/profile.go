@@ -5,11 +5,11 @@ import (
 	"strings"
 
 	"chow88/internal/benchprog"
-	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
+	"chow88/internal/pipeline"
 	"chow88/internal/pixie"
 	"chow88/internal/sim"
 )
@@ -25,8 +25,8 @@ func runProfiled(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
 	}
 	train := core.ModeBase()
 	train.Optimize = mode.Optimize
-	trainPlan := core.PlanModule(mod, train)
-	trainCode, err := codegen.Generate(trainPlan)
+	train.Validate = mode.Validate
+	_, trainCode, _, err := pipeline.Build(mod, train)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -36,8 +36,7 @@ func runProfiled(src string, mode core.Mode) (*pixie.Stats, []int64, error) {
 	}
 	applyCounts(mod, trainCode, trainRes.InstrCounts)
 
-	plan := core.PlanModule(mod, mode)
-	code, err := codegen.Generate(plan)
+	_, code, _, err := pipeline.Build(mod, mode)
 	if err != nil {
 		return nil, nil, err
 	}

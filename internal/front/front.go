@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"chow88/internal/ast"
 	"chow88/internal/ir"
 	"chow88/internal/lower"
 	"chow88/internal/obs"
@@ -73,34 +74,74 @@ func CacheStats() Stats {
 	}
 }
 
+// StageError attributes a front-end failure to its pipeline stage
+// ("parse", "sema", "lower" or "opt"), so drivers can map it to a distinct
+// diagnostic and exit code. Recovered marks an error contained from a
+// stage panic (fuzzed or malformed input must surface as a diagnostic,
+// never a crash).
+type StageError struct {
+	Stage     string
+	Recovered bool
+	Err       error
+}
+
+func (e *StageError) Error() string {
+	if e.Recovered {
+		return fmt.Sprintf("%s: internal error: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// stage runs one front-end phase with panic containment.
+func stage(s *obs.Session, p obs.Phase, name string, fn func() error) (err error) {
+	sp := s.Span(p, name)
+	defer sp.End()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: name, Recovered: true, Err: fmt.Errorf("%v", r)}
+		}
+	}()
+	if err = fn(); err != nil {
+		err = &StageError{Stage: name, Err: err}
+	}
+	return err
+}
+
 // Build runs the front end cold, bypassing the cache.
 func Build(src string, optimize bool) (*ir.Module, error) {
 	s := obs.Current()
-	sp := s.Span(obs.PhaseParse, "parse")
-	tree, err := parser.Parse(src)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+	var tree *ast.Program
+	if err := stage(s, obs.PhaseParse, "parse", func() (err error) {
+		tree, err = parser.Parse(src)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	sp = s.Span(obs.PhaseSema, "sema")
-	info, err := sema.Check(tree)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
+	var info *sema.Info
+	if err := stage(s, obs.PhaseSema, "sema", func() (err error) {
+		info, err = sema.Check(tree)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	sp = s.Span(obs.PhaseLower, "lower")
-	mod, err := lower.Build(info)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
+	var mod *ir.Module
+	if err := stage(s, obs.PhaseLower, "lower", func() (err error) {
+		mod, err = lower.Build(info)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	if optimize {
-		sp = s.Span(obs.PhaseOpt, "opt")
-		opt.Run(mod)
-		err := ir.VerifyModule(mod)
-		sp.End()
-		if err != nil {
-			return nil, fmt.Errorf("optimizer broke the IR: %w", err)
+		if err := stage(s, obs.PhaseOpt, "opt", func() error {
+			opt.Run(mod)
+			if err := ir.VerifyModule(mod); err != nil {
+				return fmt.Errorf("optimizer broke the IR: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return mod, nil

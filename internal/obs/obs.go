@@ -56,6 +56,13 @@ const (
 	// Code generation and linking (internal/codegen).
 	CCodegenFuncs
 	CLinkCodeWords
+	// Linkage validation and graceful degradation (internal/check,
+	// internal/pipeline, internal/faultinject).
+	CCheckViolations
+	CCheckDemotions
+	CCheckReplans
+	CCheckPanics
+	CCheckFaults
 	// Simulator (internal/sim).
 	CSimRunsFast
 	CSimRunsRef
@@ -93,6 +100,11 @@ var counterNames = [NumCounters]string{
 	CRangesSpilled:     "regalloc.ranges_spilled",
 	CCodegenFuncs:      "codegen.funcs_emitted",
 	CLinkCodeWords:     "link.code_words",
+	CCheckViolations:   "check.violations",
+	CCheckDemotions:    "check.demotions",
+	CCheckReplans:      "check.replans",
+	CCheckPanics:       "check.panics_recovered",
+	CCheckFaults:       "check.faults_injected",
 	CSimRunsFast:       "sim.runs_fast",
 	CSimRunsRef:        "sim.runs_reference",
 	CSimVerifyFallback: "sim.verify_fallbacks",
@@ -145,6 +157,7 @@ const (
 	PhaseLower
 	PhaseOpt
 	PhasePlan
+	PhaseValidate
 	PhaseCodegen
 	PhaseLink
 	PhasePredecode
@@ -160,6 +173,7 @@ var phaseNames = [NumPhases]string{
 	PhaseLower:     "lower",
 	PhaseOpt:       "opt",
 	PhasePlan:      "plan",
+	PhaseValidate:  "validate",
 	PhaseCodegen:   "codegen",
 	PhaseLink:      "link",
 	PhasePredecode: "predecode",

@@ -43,6 +43,30 @@ type CompileReport struct {
 	// nil for plain compiles. The enclosing Report covers the final
 	// build only, so the two phases read separately.
 	Training *Report `json:",omitempty"`
+	// Demotions records every graceful-degradation intervention the
+	// pipeline took: procedures replanned or demoted to the open
+	// convention after a validation failure or a recovered worker panic.
+	// Empty for clean compiles.
+	Demotions []Demotion `json:",omitempty"`
+}
+
+// Demotion is one graceful-degradation intervention on one procedure.
+type Demotion struct {
+	// Func is the procedure intervened on.
+	Func string
+	// Phase is the pipeline stage whose failure triggered the
+	// intervention: "plan", "validate", "codegen" or "code-check".
+	Phase string
+	// Action is what the pipeline did: "replan" (recompute the plan),
+	// "replan-nosw" (recompute with shrink-wrapping disabled for the
+	// procedure) or "demote" (force the open convention and recompute).
+	Action string
+	// Reason is the violation rule or recovered panic that triggered it.
+	Reason string
+}
+
+func (d Demotion) String() string {
+	return fmt.Sprintf("%s: %s after %s failure (%s)", d.Func, d.Action, d.Phase, d.Reason)
 }
 
 // RunReport describes one simulator run.
@@ -205,6 +229,9 @@ func (r *CompileReport) Table() string {
 	var b strings.Builder
 	b.WriteString("compile:\n")
 	r.Report.writeTable(&b, "  ")
+	for _, d := range r.Demotions {
+		fmt.Fprintf(&b, "  degraded %s\n", d)
+	}
 	if r.Training != nil {
 		b.WriteString("  training build+run:\n")
 		r.Training.writeTable(&b, "    ")

@@ -1,0 +1,208 @@
+// Package pipeline orchestrates the validated middle/back end: register
+// allocation (core.PlanModule), the linkage-invariant validator
+// (internal/check) and code generation (internal/codegen), connected by
+// the graceful-degradation loop.
+//
+// Per procedure the degradation ladder is:
+//
+//  1. demote to the open convention (closed procedures; the paper's §3
+//     escape hatch — open procedures always use the safe default linkage),
+//     or re-plan in place when the procedure is already open;
+//  2. re-plan with shrink-wrapping disabled for that procedure;
+//  3. give up: hard error.
+//
+// Each intervention invalidates the offender's transitive callers (their
+// plans consumed its summary) and re-plans that call-graph slice
+// sequentially in bottom-up order, so a degraded compile is still
+// deterministic. Mode.Strict short-circuits the ladder: any violation or
+// recovered panic is a hard *ValidationError (for CI, where a plan that
+// needed repair is itself the bug).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"chow88/internal/check"
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/ir"
+	"chow88/internal/mcode"
+	"chow88/internal/obs"
+)
+
+// maxRounds bounds the degradation loop. Every round escalates at least
+// one procedure's ladder rung, so convergence is structural; the bound
+// only guards against a validator/planner disagreement oscillating.
+const maxRounds = 8
+
+// ValidationError reports linkage violations that could not (or, under
+// Mode.Strict, were not allowed to) be repaired by degradation.
+type ValidationError struct {
+	// Phase is the pipeline stage that found the violations: "plan",
+	// "validate", "codegen" or "code-check".
+	Phase      string
+	Violations []check.Violation
+}
+
+func (e *ValidationError) Error() string {
+	if len(e.Violations) == 0 {
+		return fmt.Sprintf("validate: %s failed", e.Phase)
+	}
+	return fmt.Sprintf("validate: %d linkage violation(s) at %s (first: %s)",
+		len(e.Violations), e.Phase, e.Violations[0])
+}
+
+// offender is one procedure requiring intervention this round.
+type offender struct {
+	f      *ir.Func
+	phase  string
+	reason string
+}
+
+// Build plans, validates and generates code for mod. With mode.Validate
+// off it is exactly PlanModule + Generate. With it on, validation runs
+// after planning and after code generation, worker panics are contained,
+// and offending procedures degrade per the ladder; every intervention is
+// returned as an obs.Demotion (and counted on the active obs session).
+func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+	pp := core.PlanModule(mod, mode)
+	if !mode.Validate {
+		prog, err := codegen.Generate(pp)
+		return pp, prog, nil, err
+	}
+
+	s := obs.Current()
+	byName := make(map[string]*ir.Func, len(mod.Funcs))
+	for _, f := range mod.Funcs {
+		byName[f.Name] = f
+	}
+
+	var demotions []obs.Demotion
+	rung := map[*ir.Func]int{}
+	noSW := map[*ir.Func]bool{}
+	for round := 0; round < maxRounds; round++ {
+		offs, prog, err := findOffenders(pp, byName)
+		if err != nil {
+			return pp, nil, demotions, err
+		}
+		if len(offs) == 0 {
+			return pp, prog, demotions, nil
+		}
+		if mode.Strict {
+			return pp, nil, demotions, strictError(offs)
+		}
+		roots := make([]*ir.Func, 0, len(offs))
+		for _, o := range offs {
+			var action string
+			switch rung[o.f] {
+			case 0:
+				if mode.IPRA && !pp.Graph.Open[o.f] {
+					action = "demote"
+					pp.Demote(o.f, "degraded: "+o.reason)
+					s.Add(obs.CCheckDemotions, 1)
+				} else {
+					action = "replan"
+				}
+			case 1:
+				action = "replan-nosw"
+				noSW[o.f] = true
+			default:
+				return pp, nil, demotions, strictError(offs)
+			}
+			rung[o.f]++
+			demotions = append(demotions, obs.Demotion{
+				Func: o.f.Name, Phase: o.phase, Action: action, Reason: o.reason,
+			})
+			roots = append(roots, o.f)
+		}
+		if err := pp.Replan(pp.Affected(roots...), noSW); err != nil {
+			return pp, nil, demotions, err
+		}
+	}
+	return pp, nil, demotions, &ValidationError{Phase: "validate"}
+}
+
+// findOffenders runs the staged pipeline until a stage reports failures:
+// recovered planning panics, plan validation, code generation, machine-code
+// validation. A clean pass returns the linked program.
+func findOffenders(pp *core.ProgramPlan, byName map[string]*ir.Func) ([]offender, *mcode.Program, error) {
+	s := obs.Current()
+
+	// Recovered planning-worker panics.
+	if len(pp.Failed) > 0 {
+		var offs []offender
+		for _, f := range pp.Module.Funcs {
+			if reason, ok := pp.Failed[f]; ok {
+				offs = append(offs, offender{f: f, phase: "plan", reason: "recovered panic: " + reason})
+			}
+		}
+		pp.Failed = nil
+		return offs, nil, nil
+	}
+
+	// Plan-level linkage validation.
+	sp := s.Span(obs.PhaseValidate, "check plan")
+	viols := check.Plan(pp)
+	sp.End()
+	if len(viols) > 0 {
+		return violationOffenders(pp, byName, "validate", viols)
+	}
+
+	// Code generation (worker panics surface as *codegen.FuncError).
+	prog, err := codegen.Generate(pp)
+	if err != nil {
+		var fe *codegen.FuncError
+		if errors.As(err, &fe) {
+			if f := byName[fe.Func]; f != nil {
+				return []offender{{f: f, phase: "codegen", reason: fe.Err.Error()}}, nil, nil
+			}
+		}
+		return nil, nil, err
+	}
+
+	// Machine-code-level validation.
+	sp = s.Span(obs.PhaseValidate, "check code")
+	viols = check.Code(pp, prog)
+	sp.End()
+	if len(viols) > 0 {
+		return violationOffenders(pp, byName, "code-check", viols)
+	}
+	return nil, prog, nil
+}
+
+// violationOffenders groups violations by procedure (first rule per
+// procedure wins as the reason), in deterministic module order.
+func violationOffenders(pp *core.ProgramPlan, byName map[string]*ir.Func, phase string, viols []check.Violation) ([]offender, *mcode.Program, error) {
+	obs.Current().Add(obs.CCheckViolations, int64(len(viols)))
+	first := map[*ir.Func]string{}
+	for _, v := range viols {
+		f := byName[v.Func]
+		if f == nil {
+			// A violation naming no known procedure cannot be repaired by
+			// demotion; fail hard.
+			return nil, nil, &ValidationError{Phase: phase, Violations: viols}
+		}
+		if _, ok := first[f]; !ok {
+			first[f] = fmt.Sprintf("%s: %s", v.Rule, v.Detail)
+		}
+	}
+	var offs []offender
+	for _, f := range pp.Module.Funcs {
+		if reason, ok := first[f]; ok {
+			offs = append(offs, offender{f: f, phase: phase, reason: reason})
+		}
+	}
+	return offs, nil, nil
+}
+
+// strictError shapes the round's offenders as a hard error.
+func strictError(offs []offender) *ValidationError {
+	e := &ValidationError{Phase: offs[0].phase}
+	for _, o := range offs {
+		e.Violations = append(e.Violations, check.Violation{
+			Func: o.f.Name, Rule: "degradation-required", Detail: o.reason,
+		})
+	}
+	return e
+}

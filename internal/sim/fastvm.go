@@ -29,6 +29,9 @@
 package sim
 
 import (
+	"fmt"
+	"time"
+
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
@@ -184,6 +187,14 @@ func (m *machine) runFast(img *image) error {
 			obs.Current().Add(obs.CSimBudgetHandoff, 1)
 			_, _, err := m.interpret(0, nil)
 			return err
+		}
+		if instrs >= m.deadlineAt {
+			m.deadlineAt += deadlineStride
+			if time.Now().After(m.deadline) {
+				ents[0].count--
+				flush()
+				return fmt.Errorf("pc 0: %w", ErrDeadline)
+			}
 		}
 		xi = int(bb.x0)
 	}
@@ -986,6 +997,18 @@ func (m *machine) runFast(img *image) error {
 				obs.Current().Add(obs.CSimBudgetHandoff, 1)
 				_, _, err := m.interpret(int(img.blocks[nbi].start), nil)
 				return err
+			}
+			if instrs >= m.deadlineAt {
+				// A wall-clock deadline is inherently approximate (unlike the
+				// instruction budget it never needs bit-exact accounting), so
+				// expiry stops at the block boundary: unwind the entry that
+				// was never executed, flush partial statistics, and return.
+				m.deadlineAt += deadlineStride
+				if time.Now().After(m.deadline) {
+					e.count--
+					flush()
+					return fmt.Errorf("pc %d: %w", img.blocks[nbi].start, ErrDeadline)
+				}
 			}
 			if e.x0 >= 0 {
 				xi = int(e.x0)

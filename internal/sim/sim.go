@@ -17,7 +17,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
@@ -32,12 +34,23 @@ type Options struct {
 	MemWords int
 	// MaxInstrs bounds execution; 0 means the default (2e9).
 	MaxInstrs int64
+	// Deadline bounds wall-clock execution; 0 means no deadline. Expiry
+	// returns ErrDeadline with the statistics accumulated so far (the
+	// Result is partial but internally consistent). The clock is polled
+	// every deadlineStride instructions, so overshoot is bounded by that
+	// stride, and runs without a deadline pay nothing per instruction.
+	Deadline time.Duration
 	// Profile records per-instruction execution counts in the result,
 	// enabling profile feedback to the register allocator.
 	Profile bool
 }
 
 const defaultMaxInstrs = int64(2_000_000_000)
+
+// deadlineStride is the instruction interval between wall-clock polls when
+// Options.Deadline is set (~1M instructions, well under a millisecond of
+// simulated work per poll).
+const deadlineStride = int64(1) << 20
 
 // Trap is a machine fault.
 type Trap struct {
@@ -49,6 +62,9 @@ func (t *Trap) Error() string { return fmt.Sprintf("pc %d: machine trap: %s", t.
 
 // ErrLimit reports instruction-budget exhaustion.
 var ErrLimit = errors.New("instruction budget exceeded")
+
+// ErrDeadline reports wall-clock deadline expiry (Options.Deadline).
+var ErrDeadline = errors.New("wall-clock deadline exceeded")
 
 // Result carries the run outcome.
 type Result struct {
@@ -88,6 +104,12 @@ type machine struct {
 	memWords   int64
 	stackFloor int64
 	maxInstrs  int64
+	// deadline is the wall-clock cutoff (zero time when Options.Deadline is
+	// unset); deadlineAt is the executed-instruction count at which the
+	// clock is next polled, MaxInt64 when no deadline is armed so the hot
+	// loops pay one always-false compare.
+	deadline   time.Time
+	deadlineAt int64
 	// loData/hiData and loStack/hiStack bound the memory words the run has
 	// written (all writes go through SW or a store run), split at
 	// stackFloor. release clears exactly those ranges before pooling the
@@ -201,7 +223,12 @@ func newMachine(p *mcode.Program, opts Options) *machine {
 		maxInstrs:  maxInstrs,
 		loData:     int64(memWords),
 		loStack:    int64(memWords),
+		deadlineAt: math.MaxInt64,
 		res:        &Result{},
+	}
+	if opts.Deadline > 0 {
+		m.deadline = time.Now().Add(opts.Deadline)
+		m.deadlineAt = deadlineStride
 	}
 	m.regs[mach.SP] = int64(memWords)
 	if opts.Profile {
@@ -335,6 +362,12 @@ func (m *machine) interpret(pc int, stopAt []int32) (int, bool, error) {
 		st.Instrs++
 		if st.Instrs > m.maxInstrs {
 			return 0, true, fmt.Errorf("pc %d: %w", pc, ErrLimit)
+		}
+		if st.Instrs >= m.deadlineAt {
+			m.deadlineAt += deadlineStride
+			if time.Now().After(m.deadline) {
+				return 0, true, fmt.Errorf("pc %d: %w", pc, ErrDeadline)
+			}
 		}
 		st.Cycles++
 		nextPC := pc + 1

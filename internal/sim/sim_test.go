@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"chow88/internal/mach"
 	"chow88/internal/mcode"
@@ -131,6 +132,44 @@ func TestInstrBudget(t *testing.T) {
 	}
 	if _, err := Run(p, Options{MaxInstrs: 1000}); !errors.Is(err, ErrLimit) {
 		t.Fatalf("want limit, got %v", err)
+	}
+}
+
+func TestWallClockDeadline(t *testing.T) {
+	code := []mcode.Instr{
+		{Op: mcode.JAL, Target: 2},
+		{Op: mcode.EXIT},
+		{Op: mcode.J, Target: 2},
+	}
+	p := &mcode.Program{
+		Code:     code,
+		Funcs:    []*mcode.FuncInfo{{Name: "main", Entry: 2, End: 3}},
+		DataSize: 2048,
+	}
+	for _, run := range []struct {
+		name string
+		fn   func(*mcode.Program, Options) (*Result, error)
+	}{{"fast", Run}, {"reference", RunReference}} {
+		t.Run(run.name, func(t *testing.T) {
+			res, err := run.fn(p, Options{Deadline: time.Millisecond})
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("want ErrDeadline, got %v", err)
+			}
+			// Expiry must surface the partial statistics, not discard them.
+			if res == nil || res.Stats.Instrs == 0 {
+				t.Fatal("deadline expiry returned no partial statistics")
+			}
+		})
+	}
+	// A generous deadline must not interfere with a clean run.
+	p2 := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 7},
+		mcode.Instr{Op: mcode.PRINT, Rs: mach.T0},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	res, err := Run(p2, Options{Deadline: time.Minute})
+	if err != nil || len(res.Output) != 1 || res.Output[0] != 7 {
+		t.Fatalf("clean run under deadline: out=%v err=%v", res.Output, err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chow88/internal/ast"
+	"chow88/internal/front"
 	"chow88/internal/parser"
 )
 
@@ -32,7 +33,9 @@ func LinkUnits(srcs ...string) (*ast.Program, error) {
 	for i, src := range srcs {
 		unit, err := parser.Parse(src)
 		if err != nil {
-			return nil, fmt.Errorf("link: unit %d: %w", i+1, err)
+			// Classified like any single-unit parse failure (front.StageError),
+			// with the unit attributed.
+			return nil, &front.StageError{Stage: "parse", Err: fmt.Errorf("link: unit %d: %w", i+1, err)}
 		}
 		units = append(units, unit)
 		for _, d := range unit.Decls {
@@ -42,14 +45,14 @@ func LinkUnits(srcs ...string) (*ast.Program, error) {
 					continue
 				}
 				if prev, dup := defs[d.Name]; dup {
-					return nil, fmt.Errorf("link: %s defined in unit %d and unit %d",
-						d.Name, prev.unit+1, i+1)
+					return nil, &front.StageError{Stage: "sema", Err: fmt.Errorf("link: %s defined in unit %d and unit %d",
+						d.Name, prev.unit+1, i+1)}
 				}
 				defs[d.Name] = funcOrigin{unit: i, decl: d}
 			case *ast.VarDecl:
 				if prev, dup := globals[d.Name]; dup {
-					return nil, fmt.Errorf("link: global %s defined in unit %d and unit %d",
-						d.Name, prev+1, i+1)
+					return nil, &front.StageError{Stage: "sema", Err: fmt.Errorf("link: global %s defined in unit %d and unit %d",
+						d.Name, prev+1, i+1)}
 				}
 				globals[d.Name] = i
 			}

@@ -3,12 +3,12 @@ package chow88
 import (
 	"fmt"
 
-	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
+	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
 
@@ -41,11 +41,12 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 	train := core.ModeBase()
 	train.Optimize = mode.Optimize
 	train.ForceOpen = mode.ForceOpen
-	trainPlan := core.PlanModule(mod, train)
-	trainCode, err := codegen.Generate(trainPlan)
+	train.Validate = mode.Validate
+	train.Strict = mode.Strict
+	_, trainCode, _, err := pipeline.Build(mod, train)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("training codegen: %w", err)
+		return nil, fmt.Errorf("training build: %w", err)
 	}
 	trainRes, err := sim.Run(trainCode, sim.Options{Profile: true})
 	if err != nil {
@@ -65,16 +66,15 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 		snap1 = s.Snap()
 	}
 
-	plan := core.PlanModule(mod, mode)
-	code, err := codegen.Generate(plan)
+	plan, code, demotions, err := pipeline.Build(mod, mode)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("codegen: %w", err)
+		return nil, err
 	}
 	sp.End()
-	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code}
+	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code, Demotions: demotions}
 	if s != nil {
-		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap1), Training: training}
+		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap1), Training: training, Demotions: demotions}
 	}
 	return p, nil
 }
