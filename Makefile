@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet chaos fuzz trace clean
+.PHONY: all build test race bench ci fmt-check vet chaos incr fuzz trace clean
 
 all: build
 
@@ -38,6 +38,17 @@ vet:
 chaos:
 	$(GO) test -run 'TestChaos|TestDemotionReplan' -v ./
 
+# Incremental-recompilation differential suite: byte-identity against
+# from-scratch compiles over the benchmark corpus, randomized edit
+# sequences (the stress matrix), frontier-exactness counters, statefile
+# corruption tolerance and mode-change fallback (see DESIGN.md §10), plus
+# the incr/front unit tests. Also exercised by plain `make test`; this
+# target runs the suite alone, verbosely, with the edit-speedup benchmark.
+incr:
+	$(GO) test -run 'TestIncremental' -v ./
+	$(GO) test ./internal/incr ./internal/front
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalRecompile' -benchtime 1x ./
+
 # Longer fuzzing session for the front-end containment and differential
 # compile targets. FUZZTIME can be raised for overnight runs.
 FUZZTIME ?= 60s
@@ -46,10 +57,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./
 
 # The gate every change must pass: formatting, vet, build, the race-enabled
-# test suite, a one-iteration smoke of the compile and simulator benchmarks
-# (both engines) plus the obs-disabled zero-allocation check, and a short
-# smoke of both fuzz targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race
+# test suite (./... includes the incr and front packages, so the
+# incremental driver's concurrency runs under the detector), the
+# incremental differential suite, a one-iteration smoke of the compile,
+# incremental and simulator benchmarks (both engines) plus the
+# obs-disabled zero-allocation check, and a short smoke of both fuzz
+# targets (seed corpus + a few seconds of mutation).
+ci: fmt-check vet build race incr
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./

@@ -11,6 +11,7 @@ import (
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
+	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
 
@@ -173,6 +174,64 @@ func BenchmarkCompile(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkIncrementalRecompile measures the single-function-edit rebuild,
+// the workload incremental recompilation exists for: each iteration makes
+// a never-seen body edit to one function of the large suite program and
+// rebuilds. "full" pays the whole pipeline (the new source misses every
+// cache); "incremental" carries the state forward and replans only the
+// summary-delta frontier. Compare the two interleaved, same session.
+func BenchmarkIncrementalRecompile(b *testing.B) {
+	base := benchprog.Large()
+	mode := ModeC()
+	names := definedFuncs(b, base.Source)
+	victim := names[0]
+	for _, n := range names {
+		if n != "main" {
+			victim = n
+		}
+	}
+	uniq := 0
+	edit := func() string {
+		uniq++
+		return bodyEdit(b, base.Source, victim, fmt.Sprintf("print(%d);", 500000+uniq))
+	}
+
+	// Edit synthesis re-lexes the source to splice the chunk; that is the
+	// editor's cost, not the compiler's, so it runs off the clock in both
+	// variants.
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := edit()
+			b.StartTimer()
+			if _, err := Compile(src, mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		res, err := pipeline.BuildIncremental(base.Source, mode, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.State
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			src := edit()
+			b.StartTimer()
+			res, err := pipeline.BuildIncremental(src, mode, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Incremental {
+				b.Fatalf("fell back to a full rebuild: %s", res.FallbackReason)
+			}
+			st = res.State
+		}
+	})
 }
 
 // BenchmarkCompileFrontend isolates the mode-independent prefix of the

@@ -123,6 +123,101 @@ func TestChaosStrict(t *testing.T) {
 	}
 }
 
+// TestChaosEscalationNoDoubleDemotion audits the degradation ladder's
+// second rung: a procedure that fails again AFTER being demoted to the
+// open convention must escalate to replan-nosw — never be "demoted" a
+// second time (demoting an open procedure is a no-op that would loop the
+// repair forever) and never fail the compile. A persistent fault
+// (Times=2) makes the victim's save plan lose a site once in the original
+// plan and once more in the post-demotion replan, so the validator
+// catches the same procedure on two consecutive rounds.
+//
+// The test runs under mode E (7 callee-saved registers): that pressure is
+// what leaves closed procedures with shrink-wrapped local save sites for
+// the fault to drop — under the full register file a closed procedure's
+// saves all migrate to its ancestors and the point is only eligible on
+// open procedures, which the first rung replans without demoting.
+func TestChaosEscalationNoDoubleDemotion(t *testing.T) {
+	forceParallel(t)
+	oracle := oracleOutputs(t)
+
+	escalated := false
+	for _, b := range benchprog.All() {
+		// Candidate victims: closed procedures with a save/restore plan in
+		// the clean compile — the procedures PointDropSave is eligible for
+		// both before and (if they still save registers as open procs)
+		// after demotion.
+		clean, err := Compile(b.Source, ModeE())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var candidates []string
+		for _, f := range clean.Module.Funcs {
+			fp := clean.Plan.Funcs[f]
+			if fp != nil && !fp.Open && fp.Plan != nil && !fp.Plan.Regs().Empty() {
+				candidates = append(candidates, f.Name)
+			}
+		}
+
+		for _, victim := range candidates {
+			plan := &faultinject.Plan{
+				Point: faultinject.PointDropSave, Func: victim, Times: 2,
+			}
+			faultinject.Arm(plan)
+			prog, err := Compile(b.Source, ModeE())
+			faultinject.Disarm()
+			if err != nil {
+				t.Fatalf("%s/%s: persistent fault must degrade, not fail: %v",
+					b.Name, victim, err)
+			}
+
+			var actions []string
+			for _, d := range prog.Demotions {
+				if d.Func == victim {
+					actions = append(actions, d.Action)
+				} else {
+					t.Errorf("%s/%s: intervention on bystander %s (%s)",
+						b.Name, victim, d.Func, d.Action)
+				}
+			}
+			demotes := 0
+			for _, a := range actions {
+				if a == "demote" {
+					demotes++
+				}
+			}
+			if demotes > 1 {
+				t.Errorf("%s/%s: procedure demoted twice: %v", b.Name, victim, actions)
+			}
+			// The full escalation: first round demotes the closed victim,
+			// second round finds the demoted (now open) victim failing again
+			// and must take the nosw rung. Victims whose open-convention
+			// replan has no save sites left absorb only the first firing and
+			// stop at ["demote"]; they still prove no-double-demotion above.
+			if len(actions) >= 2 {
+				if actions[0] != "demote" || actions[1] != "replan-nosw" {
+					t.Errorf("%s/%s: ladder took %v, want [demote replan-nosw]",
+						b.Name, victim, actions)
+				} else {
+					escalated = true
+				}
+			}
+
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", b.Name, victim, err)
+			}
+			if !sameOutput(res.Output, oracle[b.Name]) {
+				t.Fatalf("%s/%s: escalated compile diverged from the interpreter oracle",
+					b.Name, victim)
+			}
+		}
+	}
+	if !escalated {
+		t.Error("no victim in the suite exercised the demote -> replan-nosw escalation")
+	}
+}
+
 // TestDemotionReplanDeterminism pins an injected fault to one procedure and
 // requires the degraded compile to be byte-identical across repeated runs
 // and across the parallel and sequential pipelines: graceful degradation

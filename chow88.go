@@ -28,6 +28,7 @@ package chow88
 import (
 	"chow88/internal/core"
 	"chow88/internal/front"
+	"chow88/internal/incr"
 	"chow88/internal/interp"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
@@ -110,6 +111,40 @@ func Compile(src string, mode Mode) (*Program, error) {
 	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code, Demotions: demotions}
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: demotions}
+	}
+	return p, nil
+}
+
+// CompileIncremental compiles src like Compile, reusing the previous
+// build recorded in the statefile at statePath when one exists. Only the
+// summary-delta frontier of the edit — the changed functions plus the
+// callers reached by a changed register-usage summary or argument-location
+// vector — is replanned and re-emitted; everything else's plan and code
+// are reused verbatim, and the output is byte-identical to a full
+// Compile. A missing, corrupt, version-skewed or mode-mismatched
+// statefile (or any internal surprise on the incremental path) degrades
+// to a full recompile, never to a wrong program. The statefile is
+// rewritten to describe the new build when possible.
+func CompileIncremental(src string, mode Mode, statePath string) (*Program, error) {
+	s := obs.Current()
+	snap := s.Snap()
+	var sp obs.Span
+	if s != nil {
+		sp = s.Span(obs.PhaseCompile, "CompileIncremental "+mode.Name)
+	}
+	st, _ := incr.Load(statePath) // any load failure means "no previous state"
+	res, err := pipeline.BuildIncremental(src, mode, st)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if res.State != nil {
+		// A failed save only costs the next round its head start.
+		_ = res.State.Save(statePath)
+	}
+	p := &Program{Mode: mode, Module: res.Plan.Module, Plan: res.Plan, Code: res.Prog, Demotions: res.Demotions}
+	if s != nil {
+		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: res.Demotions}
 	}
 	return p, nil
 }

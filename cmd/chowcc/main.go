@@ -20,6 +20,12 @@
 //	-plan            print the call graph, open/closed classification and
 //	                 register summaries
 //	-open f,g        force the named procedures open (separate compilation)
+//	-incremental=f.state
+//	                 reuse the previous build recorded in the statefile; only
+//	                 the edit's summary-delta frontier is recompiled, and the
+//	                 statefile is rewritten for the next run (created if
+//	                 missing; corruption or mode changes fall back to a full
+//	                 recompile)
 //	-strict          fail on linkage-invariant violations instead of degrading
 //	-validate=false  disable the linkage-invariant validator
 //	-stats           print compile and run metrics tables on stderr
@@ -89,6 +95,7 @@ func main() {
 	doIR := flag.Bool("ir", false, "print optimized IR")
 	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
 	openList := flag.String("open", "", "comma-separated procedures to force open")
+	incrPath := flag.String("incremental", "", "statefile enabling incremental recompilation (created if missing)")
 	strict := flag.Bool("strict", false, "fail on linkage-invariant violations instead of degrading")
 	validate := flag.Bool("validate", true, "run the linkage-invariant validator after planning and codegen")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for -run (0 = none)")
@@ -139,7 +146,13 @@ func main() {
 	mode.Strict = *strict
 	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, *regs)
 
-	prog, err := chow88.CompileUnits(mode, units...)
+	var prog *chow88.Program
+	var err error
+	if *incrPath != "" {
+		prog, err = chow88.CompileUnitsIncremental(mode, *incrPath, units...)
+	} else {
+		prog, err = chow88.CompileUnits(mode, units...)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -64,8 +64,17 @@ func (v Violation) String() string {
 // Plan validates a finished allocation plan. It returns every violation
 // found (nil when the plan is clean), in deterministic module order.
 func Plan(pp *core.ProgramPlan) []Violation {
-	c := &checker{pp: pp, cfg: pp.Mode.Config}
-	for _, f := range pp.Module.Funcs {
+	return PlanFuncs(pp, pp.Module.Funcs, SummariesOf(pp))
+}
+
+// PlanFuncs validates the plans of just fs, resolving callee summaries
+// through summaryOf instead of pp.Funcs. Incremental recompilation checks
+// only the re-planned slice this way: reused callees have no FuncPlan in
+// the shell ProgramPlan, but their linkage is known from the previous
+// build's state, and summaryOf supplies it.
+func PlanFuncs(pp *core.ProgramPlan, fs []*ir.Func, summaryOf func(*ir.Func) *core.Summary) []Violation {
+	c := &checker{pp: pp, cfg: pp.Mode.Config, summaryOf: summaryOf}
+	for _, f := range fs {
 		if f.Extern {
 			continue
 		}
@@ -79,10 +88,22 @@ func Plan(pp *core.ProgramPlan) []Violation {
 	return c.viols
 }
 
+// SummariesOf resolves callee summaries from the plans recorded in pp —
+// the default source for whole-module validation.
+func SummariesOf(pp *core.ProgramPlan) func(*ir.Func) *core.Summary {
+	return func(f *ir.Func) *core.Summary {
+		if fp := pp.Funcs[f]; fp != nil {
+			return fp.Summary
+		}
+		return nil
+	}
+}
+
 type checker struct {
-	pp    *core.ProgramPlan
-	cfg   *mach.Config
-	viols []Violation
+	pp        *core.ProgramPlan
+	cfg       *mach.Config
+	summaryOf func(*ir.Func) *core.Summary
+	viols     []Violation
 }
 
 func (c *checker) report(fn, rule, format string, args ...any) {
@@ -104,19 +125,29 @@ func (c *checker) calleePlan(call *ir.Instr) *core.FuncPlan {
 	return c.pp.Funcs[call.Callee]
 }
 
+// calleeSummary returns the summary a direct call's callee publishes, per
+// the checker's summary source; nil for indirect/extern callees and open
+// procedures.
+func (c *checker) calleeSummary(call *ir.Instr) *core.Summary {
+	if call.Op != ir.OpCall || call.Callee == nil || call.Callee.Extern {
+		return nil
+	}
+	return c.summaryOf(call.Callee)
+}
+
 // derivedClobber recomputes, from the plans on record, the registers a call
 // may destroy — the ground truth the oracle's answers are checked against.
 func (c *checker) derivedClobber(call *ir.Instr) mach.RegSet {
-	if cp := c.calleePlan(call); cp != nil && cp.Summary != nil {
-		return cp.Summary.Used
+	if s := c.calleeSummary(call); s != nil {
+		return s.Used
 	}
 	return c.defaultClobber()
 }
 
 // derivedArgs recomputes where a call's outgoing arguments belong.
 func (c *checker) derivedArgs(call *ir.Instr) []regalloc.ArgLoc {
-	if cp := c.calleePlan(call); cp != nil && cp.Summary != nil {
-		return cp.Summary.Args
+	if s := c.calleeSummary(call); s != nil {
+		return s.Args
 	}
 	return regalloc.DefaultArgLocs(c.cfg, len(call.Args))
 }

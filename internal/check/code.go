@@ -21,7 +21,22 @@ import (
 // checks in Plan: a miscompiled save/restore schedule that slipped past
 // planning shows up here as an unbalanced or uncovered path.
 func Code(pp *core.ProgramPlan, prog *mcode.Program) []Violation {
-	c := &checker{pp: pp, cfg: pp.Mode.Config}
+	return CodeFuncs(pp, prog, nil, SummariesOf(pp))
+}
+
+// CodeFuncs validates the emitted code of just fs (nil means every
+// non-extern function), resolving callee summaries through summaryOf. The
+// incremental pipeline checks only freshly emitted functions this way,
+// with summaries of reused callees supplied from the previous build.
+func CodeFuncs(pp *core.ProgramPlan, prog *mcode.Program, fs []*ir.Func, summaryOf func(*ir.Func) *core.Summary) []Violation {
+	c := &checker{pp: pp, cfg: pp.Mode.Config, summaryOf: summaryOf}
+	var restrict map[*ir.Func]bool
+	if fs != nil {
+		restrict = make(map[*ir.Func]bool, len(fs))
+		for _, f := range fs {
+			restrict[f] = true
+		}
+	}
 	entryFunc := make(map[int]*ir.Func, len(prog.Funcs))
 	for i, fi := range prog.Funcs {
 		if i < len(pp.Module.Funcs) && !fi.Extern {
@@ -32,7 +47,11 @@ func Code(pp *core.ProgramPlan, prog *mcode.Program) []Violation {
 		if fi.Extern || i >= len(pp.Module.Funcs) {
 			continue
 		}
-		fp := pp.Funcs[pp.Module.Funcs[i]]
+		f := pp.Module.Funcs[i]
+		if restrict != nil && !restrict[f] {
+			continue
+		}
+		fp := pp.Funcs[f]
 		if fp == nil {
 			continue // Plan already reported the missing plan
 		}
@@ -112,8 +131,8 @@ func (c *checker) checkCodeFunc(fi *mcode.FuncInfo, fp *core.FuncPlan, prog *mco
 				c.checkWrite(fn, pc, ins.Rd, &d, exempt)
 			case mcode.JAL:
 				if callee, ok := entryFunc[ins.Target]; ok {
-					if cp := c.pp.Funcs[callee]; cp != nil && cp.Summary != nil {
-						clob := cp.Summary.Used & c.cfg.CalleeSaved
+					if s := c.summaryOf(callee); s != nil {
+						clob := s.Used & c.cfg.CalleeSaved
 						clob.ForEach(func(r mach.Reg) {
 							if d[r] == 0 && !exempt.Has(r) {
 								c.report(fn, RuleCodeClobber,

@@ -33,14 +33,60 @@ import (
 // which keeps the image byte-identical to sequential generation
 // (pp.Mode.Sequential).
 func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
+	codes, err := EmitFuncs(pp)
+	if err != nil {
+		return nil, err
+	}
+	return Link(pp.Module, codes)
+}
+
+// FuncCode is one function's emitted body as a relocatable artifact:
+// branch targets (J/BEQZ/BNEZ) are function-relative offsets, and call
+// sites (JAL) carry the callee's 1-based module index in Imm until Link
+// resolves them against the final layout. Because the body depends only on
+// the function's own plan and its callees' published linkage, incremental
+// recompilation can reuse a FuncCode verbatim whenever neither changed.
+type FuncCode struct {
+	Code      []mcode.Instr
+	FrameSize int
+	// Blocks records each basic block's start offset, function-relative,
+	// in f.Blocks order.
+	Blocks []mcode.BlockSpan
+}
+
+// EmitFunc generates one function's relocatable body from its plan.
+func EmitFunc(pp *core.ProgramPlan, fp *core.FuncPlan) (*FuncCode, error) {
+	g, err := emitOne(pp, fp)
+	if err != nil {
+		return nil, err
+	}
+	return g.funcCode()
+}
+
+// funcCode freezes the generator's buffer into a FuncCode, resolving the
+// intra-function branch fixups to function-relative targets.
+func (g *fngen) funcCode() (*FuncCode, error) {
+	fc := &FuncCode{Code: g.code, FrameSize: g.frameSize}
+	for _, fx := range g.fixes {
+		start, ok := g.blockStart[fx.blk]
+		if !ok {
+			return nil, fmt.Errorf("codegen: unresolved block %s", fx.blk.Name)
+		}
+		fc.Code[fx.at].Target = start
+	}
+	for _, blk := range g.f.Blocks {
+		fc.Blocks = append(fc.Blocks, mcode.BlockSpan{BlockID: blk.ID, Start: g.blockStart[blk]})
+	}
+	return fc, nil
+}
+
+// EmitFuncs emits every non-extern function's body (concurrently unless
+// pp.Mode.Sequential), returning one FuncCode per module function, nil for
+// externs. The first error in module order wins, for a deterministic
+// message.
+func EmitFuncs(pp *core.ProgramPlan) ([]*FuncCode, error) {
 	os := obs.Current()
-	prog := &mcode.Program{DataSize: pp.Module.DataSize()}
-
-	// Startup stub: call main, then exit.
-	prog.Code = append(prog.Code, mcode.Instr{Op: mcode.JAL}, mcode.Instr{Op: mcode.EXIT})
-
-	// Emit all function bodies into per-function buffers.
-	gens := make([]*fngen, len(pp.Module.Funcs))
+	codes := make([]*FuncCode, len(pp.Module.Funcs))
 	errs := make([]error, len(pp.Module.Funcs))
 	genOne := func(tid, i int) {
 		f := pp.Module.Funcs[i]
@@ -53,13 +99,13 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 			return
 		}
 		sp := os.SpanTID(obs.PhaseCodegen, f.Name, tid)
-		g, err := emitOne(pp, fp)
+		fc, err := EmitFunc(pp, fp)
 		sp.End()
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		gens[i] = g
+		codes[i] = fc
 		os.Add(obs.CCodegenFuncs, 1)
 	}
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && !pp.Mode.Sequential {
@@ -89,14 +135,12 @@ func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
 			genOne(0, i)
 		}
 	}
-	// First error in module order wins, for a deterministic message.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	return link(pp, prog, gens, os)
+	return codes, nil
 }
 
 // FuncError attributes a code-generation failure to one function, so the
@@ -138,51 +182,47 @@ func emitOne(pp *core.ProgramPlan, fp *core.FuncPlan) (g *fngen, err error) {
 	return g, nil
 }
 
-// link concatenates the emitted bodies in module order and resolves
-// cross-function references.
-func link(pp *core.ProgramPlan, prog *mcode.Program, gens []*fngen, os *obs.Session) (*mcode.Program, error) {
-
-	// Link: concatenate the buffers in module order and record the layout.
+// Link concatenates the emitted bodies in module order (one FuncCode per
+// m.Funcs entry, nil for externs) and resolves cross-function references.
+// The FuncCodes are read-only: relocation copies each instruction, so the
+// same artifacts can be relinked into later images (incremental builds).
+func Link(m *ir.Module, codes []*FuncCode) (*mcode.Program, error) {
+	os := obs.Current()
 	linkSpan := os.Span(obs.PhaseLink, "link")
 	defer linkSpan.End()
-	type pending struct {
-		fi    *mcode.FuncInfo
-		fixes []fixup
-		base  int
-	}
-	var fixAll []pending
-	for i, f := range pp.Module.Funcs {
+	prog := &mcode.Program{DataSize: m.DataSize()}
+
+	// Startup stub: call main, then exit.
+	prog.Code = append(prog.Code, mcode.Instr{Op: mcode.JAL}, mcode.Instr{Op: mcode.EXIT})
+
+	for i, f := range m.Funcs {
 		fi := &mcode.FuncInfo{Name: f.Name, Extern: f.Extern}
 		prog.Funcs = append(prog.Funcs, fi)
 		if f.Extern {
 			fi.Entry = -1
 			continue
 		}
-		g := gens[i]
-		fi.Entry = len(prog.Code)
-		fi.FrameSize = g.frameSize
-		prog.Code = append(prog.Code, g.code...)
-		fi.End = len(prog.Code)
-		for _, blk := range f.Blocks {
-			fi.Blocks = append(fi.Blocks, mcode.BlockSpan{
-				BlockID: blk.ID,
-				Start:   fi.Entry + g.blockStart[blk],
-			})
+		fc := codes[i]
+		if fc == nil {
+			return nil, &FuncError{Func: f.Name, Err: fmt.Errorf("no code emitted")}
 		}
-		fixAll = append(fixAll, pending{fi: fi, fixes: g.fixes, base: fi.Entry})
+		fi.Entry = len(prog.Code)
+		fi.FrameSize = fc.FrameSize
+		for _, in := range fc.Code {
+			switch in.Op {
+			case mcode.J, mcode.BEQZ, mcode.BNEZ:
+				in.Target += fi.Entry
+			}
+			prog.Code = append(prog.Code, in)
+		}
+		fi.End = len(prog.Code)
+		for _, bs := range fc.Blocks {
+			fi.Blocks = append(fi.Blocks, mcode.BlockSpan{BlockID: bs.BlockID, Start: fi.Entry + bs.Start})
+		}
 	}
 
-	// Resolve intra-function branch targets.
-	for _, p := range fixAll {
-		for _, fx := range p.fixes {
-			start, ok := fx.g.blockStart[fx.blk]
-			if !ok {
-				return nil, fmt.Errorf("codegen: unresolved block %s", fx.blk.Name)
-			}
-			prog.Code[p.base+fx.at].Target = p.base + start
-		}
-	}
-	// Resolve JAL targets (including the startup stub).
+	// Resolve JAL targets (the startup stub, Imm 0, is skipped here and
+	// pointed at main below).
 	for i := range prog.Code {
 		in := &prog.Code[i]
 		if in.Op == mcode.JAL && in.Imm != 0 {
@@ -197,7 +237,7 @@ func link(pp *core.ProgramPlan, prog *mcode.Program, gens []*fngen, os *obs.Sess
 	}
 	// The stub calls main.
 	mainIdx := -1
-	for i, f := range pp.Module.Funcs {
+	for i, f := range m.Funcs {
 		if f.Name == "main" {
 			mainIdx = i
 		}
@@ -218,7 +258,6 @@ func link(pp *core.ProgramPlan, prog *mcode.Program, gens []*fngen, os *obs.Sess
 type fixup struct {
 	at  int // index into g.code
 	blk *ir.Block
-	g   *fngen
 }
 
 type fngen struct {
@@ -276,7 +315,7 @@ func newFngen(pp *core.ProgramPlan, fp *core.FuncPlan) *fngen {
 func (g *fngen) emit(in mcode.Instr) { g.code = append(g.code, in) }
 
 func (g *fngen) emitBranch(op mcode.OpCode, rs mach.Reg, blk *ir.Block) {
-	g.fixes = append(g.fixes, fixup{at: len(g.code), blk: blk, g: g})
+	g.fixes = append(g.fixes, fixup{at: len(g.code), blk: blk})
 	g.emit(mcode.Instr{Op: op, Rs: rs})
 }
 

@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chow88/internal/check"
+	"chow88/internal/core"
+	"chow88/internal/front"
+	"chow88/internal/ir"
+	"chow88/internal/progen"
+)
+
+// bruteAffected recomputes Affected from first principles: rediscover the
+// direct-call edges by scanning the IR (independently of the callgraph
+// package), close the root set over transitive callers with a worklist,
+// and order the members bottom-up. It must agree with
+// ProgramPlan.Affected exactly — the degradation ladder and the
+// incremental driver both trust that slice to cover every plan that
+// consumed a root's linkage, and nothing else.
+func bruteAffected(pp *core.ProgramPlan, roots []*ir.Func) []*ir.Func {
+	callers := map[*ir.Func]map[*ir.Func]bool{}
+	for _, f := range pp.Module.Funcs {
+		if f.Extern {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					if callers[in.Callee] == nil {
+						callers[in.Callee] = map[*ir.Func]bool{}
+					}
+					callers[in.Callee][f] = true
+				}
+			}
+		}
+	}
+	in := map[*ir.Func]bool{}
+	work := append([]*ir.Func{}, roots...)
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if in[f] {
+			continue
+		}
+		in[f] = true
+		for c := range callers[f] {
+			work = append(work, c)
+		}
+	}
+	var out []*ir.Func
+	for _, f := range pp.Graph.PostOrder {
+		if in[f] && !f.Extern {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func names(fs []*ir.Func) string {
+	s := ""
+	for _, f := range fs {
+		s += f.Name + " "
+	}
+	return s
+}
+
+// TestAffectedMatchesBruteForce: over randomized progen call graphs,
+// Affected of every single root and of random multi-root sets equals the
+// brute-force transitive-caller closure, in bottom-up order.
+func TestAffectedMatchesBruteForce(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := progen.Generate(seed, progen.DefaultConfig())
+			mod, err := front.Build(src, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp := core.PlanModule(mod, core.ModeC())
+
+			var defined []*ir.Func
+			for _, f := range mod.Funcs {
+				if !f.Extern {
+					defined = append(defined, f)
+				}
+			}
+
+			for _, f := range defined {
+				got := pp.Affected(f)
+				want := bruteAffected(pp, []*ir.Func{f})
+				if names(got) != names(want) {
+					t.Errorf("Affected(%s):\n got %s\nwant %s", f.Name, names(got), names(want))
+				}
+			}
+
+			rng := rand.New(rand.NewSource(seed * 7919))
+			for trial := 0; trial < 10; trial++ {
+				var roots []*ir.Func
+				for _, f := range defined {
+					if rng.Intn(3) == 0 {
+						roots = append(roots, f)
+					}
+				}
+				if len(roots) == 0 {
+					continue
+				}
+				got := pp.Affected(roots...)
+				want := bruteAffected(pp, roots)
+				if names(got) != names(want) {
+					t.Errorf("Affected(%s):\n got %s\nwant %s", names(roots), names(got), names(want))
+				}
+			}
+		})
+	}
+}
+
+// TestReplanTouchesOnlyAffected: demoting a procedure and replanning its
+// Affected slice must leave every other procedure's plan untouched — the
+// same *FuncPlan pointers — while the replanned slice gets fresh plans
+// that still satisfy the linkage validator. This is the isolation the
+// repair path (and the incremental driver's frontier reuse) relies on.
+func TestReplanTouchesOnlyAffected(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := progen.Generate(seed, progen.DefaultConfig())
+			mod, err := front.Build(src, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp := core.PlanModule(mod, core.ModeC())
+			if viols := check.Plan(pp); len(viols) != 0 {
+				t.Fatalf("clean plan has violations: %v", viols)
+			}
+
+			// Victim: the first closed procedure in bottom-up order, so the
+			// demotion genuinely changes published linkage.
+			var victim *ir.Func
+			for _, f := range pp.Graph.PostOrder {
+				if !f.Extern && !pp.Graph.Open[f] {
+					victim = f
+					break
+				}
+			}
+			if victim == nil {
+				t.Skip("no closed procedure in this graph")
+			}
+
+			before := map[*ir.Func]*core.FuncPlan{}
+			for f, fp := range pp.Funcs {
+				before[f] = fp
+			}
+
+			pp.Demote(victim, "isolation test")
+			affected := pp.Affected(victim)
+			inSlice := map[*ir.Func]bool{}
+			for _, f := range affected {
+				inSlice[f] = true
+			}
+			if err := pp.Replan(affected, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			for f, old := range before {
+				now, ok := pp.Funcs[f]
+				if !ok {
+					t.Errorf("%s lost its plan", f.Name)
+					continue
+				}
+				if inSlice[f] {
+					if now == old {
+						t.Errorf("%s is in the affected slice but kept its stale plan", f.Name)
+					}
+				} else if now != old {
+					t.Errorf("%s is outside the affected slice but was replanned", f.Name)
+				}
+			}
+			if !pp.Funcs[victim].Open {
+				t.Errorf("replanned victim %s is still closed", victim.Name)
+			}
+			if viols := check.Plan(pp); len(viols) != 0 {
+				t.Errorf("replanned slice violates linkage invariants: %v", viols)
+			}
+		})
+	}
+}

@@ -12,8 +12,8 @@
 //
 // Injection is option-gated and costs one atomic pointer load per
 // per-function site when disarmed; nothing in this package runs per
-// instruction. Each armed Plan fires at most once (a transient fault), so
-// graceful degradation always converges.
+// instruction. An armed Plan fires a bounded number of times (once unless
+// Plan.Times raises it), so graceful degradation always converges.
 package faultinject
 
 import (
@@ -76,23 +76,29 @@ func Points() []Point {
 	return out
 }
 
-// Plan arms one injection. A Plan fires at most once: the first eligible
-// site claims it atomically, so a degraded re-plan of the same procedure
-// compiles clean (the fault is transient, as real cosmic-ray or
-// heisenbug-class faults are).
+// Plan arms one injection. By default a Plan fires at most once: the first
+// eligible site claims it atomically, so a degraded re-plan of the same
+// procedure compiles clean (the fault is transient, as real cosmic-ray or
+// heisenbug-class faults are). Times raises the budget for persistent
+// faults — the degradation tests use Times=2 to make a procedure fail
+// again after its first demotion and prove the ladder escalates instead of
+// demoting twice.
 type Plan struct {
 	// Point selects the injection site.
 	Point Point
 	// Func restricts the injection to the named procedure; empty targets
 	// the first eligible site encountered.
 	Func string
+	// Times is how many claims the plan honors before going quiet; zero
+	// means once (the historical transient-fault default).
+	Times int
 
-	fired atomic.Bool
+	fires atomic.Int32
 	site  atomic.Pointer[string]
 }
 
-// Fired reports whether the plan's fault was actually injected.
-func (p *Plan) Fired() bool { return p != nil && p.fired.Load() }
+// Fired reports whether the plan's fault was injected at least once.
+func (p *Plan) Fired() bool { return p != nil && p.fires.Load() > 0 }
 
 // Site returns the name of the procedure the fault landed in; empty until
 // Fired.
@@ -125,8 +131,8 @@ func Disarm() *Plan {
 	return p
 }
 
-// claim atomically fires the armed plan if it targets (pt, fn) and has not
-// fired yet.
+// claim atomically fires the armed plan if it targets (pt, fn) and still
+// has firing budget left.
 func claim(pt Point, fn string) bool {
 	p := armed.Load()
 	if p == nil || p.Point != pt {
@@ -135,12 +141,21 @@ func claim(pt Point, fn string) bool {
 	if p.Func != "" && p.Func != fn {
 		return false
 	}
-	if !p.fired.CompareAndSwap(false, true) {
-		return false
+	limit := int32(p.Times)
+	if limit <= 0 {
+		limit = 1
 	}
-	s := fn
-	p.site.Store(&s)
-	return true
+	for {
+		n := p.fires.Load()
+		if n >= limit {
+			return false
+		}
+		if p.fires.CompareAndSwap(n, n+1) {
+			s := fn
+			p.site.Store(&s)
+			return true
+		}
+	}
 }
 
 // CorruptSummary returns used with one bit cleared when the armed plan

@@ -1,0 +1,170 @@
+package front
+
+import (
+	"fmt"
+	"strings"
+
+	"chow88/internal/lexer"
+	"chow88/internal/token"
+)
+
+// Source chunking for incremental recompilation: a CW compilation unit is
+// split into its top-level declarations — globals, extern declarations and
+// function definitions — each carrying its exact source slice. Hashing the
+// slices individually tells the incremental driver which functions an edit
+// touched, and splicing unchanged definitions down to `extern` heads
+// synthesizes the mini-sources that re-front-end only the changed ones.
+//
+// The chunker is deliberately conservative: any source it cannot carve
+// cleanly (lexer errors, unexpected top-level tokens, duplicate names)
+// returns an error, and the driver falls back to a full rebuild. Comments
+// and whitespace between chunks are not part of any chunk, so edits there
+// invalidate nothing; comments inside a chunk change its hash (harmless
+// over-invalidation, never under-invalidation).
+
+// ChunkKind classifies a top-level declaration.
+type ChunkKind int
+
+const (
+	// ChunkGlobal is a top-level `var` declaration.
+	ChunkGlobal ChunkKind = iota
+	// ChunkExtern is an `extern func` declaration.
+	ChunkExtern
+	// ChunkFunc is a function definition.
+	ChunkFunc
+)
+
+func (k ChunkKind) String() string {
+	switch k {
+	case ChunkGlobal:
+		return "global"
+	case ChunkExtern:
+		return "extern"
+	case ChunkFunc:
+		return "func"
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// Chunk is one top-level declaration with its exact source text.
+type Chunk struct {
+	Name string
+	Kind ChunkKind
+	// Text is the declaration's source slice, from its first token through
+	// its closing `;` or `}`.
+	Text string
+	// Head is, for ChunkFunc, the signature text up to (excluding) the
+	// body's `{`, trimmed — exactly what `extern <Head>;` re-declares.
+	// Empty for other kinds.
+	Head string
+}
+
+// ChunkSource carves src into its top-level declaration chunks, in source
+// order. Function and extern names must be unique (duplicates are a sema
+// error anyway, but the chunker must not silently merge them).
+func ChunkSource(src string) ([]Chunk, error) {
+	toks, errs := lexer.ScanAll(src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("chunk: %w", errs[0])
+	}
+	starts := []int{0}
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			starts = append(starts, i+1)
+		}
+	}
+	offset := func(p token.Pos) (int, error) {
+		if p.Line < 1 || p.Line > len(starts) {
+			return 0, fmt.Errorf("chunk: token line %d outside source", p.Line)
+		}
+		off := starts[p.Line-1] + p.Col - 1
+		if off < 0 || off > len(src) {
+			return 0, fmt.Errorf("chunk: token offset %d outside source", off)
+		}
+		return off, nil
+	}
+
+	var chunks []Chunk
+	seen := map[string]bool{}
+	i := 0
+	for toks[i].Kind != token.EOF {
+		start, err := offset(toks[i].Pos)
+		if err != nil {
+			return nil, err
+		}
+		var c Chunk
+		switch toks[i].Kind {
+		case token.KwVar:
+			if toks[i+1].Kind != token.Ident {
+				return nil, fmt.Errorf("chunk: var without a name at line %d", toks[i].Pos.Line)
+			}
+			c = Chunk{Name: toks[i+1].Lit, Kind: ChunkGlobal}
+			for toks[i].Kind != token.Semi {
+				if toks[i].Kind == token.EOF {
+					return nil, fmt.Errorf("chunk: unterminated var declaration of %s", c.Name)
+				}
+				i++
+			}
+		case token.KwExtern:
+			if toks[i+1].Kind != token.KwFunc || toks[i+2].Kind != token.Ident {
+				return nil, fmt.Errorf("chunk: malformed extern declaration at line %d", toks[i].Pos.Line)
+			}
+			c = Chunk{Name: toks[i+2].Lit, Kind: ChunkExtern}
+			for toks[i].Kind != token.Semi {
+				if toks[i].Kind == token.EOF {
+					return nil, fmt.Errorf("chunk: unterminated extern declaration of %s", c.Name)
+				}
+				i++
+			}
+		case token.KwFunc:
+			if toks[i+1].Kind != token.Ident {
+				return nil, fmt.Errorf("chunk: func without a name at line %d", toks[i].Pos.Line)
+			}
+			c = Chunk{Name: toks[i+1].Lit, Kind: ChunkFunc}
+			// The signature contains no braces (there are no aggregate type
+			// literals), so the first `{` opens the body; match it to depth
+			// zero.
+			for toks[i].Kind != token.LBrace {
+				if toks[i].Kind == token.EOF {
+					return nil, fmt.Errorf("chunk: function %s has no body", c.Name)
+				}
+				i++
+			}
+			bodyStart, err := offset(toks[i].Pos)
+			if err != nil {
+				return nil, err
+			}
+			c.Head = strings.TrimSpace(src[start:bodyStart])
+			depth := 0
+			for {
+				switch toks[i].Kind {
+				case token.LBrace:
+					depth++
+				case token.RBrace:
+					depth--
+				case token.EOF:
+					return nil, fmt.Errorf("chunk: unbalanced braces in function %s", c.Name)
+				}
+				if depth == 0 {
+					break
+				}
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("chunk: unexpected top-level token %s at line %d", toks[i].Kind, toks[i].Pos.Line)
+		}
+		// The closing token (`;` or `}`) is a single byte.
+		end, err := offset(toks[i].Pos)
+		if err != nil {
+			return nil, err
+		}
+		c.Text = src[start : end+1]
+		if seen[c.Name] {
+			return nil, fmt.Errorf("chunk: duplicate declaration of %s", c.Name)
+		}
+		seen[c.Name] = true
+		chunks = append(chunks, c)
+		i++
+	}
+	return chunks, nil
+}

@@ -1,0 +1,161 @@
+package front
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/ir"
+)
+
+const cacheProbeSrc = `
+var g int;
+extern func helper(x int) int;
+func work(a int, b int) int {
+	var t int;
+	t = 2 + 3;
+	g = a * t + (10 - 4);
+	if (1 < 2) {
+		g = g + b;
+	}
+	return g + helper(a + 0);
+}
+func main() { print(work(3, 4)); }
+`
+
+// TestCacheKeyCoversOptionBits is the compile-cache key audit as a
+// regression test. The cache key is (source hash, optimize) — the audit's
+// claim is that optimize is the ONLY compilation option that reaches the
+// front-end prefix (parse → sema → lower → -O2); everything else (IPRA,
+// shrink-wrap, register configuration, force-open lists, validation,
+// splitting, sequential) belongs to allocation and later phases. Two
+// checks enforce it:
+//
+//  1. colliding options must not collide in the cache: the optimize=true
+//     and optimize=false entries for one source are distinct, whichever
+//     order they are populated and however often they alternate;
+//  2. a cache hit is byte-identical to a cold build of the same
+//     (source, optimize) pair, so no other option can have leaked into
+//     the cached master.
+//
+// If a future option does affect the prefix, it must join the key; this
+// test is where the omission shows up as a collision.
+func TestCacheKeyCoversOptionBits(t *testing.T) {
+	// A source no other test compiles, so this test owns its cache entries.
+	src := cacheProbeSrc + "// cache-key audit probe\n"
+
+	cold := map[bool]string{}
+	for _, optimize := range []bool{true, false} {
+		m, err := Build(src, optimize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[optimize] = ir.ModuleString(m)
+	}
+	if cold[true] == cold[false] {
+		t.Fatal("optimizer output equals unoptimized output; the collision check below would be vacuous")
+	}
+
+	// Alternate the optimize bit through the cached path: first calls
+	// populate, later calls hit. Any keying mistake returns the wrong
+	// module for one of the combinations.
+	for i, optimize := range []bool{true, false, false, true, true, false} {
+		m, err := Module(src, optimize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ir.ModuleString(m); got != cold[optimize] {
+			t.Fatalf("call %d (optimize=%v): cached module differs from the cold build", i, optimize)
+		}
+	}
+}
+
+// TestChunkSource pins the chunker's carving: every top-level declaration
+// becomes one chunk with its exact source slice, function chunks carry
+// their extern-able heads, and surrounding trivia belongs to no chunk.
+func TestChunkSource(t *testing.T) {
+	src := "// leading comment, no chunk\nvar g int;\n\nvar arr [4]int;\n" +
+		"extern func helper(x int) int;\n\n/* between */\n" +
+		"func work(a int, b int) int {\n\tg = a; // inside\n\treturn b;\n}\n" +
+		"func main() { print(work(1, 2)); }\n// trailing\n"
+	chunks, err := ChunkSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		kind ChunkKind
+		text string
+		head string
+	}{
+		{"g", ChunkGlobal, "var g int;", ""},
+		{"arr", ChunkGlobal, "var arr [4]int;", ""},
+		{"helper", ChunkExtern, "extern func helper(x int) int;", ""},
+		{"work", ChunkFunc, "func work(a int, b int) int {\n\tg = a; // inside\n\treturn b;\n}", "func work(a int, b int) int"},
+		{"main", ChunkFunc, "func main() { print(work(1, 2)); }", "func main()"},
+	}
+	if len(chunks) != len(want) {
+		t.Fatalf("got %d chunks, want %d", len(chunks), len(want))
+	}
+	for i, w := range want {
+		c := chunks[i]
+		if c.Name != w.name || c.Kind != w.kind {
+			t.Errorf("chunk %d: got %s/%s, want %s/%s", i, c.Kind, c.Name, w.kind, w.name)
+		}
+		if c.Text != w.text {
+			t.Errorf("chunk %s text:\n got %q\nwant %q", w.name, c.Text, w.text)
+		}
+		if c.Head != w.head {
+			t.Errorf("chunk %s head: got %q, want %q", w.name, c.Head, w.head)
+		}
+		if !strings.Contains(src, c.Text) {
+			t.Errorf("chunk %s text is not a slice of the source", w.name)
+		}
+	}
+}
+
+// TestChunkSourceRejects: anything the chunker cannot carve cleanly is an
+// error (the incremental driver then falls back to a full rebuild).
+func TestChunkSourceRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate-func":       "func f() int { return 1; }\nfunc f() int { return 2; }",
+		"duplicate-mixed-kind": "var f int;\nfunc f() int { return 1; }",
+		"duplicate-extern":     "extern func f(x int) int;\nfunc f(x int) int { return x; }",
+		"unterminated-var":     "var g int",
+		"unterminated-body":    "func f() int { return 1;",
+		"missing-body":         "func f() int",
+		"stray-token":          "return 3;",
+		"malformed-extern":     "extern g;",
+		"lexer-error":          "func f() int { return 1 @ 2; }",
+	}
+	for name, src := range cases {
+		if _, err := ChunkSource(src); err == nil {
+			t.Errorf("%s: chunker accepted %q", name, src)
+		}
+	}
+}
+
+// TestChunkSourceRoundTrip: rejoining the chunks of a program must
+// compile to the same IR as the original (trivia between chunks carries
+// no meaning).
+func TestChunkSourceRoundTrip(t *testing.T) {
+	chunks, err := ChunkSource(cacheProbeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, c := range chunks {
+		b.WriteString(c.Text)
+		b.WriteString("\n")
+	}
+	orig, err := Build(cacheProbeSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoined, err := Build(b.String(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.ModuleString(orig) != ir.ModuleString(rejoined) {
+		t.Fatal("rejoined chunks lower to different IR than the original source")
+	}
+}

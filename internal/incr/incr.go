@@ -1,0 +1,428 @@
+// Package incr implements summary-delta incremental recompilation.
+//
+// The paper's one-pass bottom-up discipline makes incrementality natural:
+// a procedure's plan depends only on its own IR and the published linkage
+// (register-usage summary + argument locations) of its direct callees. So
+// after an edit, only the textually changed functions and the functions
+// reached by a *linkage delta* chain need replanning — the moment a
+// replanned callee republishes byte-identical linkage, propagation stops
+// and every caller's previous plan and emitted code are reused verbatim.
+//
+// Apply is deliberately paranoid: any surprise — unchunkable source, a
+// mini-compile error, a name that fails to resolve, a validator violation,
+// a panic — abandons the incremental attempt with a reason, and the caller
+// falls back to a full recompile. Degradation is always to a slower
+// correct build, never to a wrong one.
+package incr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"chow88/internal/check"
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/front"
+	"chow88/internal/ir"
+	"chow88/internal/mach"
+	"chow88/internal/mcode"
+	"chow88/internal/obs"
+)
+
+// Outcome is a successful incremental build.
+type Outcome struct {
+	Plan  *core.ProgramPlan
+	Prog  *mcode.Program
+	State *State // refreshed state for the new revision
+	// Replanned and Reused count defined functions; their sum is the number
+	// of function definitions in the new source.
+	Replanned int
+	Reused    int
+}
+
+// Apply recompiles src against the previous build's state. On any failure
+// it returns a nil Outcome and the reason; the caller must then fall back
+// to a full rebuild. A panic anywhere inside is contained and reported the
+// same way.
+func Apply(src string, mode core.Mode, st *State) (out *Outcome, reason string) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, reason = nil, fmt.Sprintf("panic during incremental build: %v", r)
+		}
+	}()
+	o, err := apply(src, mode, st)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return o, ""
+}
+
+func apply(src string, mode core.Mode, st *State) (*Outcome, error) {
+	os := obs.Current()
+	sp := os.Span(obs.PhaseIncr, "incremental")
+	defer sp.End()
+
+	if st == nil {
+		return nil, fmt.Errorf("no previous state")
+	}
+	if fp := ModeFingerprint(mode); fp != st.ModeFP {
+		return nil, fmt.Errorf("mode changed (%s -> %s)", st.ModeFP, fp)
+	}
+	chunks, err := front.ChunkSource(src)
+	if err != nil {
+		return nil, err
+	}
+	if globalsFingerprint(chunks) != st.GlobalsFP {
+		return nil, fmt.Errorf("global variables changed")
+	}
+
+	// Function declarations of the new revision, in declaration order, and
+	// the state indexed by name.
+	var funcChunks []front.Chunk
+	for _, c := range chunks {
+		if c.Kind != front.ChunkGlobal {
+			funcChunks = append(funcChunks, c)
+		}
+	}
+	oldByName := make(map[string]*FuncState, len(st.Funcs))
+	oldIndex := make(map[string]int, len(st.Funcs))
+	for i := range st.Funcs {
+		oldByName[st.Funcs[i].Name] = &st.Funcs[i]
+		oldIndex[st.Funcs[i].Name] = i
+	}
+
+	// referencers[name] lists the previous revision's functions whose code
+	// bakes something about name in: call sites (argument marshalling and
+	// the callee's module index) and address takes (the index again).
+	referencers := map[string][]string{}
+	for i := range st.Funcs {
+		fs := &st.Funcs[i]
+		for _, n := range fs.Callees {
+			referencers[n] = append(referencers[n], fs.Name)
+		}
+		for _, n := range fs.AddrTakes {
+			referencers[n] = append(referencers[n], fs.Name)
+		}
+	}
+
+	// Diff. A function is "changed" when its front-end output cannot be
+	// assumed identical: its own chunk changed, or something its lowered
+	// body bakes in moved — a referenced signature, a referenced function's
+	// module index, a referenced declaration's existence or kind.
+	changed := map[string]bool{}
+	markReferencers := func(name string) {
+		for _, r := range referencers[name] {
+			changed[r] = true
+		}
+	}
+	newNames := make(map[string]bool, len(funcChunks))
+	for i, c := range funcChunks {
+		newNames[c.Name] = true
+		old, ok := oldByName[c.Name]
+		if !ok {
+			changed[c.Name] = true // new declaration; callers must mention it textually
+			continue
+		}
+		if (old.Extern && c.Kind != front.ChunkExtern) || (!old.Extern && c.Kind != front.ChunkFunc) {
+			changed[c.Name] = true
+			markReferencers(c.Name)
+			continue
+		}
+		if sha256.Sum256([]byte(c.Text)) != old.ChunkHash {
+			changed[c.Name] = true
+			if sha256.Sum256([]byte(c.Head)) != old.HeadHash {
+				markReferencers(c.Name)
+			}
+		}
+		// Module indices are 1-based declaration positions; JAL and funcaddr
+		// operands encode them, so reused code is only valid for functions
+		// whose every referenced index is unmoved.
+		if oldIndex[c.Name] != i {
+			markReferencers(c.Name)
+		}
+	}
+	for name := range oldByName {
+		if !newNames[name] {
+			markReferencers(name) // removed; referencers must have changed textually too
+		}
+	}
+
+	// Mini-source: the new revision with every unchanged function body
+	// elided. Globals and changed declarations appear verbatim, unchanged
+	// definitions shrink to their extern heads (main, which cannot be
+	// extern, to an empty body). Declaration order — hence module indices
+	// and data layout — is preserved exactly.
+	var mini strings.Builder
+	for _, c := range chunks {
+		switch {
+		case c.Kind == front.ChunkGlobal, changed[c.Name]:
+			mini.WriteString(c.Text)
+		case c.Kind == front.ChunkExtern:
+			mini.WriteString(c.Text)
+		case c.Name == "main":
+			mini.WriteString(c.Head)
+			mini.WriteString(" { }")
+		default:
+			mini.WriteString("extern ")
+			mini.WriteString(c.Head)
+			mini.WriteString(";")
+		}
+		mini.WriteString("\n")
+	}
+	mod, err := front.Build(mini.String(), mode.Optimize)
+	if err != nil {
+		return nil, fmt.Errorf("mini-compile: %w", err)
+	}
+	if len(mod.Funcs) != len(funcChunks) {
+		return nil, fmt.Errorf("mini-compile produced %d functions, want %d", len(mod.Funcs), len(funcChunks))
+	}
+	for i, f := range mod.Funcs {
+		if f.Name != funcChunks[i].Name {
+			return nil, fmt.Errorf("mini-compile declaration order mismatch at %d: %s != %s", i, f.Name, funcChunks[i].Name)
+		}
+	}
+
+	// Turn the mini-module into the working module: every elided function
+	// gets a stub body that reproduces its previous call-graph contribution
+	// (distinct callees in first-call order, indirect-call flag), so
+	// callgraph.Build classifies and orders functions exactly as a full
+	// build of the real source would.
+	stub := map[*ir.Func]bool{}
+	for i, c := range funcChunks {
+		f := mod.Funcs[i]
+		if c.Kind != front.ChunkFunc || changed[c.Name] {
+			continue
+		}
+		old := oldByName[c.Name]
+		if old == nil || old.Extern {
+			return nil, fmt.Errorf("no reusable state for %s", c.Name)
+		}
+		f.Extern = false
+		f.Blocks = nil
+		b := f.NewBlock()
+		for _, callee := range old.Callees {
+			t := mod.Lookup(callee)
+			if t == nil {
+				return nil, fmt.Errorf("stub %s: callee %s not in module", c.Name, callee)
+			}
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpCall, Callee: t})
+		}
+		if old.HasIndirect {
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpCallInd})
+		}
+		b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet})
+		for _, name := range old.AddrTakes {
+			t := mod.Lookup(name)
+			if t == nil {
+				return nil, fmt.Errorf("stub %s: address-taken %s not in module", c.Name, name)
+			}
+			t.AddressTaken = true
+		}
+		stub[f] = true
+	}
+
+	pp := core.NewShellPlan(mod, mode)
+
+	// Classification flips (open <-> closed) change a function's linkage
+	// even with identical text; preset them into the replan frontier. Seed
+	// the previous summaries for functions closed in both revisions — the
+	// bottom-up walk replans any callee before a caller could consume its
+	// seed, so stale seeds are never read.
+	classDelta := map[*ir.Func]bool{}
+	for _, f := range mod.Funcs {
+		if f.Extern {
+			continue
+		}
+		old := oldByName[f.Name]
+		if old == nil || old.Extern {
+			continue
+		}
+		if pp.Graph.Open[f] != old.Open {
+			classDelta[f] = true
+		}
+		if old.HasSummary && !pp.Graph.Open[f] {
+			pp.SeedSummary(f, &core.Summary{Used: mach.RegSet(old.SummaryUsed), Args: old.SummaryArgs})
+		}
+	}
+
+	// The walk: bottom-up over the call graph, replanning exactly the
+	// functions that are changed, class-flipped, or downstream of a
+	// linkage delta. Everything else keeps its seeded summary and previous
+	// code. Stubs entering the frontier are first rebuilt for real
+	// (mini-compile of just that function, transplanted in).
+	//
+	// Closed callees always precede their callers in PostOrder (a closed
+	// function is in no cycle), so their deltas are discovered in time as
+	// the walk replans them. Callees in a cycle with their caller offer no
+	// such guarantee — but cycle members are open, whose only possible
+	// linkage change is a class flip, and those are known before the walk:
+	// pre-seeding them makes delta propagation exact.
+	linkDelta := map[*ir.Func]bool{}
+	for f := range classDelta {
+		linkDelta[f] = true
+	}
+	var frontier []*ir.Func
+	reused := 0
+	for _, f := range pp.Order {
+		if f.Extern {
+			continue
+		}
+		old := oldByName[f.Name]
+		replan := changed[f.Name] || classDelta[f]
+		if !replan {
+			for _, c := range pp.Graph.Callees[f] {
+				if linkDelta[c] {
+					replan = true
+					os.Add(obs.CIncrDeltaPropagations, 1)
+					break
+				}
+			}
+		}
+		if !replan {
+			os.Add(obs.CIncrFuncsReused, 1)
+			reused++
+			continue
+		}
+		if stub[f] {
+			if err := demandCompile(chunks, mode, mod, f); err != nil {
+				return nil, err
+			}
+			delete(stub, f)
+			os.Add(obs.CIncrDemandCompiles, 1)
+		}
+		fp, err := pp.PlanOne(f)
+		if err != nil {
+			return nil, fmt.Errorf("replan %s: %w", f.Name, err)
+		}
+		newLink := core.EncodeLinkage(pp.Graph.Open[f], fp.Summary)
+		if old != nil && !old.Extern && bytes.Equal(newLink, old.Linkage) {
+			os.Add(obs.CIncrSummaryCutoffs, 1)
+		} else {
+			linkDelta[f] = true
+		}
+		frontier = append(frontier, f)
+	}
+	os.Add(obs.CIncrFuncsReplanned, int64(len(frontier)))
+	os.SetMax(obs.GIncrFrontier, int64(len(frontier)))
+
+	// Resolve callee summaries for validation: fresh plans first, then the
+	// previous build's publications for reused functions.
+	summaryOf := func(f *ir.Func) *core.Summary {
+		if fp := pp.Funcs[f]; fp != nil {
+			return fp.Summary
+		}
+		if old := oldByName[f.Name]; old != nil && old.HasSummary && !pp.Graph.Open[f] {
+			return &core.Summary{Used: mach.RegSet(old.SummaryUsed), Args: old.SummaryArgs}
+		}
+		return nil
+	}
+	if mode.Validate {
+		if viols := check.PlanFuncs(pp, frontier, summaryOf); len(viols) > 0 {
+			return nil, fmt.Errorf("plan validation: %s", viols[0])
+		}
+	}
+
+	// Emit the frontier, reuse everything else's previous code verbatim,
+	// and link. (There is no degradation ladder here: a code-check failure
+	// means the full pipeline should handle this revision.)
+	codes := make([]*codegen.FuncCode, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		if f.Extern {
+			continue
+		}
+		if fp := pp.Funcs[f]; fp != nil {
+			codes[i], err = codegen.EmitFunc(pp, fp)
+			if err != nil {
+				return nil, fmt.Errorf("emit %s: %w", f.Name, err)
+			}
+			continue
+		}
+		old := oldByName[f.Name]
+		if old == nil || old.Code == nil {
+			return nil, fmt.Errorf("no reusable code for %s", f.Name)
+		}
+		codes[i] = old.Code
+		os.Add(obs.CIncrCodeReused, 1)
+	}
+	prog, err := codegen.Link(mod, codes)
+	if err != nil {
+		return nil, err
+	}
+	if mode.Validate {
+		if viols := check.CodeFuncs(pp, prog, frontier, summaryOf); len(viols) > 0 {
+			return nil, fmt.Errorf("code validation: %s", viols[0])
+		}
+	}
+
+	// Refresh the state: replanned functions are scanned and recorded
+	// fresh, reused ones carry their previous entries (with the new
+	// revision's hashes, which equal the old ones by construction).
+	nst := &State{ModeFP: st.ModeFP, GlobalsFP: st.GlobalsFP}
+	for i, f := range mod.Funcs {
+		c := funcChunks[i]
+		fs := FuncState{
+			Name:      f.Name,
+			Extern:    f.Extern,
+			ChunkHash: sha256.Sum256([]byte(c.Text)),
+			HeadHash:  sha256.Sum256([]byte(c.Head)),
+			Head:      c.Head,
+		}
+		if !f.Extern {
+			if fp := pp.Funcs[f]; fp != nil {
+				scanBody(f, &fs)
+				fs.Open = pp.Graph.Open[f]
+				setLinkage(&fs, fp.Summary)
+			} else {
+				old := oldByName[f.Name]
+				fs.Callees = old.Callees
+				fs.AddrTakes = old.AddrTakes
+				fs.HasIndirect = old.HasIndirect
+				fs.Open = old.Open
+				fs.HasSummary = old.HasSummary
+				fs.SummaryUsed = old.SummaryUsed
+				fs.SummaryArgs = old.SummaryArgs
+				fs.Linkage = old.Linkage
+			}
+			fs.Code = codes[i]
+		}
+		nst.Funcs = append(nst.Funcs, fs)
+	}
+
+	return &Outcome{Plan: pp, Prog: prog, State: nst, Replanned: len(frontier), Reused: reused}, nil
+}
+
+// demandCompile rebuilds the real body of a textually unchanged function
+// that was pulled into the replan frontier by a callee's linkage delta:
+// mini-compile a source with only that one definition kept, then
+// transplant the resulting body into the working module's stub.
+func demandCompile(chunks []front.Chunk, mode core.Mode, mod *ir.Module, f *ir.Func) error {
+	var mini strings.Builder
+	for _, c := range chunks {
+		switch {
+		case c.Kind == front.ChunkGlobal, c.Kind == front.ChunkExtern, c.Name == f.Name:
+			mini.WriteString(c.Text)
+		case c.Name == "main":
+			mini.WriteString(c.Head)
+			mini.WriteString(" { }")
+		default:
+			mini.WriteString("extern ")
+			mini.WriteString(c.Head)
+			mini.WriteString(";")
+		}
+		mini.WriteString("\n")
+	}
+	m, err := front.Build(mini.String(), mode.Optimize)
+	if err != nil {
+		return fmt.Errorf("demand-compile %s: %w", f.Name, err)
+	}
+	src := m.Lookup(f.Name)
+	if src == nil || src.Extern {
+		return fmt.Errorf("demand-compile %s: definition missing from mini-module", f.Name)
+	}
+	if err := ir.TransplantFunc(mod, f, src); err != nil {
+		return err
+	}
+	return nil
+}

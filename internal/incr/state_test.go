@@ -1,0 +1,134 @@
+package incr
+
+import (
+	"crypto/sha256"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chow88/internal/codegen"
+	"chow88/internal/core"
+	"chow88/internal/regalloc"
+)
+
+func sampleState() *State {
+	return &State{
+		ModeFP:    ModeFingerprint(core.ModeC()),
+		GlobalsFP: sha256.Sum256([]byte("var g int;")),
+		Funcs: []FuncState{
+			{
+				Name:      "helper",
+				Extern:    true,
+				ChunkHash: sha256.Sum256([]byte("extern func helper(x int) int;")),
+				HeadHash:  sha256.Sum256([]byte("")),
+				Head:      "",
+				Linkage:   nil,
+				Code:      nil,
+			},
+			{
+				Name:        "work",
+				ChunkHash:   sha256.Sum256([]byte("func work(a int) int { return helper(a); }")),
+				HeadHash:    sha256.Sum256([]byte("func work(a int) int")),
+				Head:        "func work(a int) int",
+				Callees:     []string{"helper"},
+				AddrTakes:   []string{"helper"},
+				HasIndirect: true,
+				Open:        false,
+				HasSummary:  true,
+				SummaryUsed: 0x00ff00f0,
+				SummaryArgs: []regalloc.ArgLoc{{InReg: true, Reg: 4}},
+				Linkage:     []byte{1, 0xf0, 0x00, 0xff, 0x00, 1, 1, 4, 0, 0, 0, 0},
+				Code:        &codegen.FuncCode{FrameSize: 16},
+			},
+		},
+	}
+}
+
+// TestStateRoundTrip: Save then Load reproduces the state exactly.
+func TestStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.state")
+	st := sampleState()
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Saving over an existing statefile replaces it cleanly.
+	st.Funcs = st.Funcs[:1]
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Funcs) != 1 {
+		t.Errorf("overwrite not visible: %d funcs, want 1", len(got.Funcs))
+	}
+}
+
+// TestModeFingerprint: every output-relevant mode axis separates states;
+// Sequential — the one axis that cannot change output — does not.
+func TestModeFingerprint(t *testing.T) {
+	modes := map[string]core.Mode{
+		"base": core.ModeBase(),
+		"A":    core.ModeA(),
+		"B":    core.ModeB(),
+		"C":    core.ModeC(),
+		"D":    core.ModeD(),
+		"E":    core.ModeE(),
+	}
+	fps := map[string]string{}
+	for name, m := range modes {
+		fps[name] = ModeFingerprint(m)
+	}
+	for a, fa := range fps {
+		for b, fb := range fps {
+			if a != b && fa == fb {
+				t.Errorf("modes %s and %s share fingerprint %q", a, b, fa)
+			}
+		}
+	}
+
+	c := core.ModeC()
+	base := ModeFingerprint(c)
+
+	seq := c
+	seq.Sequential = !seq.Sequential
+	if ModeFingerprint(seq) != base {
+		t.Error("Sequential must not affect the fingerprint (pipelines are byte-identical)")
+	}
+
+	fo := c
+	fo.ForceOpen = []string{"b", "a"}
+	fo2 := c
+	fo2.ForceOpen = []string{"a", "b"}
+	if ModeFingerprint(fo) != ModeFingerprint(fo2) {
+		t.Error("ForceOpen order must not affect the fingerprint")
+	}
+	if ModeFingerprint(fo) == base {
+		t.Error("ForceOpen contents must affect the fingerprint")
+	}
+
+	axes := map[string]func(*core.Mode){
+		"IPRA":             func(m *core.Mode) { m.IPRA = !m.IPRA },
+		"ShrinkWrap":       func(m *core.Mode) { m.ShrinkWrap = !m.ShrinkWrap },
+		"Optimize":         func(m *core.Mode) { m.Optimize = !m.Optimize },
+		"DisableSplitting": func(m *core.Mode) { m.DisableSplitting = !m.DisableSplitting },
+		"Validate":         func(m *core.Mode) { m.Validate = !m.Validate },
+		"Strict":           func(m *core.Mode) { m.Strict = !m.Strict },
+	}
+	for name, flip := range axes {
+		m := core.ModeC()
+		flip(&m)
+		if ModeFingerprint(m) == base {
+			t.Errorf("flipping %s must change the fingerprint", name)
+		}
+	}
+}

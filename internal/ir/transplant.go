@@ -1,0 +1,60 @@
+package ir
+
+import "fmt"
+
+// TransplantFunc replaces dst's body with a deep copy of src's, remapping
+// every cross-function and global reference by name onto dstMod's objects.
+// Incremental recompilation uses it to drop a freshly mini-compiled
+// function body into the working module without rebuilding anything else:
+// the source function comes from a throwaway module whose other
+// definitions are extern stubs, so only names connect it to the real one.
+//
+// dst keeps its Name and AddressTaken flag (the driver maintains those);
+// Returns comes from src and Extern is cleared. Every referenced callee
+// and global must exist in dstMod under the same name — the transplant is
+// rejected (dst untouched) otherwise, and the driver falls back to a full
+// rebuild.
+func TransplantFunc(dstMod *Module, dst, src *Func) error {
+	fmap := make(map[*Func]*Func)
+	gmap := make(map[*Global]*Global)
+	dstGlobals := make(map[string]*Global, len(dstMod.Globals))
+	for _, g := range dstMod.Globals {
+		dstGlobals[g.Name] = g
+	}
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			if in.Callee != nil {
+				if _, ok := fmap[in.Callee]; !ok {
+					t := dstMod.Lookup(in.Callee.Name)
+					if t == nil {
+						return fmt.Errorf("transplant %s: callee %s not in destination module", src.Name, in.Callee.Name)
+					}
+					fmap[in.Callee] = t
+				}
+			}
+			for _, g := range []*Global{in.Global, in.Arr.Global} {
+				if g == nil {
+					continue
+				}
+				if _, ok := gmap[g]; !ok {
+					t := dstGlobals[g.Name]
+					if t == nil {
+						return fmt.Errorf("transplant %s: global %s not in destination module", src.Name, g.Name)
+					}
+					if t.Addr != g.Addr || t.Size != g.Size {
+						return fmt.Errorf("transplant %s: global %s laid out differently (addr %d/%d size %d/%d)",
+							src.Name, g.Name, g.Addr, t.Addr, g.Size, t.Size)
+					}
+					gmap[g] = t
+				}
+			}
+		}
+	}
+	dst.Params, dst.Blocks, dst.LocalArrays, dst.temps = nil, nil, nil, nil
+	dst.Returns = src.Returns
+	dst.Extern = false
+	dst.nextTemp = src.nextTemp
+	dst.nextBlock = src.nextBlock
+	cloneFuncInto(src, dst, fmap, gmap)
+	return nil
+}

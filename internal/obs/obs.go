@@ -76,6 +76,14 @@ const (
 	CSimTailInlined
 	CSimPoolReuse
 	CSimPoolAlloc
+	// Incremental recompilation (internal/incr).
+	CIncrFullRebuild
+	CIncrFuncsReused
+	CIncrFuncsReplanned
+	CIncrSummaryCutoffs
+	CIncrDeltaPropagations
+	CIncrDemandCompiles
+	CIncrCodeReused
 
 	NumCounters
 )
@@ -117,6 +125,14 @@ var counterNames = [NumCounters]string{
 	CSimTailInlined:    "sim.tail_blocks_inlined",
 	CSimPoolReuse:      "sim.mem_pool_reuses",
 	CSimPoolAlloc:      "sim.mem_pool_allocs",
+
+	CIncrFullRebuild:       "incr.full_rebuilds",
+	CIncrFuncsReused:       "incr.funcs_reused",
+	CIncrFuncsReplanned:    "incr.funcs_replanned",
+	CIncrSummaryCutoffs:    "incr.summary_cutoffs",
+	CIncrDeltaPropagations: "incr.delta_propagations",
+	CIncrDemandCompiles:    "incr.demand_compiles",
+	CIncrCodeReused:        "incr.code_reused",
 }
 
 // Name returns the counter's report name.
@@ -132,6 +148,7 @@ const (
 	GPlanWorkers
 	GCodegenWorkers
 	GFrontCacheEntries
+	GIncrFrontier
 
 	NumGauges
 )
@@ -141,6 +158,7 @@ var gaugeNames = [NumGauges]string{
 	GPlanWorkers:       "plan.workers",
 	GCodegenWorkers:    "codegen.workers",
 	GFrontCacheEntries: "front.cache_entries",
+	GIncrFrontier:      "incr.frontier_size",
 }
 
 // Name returns the gauge's report name.
@@ -162,6 +180,7 @@ const (
 	PhaseLink
 	PhasePredecode
 	PhaseRun
+	PhaseIncr
 
 	NumPhases
 )
@@ -178,6 +197,7 @@ var phaseNames = [NumPhases]string{
 	PhaseLink:      "link",
 	PhasePredecode: "predecode",
 	PhaseRun:       "run",
+	PhaseIncr:      "incremental",
 }
 
 // Name returns the phase's span category / report name.

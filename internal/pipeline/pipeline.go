@@ -26,6 +26,8 @@ import (
 	"chow88/internal/check"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/front"
+	"chow88/internal/incr"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
@@ -121,6 +123,76 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 		}
 	}
 	return pp, nil, demotions, &ValidationError{Phase: "validate"}
+}
+
+// BuildIncremental compiles src, reusing as much of the previous build —
+// described by st, from incr.Capture or a statefile — as the edit allows.
+// Unchanged functions whose callees republish byte-identical linkage keep
+// their plans and code verbatim; only the summary-delta frontier is
+// replanned and re-emitted. The output is byte-identical to Build on a
+// full front-end of src.
+//
+// st may be nil (first build). Whenever the incremental path cannot run —
+// no state, a mode change, an edit outside the chunkable structure, any
+// internal surprise, a validation failure — it falls back to a clean full
+// build (counted on obs as incr.full_rebuilds) with FallbackReason set.
+// The returned state describes the new revision for the next round; it is
+// nil when the build degraded (demotions) or the source resists chunking.
+func BuildIncremental(src string, mode core.Mode, st *incr.State) (*IncrementalResult, error) {
+	reason := "no previous state"
+	if st != nil {
+		out, r := incr.Apply(src, mode, st)
+		if out != nil {
+			return &IncrementalResult{
+				Plan: out.Plan, Prog: out.Prog, State: out.State,
+				Incremental: true, Replanned: out.Replanned, Reused: out.Reused,
+			}, nil
+		}
+		reason = r
+	}
+	obs.Current().Add(obs.CIncrFullRebuild, 1)
+	return fullBuildIncremental(src, mode, reason)
+}
+
+// IncrementalResult is BuildIncremental's outcome.
+type IncrementalResult struct {
+	Plan *core.ProgramPlan
+	Prog *mcode.Program
+	// State describes this build for the next incremental round; nil when
+	// none could be captured.
+	State *incr.State
+	// Incremental reports whether the incremental path was taken;
+	// FallbackReason explains a full rebuild ("no previous state" on a
+	// first build), empty otherwise.
+	Incremental    bool
+	FallbackReason string
+	// Replanned/Reused count defined functions on the incremental path.
+	Replanned, Reused int
+	// Demotions from the full build's degradation ladder (always empty on
+	// the incremental path, which does not degrade — it falls back).
+	Demotions []obs.Demotion
+}
+
+// fullBuildIncremental is the fallback: a clean full build plus a state
+// capture for the next round.
+func fullBuildIncremental(src string, mode core.Mode, reason string) (*IncrementalResult, error) {
+	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	pp, prog, demotions, err := Build(mod, mode)
+	if err != nil {
+		return nil, err
+	}
+	res := &IncrementalResult{Plan: pp, Prog: prog, FallbackReason: reason, Demotions: demotions}
+	// A degraded plan reflects this build's repair history, not a function
+	// of the source alone; don't let it seed future incremental rounds.
+	if len(demotions) == 0 {
+		if st, err := incr.Capture(src, mode, pp); err == nil {
+			res.State = st
+		}
+	}
+	return res, nil
 }
 
 // findOffenders runs the staged pipeline until a stage reports failures:

@@ -356,18 +356,23 @@ func (m *machine) interpret(pc int, stopAt []int32) (int, bool, error) {
 			return pc, false, nil
 		}
 		in := &p.Code[pc]
+		// Poll the wall clock before accounting for the instruction about to
+		// execute: deadline expiry must leave Stats describing exactly the
+		// instructions that ran to completion, with no phantom fetch counted.
+		// (The budget check below intentionally keeps its historical
+		// semantics: ErrLimit fires after counting the over-budget fetch.)
+		if st.Instrs >= m.deadlineAt {
+			m.deadlineAt += deadlineStride
+			if time.Now().After(m.deadline) {
+				return 0, true, fmt.Errorf("pc %d: %w", pc, ErrDeadline)
+			}
+		}
 		if counts != nil {
 			counts[pc]++
 		}
 		st.Instrs++
 		if st.Instrs > m.maxInstrs {
 			return 0, true, fmt.Errorf("pc %d: %w", pc, ErrLimit)
-		}
-		if st.Instrs >= m.deadlineAt {
-			m.deadlineAt += deadlineStride
-			if time.Now().After(m.deadline) {
-				return 0, true, fmt.Errorf("pc %d: %w", pc, ErrDeadline)
-			}
 		}
 		st.Cycles++
 		nextPC := pc + 1

@@ -253,3 +253,82 @@ func TestSignedDivisionSemantics(t *testing.T) {
 		t.Errorf("overflow rem = %d", got)
 	}
 }
+
+// TestDeadlinePartialStatsExact pins the boundary semantics of deadline
+// expiry: the partial Stats must describe exactly the instructions that ran
+// to completion, with no phantom fetched-but-unexecuted instruction counted.
+// Ground truth comes from the instruction budget, whose documented semantics
+// execute exactly MaxInstrs instructions and then count the over-budget
+// fetch before failing: a deadline run reporting N executed instructions
+// must match a MaxInstrs=N reference run in Output, InstrCounts and every
+// Stats counter except Instrs itself (where the budget run reads N+1).
+func TestDeadlinePartialStatsExact(t *testing.T) {
+	// An infinite loop with varied cost per instruction — ALU, mul, store,
+	// load, branch — so an off-by-one instruction shows up in several
+	// counters at once, not just Instrs.
+	p := prog(
+		mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 0},
+		// loop:
+		mcode.Instr{Op: mcode.ADD, Rd: mach.T0, Rs: mach.T0, HasImm: true, Imm: 1},
+		mcode.Instr{Op: mcode.MUL, Rd: mach.T1, Rs: mach.T0, HasImm: true, Imm: 3},
+		mcode.Instr{Op: mcode.SW, Rs: mach.T2, Rt: mach.T1, Imm: 1500, Class: mcode.ClassScalar},
+		mcode.Instr{Op: mcode.LW, Rd: mach.T1, Rs: mach.T2, Imm: 1500, Class: mcode.ClassScalar},
+		mcode.Instr{Op: mcode.BNEZ, Rs: mach.T0, Target: 3},
+		mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+	)
+	engines := []struct {
+		name string
+		run  func(*mcode.Program, Options) (*Result, error)
+	}{
+		{"fast", Run},
+		{"reference", RunReference},
+	}
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			// An already-expired deadline fires at the first stride poll,
+			// leaving a partial prefix of the run behind.
+			part, err := e.run(p, Options{Deadline: time.Nanosecond, Profile: true})
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("want ErrDeadline, got %v", err)
+			}
+			n := part.Stats.Instrs
+			if n <= 0 {
+				t.Fatalf("deadline run reports %d executed instructions", n)
+			}
+			ref, err := RunReference(p, Options{MaxInstrs: n, Profile: true})
+			if !errors.Is(err, ErrLimit) {
+				t.Fatalf("want ErrLimit from budget run, got %v", err)
+			}
+			want := ref.Stats
+			want.Instrs-- // the budget run counts its over-budget fetch
+			if part.Stats != want {
+				t.Errorf("partial stats diverge from an exact %d-instruction run:\n got %+v\nwant %+v",
+					n, part.Stats, want)
+			}
+			if len(part.Output) != len(ref.Output) {
+				t.Errorf("output length: got %d want %d", len(part.Output), len(ref.Output))
+			}
+			for i := range part.Output {
+				if part.Output[i] != ref.Output[i] {
+					t.Errorf("output[%d]: got %d want %d", i, part.Output[i], ref.Output[i])
+				}
+			}
+			// InstrCounts must differ only by the budget run's single
+			// phantom fetch at the pc it faulted on.
+			if len(part.InstrCounts) != len(ref.InstrCounts) {
+				t.Fatalf("instr count lengths: got %d want %d", len(part.InstrCounts), len(ref.InstrCounts))
+			}
+			var extra int64
+			for pc := range ref.InstrCounts {
+				d := ref.InstrCounts[pc] - part.InstrCounts[pc]
+				if d < 0 || d > 1 {
+					t.Fatalf("instr counts at pc %d differ by %d", pc, d)
+				}
+				extra += d
+			}
+			if extra != 1 {
+				t.Errorf("budget run should count exactly one phantom fetch, found %d", extra)
+			}
+		})
+	}
+}

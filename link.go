@@ -93,6 +93,18 @@ func CompileUnits(mode Mode, srcs ...string) (*Program, error) {
 	return Compile(ast.Format(linked), mode)
 }
 
+// CompileUnitsIncremental is CompileUnits through the incremental path:
+// the linked program is compiled with CompileIncremental against the
+// statefile at statePath. The linked source is formatted
+// deterministically, so unedited units hash identically across runs.
+func CompileUnitsIncremental(mode Mode, statePath string, srcs ...string) (*Program, error) {
+	linked, err := LinkUnits(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	return CompileIncremental(ast.Format(linked), mode, statePath)
+}
+
 // CompileSeparate compiles the units without cross-unit linking, the
 // paper's separate-compilation regime: every function that other units
 // import (extern) is forced open, so its callers must assume the default
