@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet chaos incr fuzz trace clean
+.PHONY: all build test race bench ci fmt-check vet chaos incr native fuzz trace clean
 
 all: build
 
@@ -49,6 +49,17 @@ incr:
 	$(GO) test ./internal/incr ./internal/front
 	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalRecompile' -benchtime 1x ./
 
+# Native-tier gate: the three-way differential suite (every engine test
+# compares fast and native against the reference oracle), the translation-
+# cache concurrency test under the race detector, and a one-iteration
+# smoke of the native benchmark rows (see DESIGN.md §11). Also exercised
+# by plain `make test` / `make race`; this target runs the native-specific
+# slice alone.
+native:
+	$(GO) test -run 'TestEngines|TestNative|TestXopNames|TestWallClockDeadline|TestDeadlinePartialStatsExact' ./internal/sim ./
+	$(GO) test -race -run 'TestNativeConcurrentRuns' -count=2 ./internal/sim
+	$(GO) test -run '^$$' -bench 'BenchmarkSimNative' -benchtime 1x ./
+
 # Longer fuzzing session for the front-end containment and differential
 # compile targets. FUZZTIME can be raised for overnight runs.
 FUZZTIME ?= 60s
@@ -60,10 +71,10 @@ fuzz:
 # test suite (./... includes the incr and front packages, so the
 # incremental driver's concurrency runs under the detector), the
 # incremental differential suite, a one-iteration smoke of the compile,
-# incremental and simulator benchmarks (both engines) plus the
+# incremental and simulator benchmarks (all three engines) plus the
 # obs-disabled zero-allocation check, and a short smoke of both fuzz
 # targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race incr
+ci: fmt-check vet build race incr native
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./

@@ -10,7 +10,6 @@ import (
 	"chow88/internal/experiments"
 	"chow88/internal/front"
 	"chow88/internal/ir"
-	"chow88/internal/mcode"
 	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
@@ -96,36 +95,47 @@ func BenchmarkFigures(b *testing.B) {
 }
 
 // BenchmarkSim measures raw simulator speed over compiled programs: the
-// predecoded block-batched engine ("fast", the default behind Prog.Run)
-// against the per-instruction reference interpreter. Both engines produce
-// bit-identical Output/Stats/InstrCounts (see TestEnginesBitIdenticalOnSuite);
-// this benchmark measures the speed gap the predecoding buys.
+// predecoded block-batched engine ("fast") against the per-instruction
+// reference interpreter. All engines produce bit-identical
+// Output/Stats/InstrCounts (see TestEnginesBitIdenticalOnSuite); this
+// benchmark measures the speed gap the predecoding buys. The engines are
+// pinned via sim.Options so the rows keep measuring the same tiers across
+// PRs; BenchmarkSimNative runs the closure-threaded tier on identical
+// workloads for apples-to-apples benchstat comparisons.
 func BenchmarkSim(b *testing.B) {
-	benchSimEngines(b, sim.Options{})
+	benchSimEngines(b, sim.Options{}, []string{"fast", "ref"})
+}
+
+// BenchmarkSimNative measures the closure-threaded native tier (the
+// default behind Prog.Run) on the exact workloads of BenchmarkSim.
+func BenchmarkSimNative(b *testing.B) {
+	benchSimEngines(b, sim.Options{}, []string{"native"})
 }
 
 // BenchmarkSimProfile is BenchmarkSim with per-instruction profiling on —
 // the configuration every CompileProfiled training run pays for.
 func BenchmarkSimProfile(b *testing.B) {
-	benchSimEngines(b, sim.Options{Profile: true})
+	benchSimEngines(b, sim.Options{Profile: true}, []string{"native", "fast", "ref"})
 }
 
-func benchSimEngines(b *testing.B, opts sim.Options) {
-	engines := map[string]func(*mcode.Program, sim.Options) (*sim.Result, error){
-		"fast": sim.Run,
-		"ref":  sim.RunReference,
-	}
+func benchSimEngines(b *testing.B, opts sim.Options, engines []string) {
 	for _, p := range compileBenchPrograms() {
 		prog, err := Compile(p.Source, ModeC())
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, engine := range []string{"fast", "ref"} {
-			run := engines[engine]
+		for _, engine := range engines {
+			run := sim.Run
+			o := opts
+			if engine == "ref" {
+				run = sim.RunReference
+			} else {
+				o.Engine = engine
+			}
 			b.Run(fmt.Sprintf("%s/%s", p.Name, engine), func(b *testing.B) {
 				var instrs int64
 				for i := 0; i < b.N; i++ {
-					res, err := run(prog.Code, opts)
+					res, err := run(prog.Code, o)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -14,6 +14,9 @@
 //	-shrinkwrap      enable shrink-wrapping (default true, as under -O2/-O3)
 //	-regs full|caller7|callee7
 //	-run             execute and print the program output and trace stats
+//	-engine=native   execution tier for -run: native (closure-threaded, the
+//	                 default), fast (predecoded block dispatch) or reference
+//	                 (per-instruction oracle); unknown names are rejected
 //	-timeout=10s     wall-clock limit for -run (0 = none)
 //	-S               print the disassembly
 //	-ir              print the optimized IR
@@ -45,6 +48,7 @@
 //	7  machine trap at run time
 //	8  instruction budget exceeded
 //	9  wall-clock deadline exceeded (-timeout)
+//	10 unknown -engine name
 //
 // Every failure prints exactly one structured diagnostic line on stderr:
 // "chowcc: <class>: <detail>".
@@ -73,16 +77,17 @@ import (
 
 // Exit codes, one per failure class.
 const (
-	exitOK       = 0
-	exitInternal = 1
-	exitUsage    = 2
-	exitParse    = 3
-	exitSema     = 4
-	exitValidate = 5
-	exitCodegen  = 6
-	exitTrap     = 7
-	exitBudget   = 8
-	exitDeadline = 9
+	exitOK        = 0
+	exitInternal  = 1
+	exitUsage     = 2
+	exitParse     = 3
+	exitSema      = 4
+	exitValidate  = 5
+	exitCodegen   = 6
+	exitTrap      = 7
+	exitBudget    = 8
+	exitDeadline  = 9
+	exitBadEngine = 10
 )
 
 func main() {
@@ -91,6 +96,7 @@ func main() {
 	sw := flag.Bool("shrinkwrap", true, "enable shrink-wrapping of callee-saved saves/restores")
 	regs := flag.String("regs", "full", "register configuration: full, caller7, callee7")
 	doRun := flag.Bool("run", false, "execute the program on the simulator")
+	engine := flag.String("engine", "", "execution tier for -run: native (default), fast, reference")
 	doAsm := flag.Bool("S", false, "print disassembly")
 	doIR := flag.Bool("ir", false, "print optimized IR")
 	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
@@ -106,6 +112,10 @@ func main() {
 
 	if *stats || *jsonOut || *traceOut != "" {
 		obs.Begin(obs.Options{Trace: *traceOut != ""})
+	}
+
+	if err := sim.ValidateEngine(*engine); err != nil {
+		fatal(err)
 	}
 
 	if flag.NArg() < 1 {
@@ -168,7 +178,7 @@ func main() {
 	}
 	var res *chow88.RunResult
 	if *doRun || *jsonOut || !(*doIR || *doPlan || *doAsm) {
-		res, err = prog.RunWith(chow88.RunOptions{Deadline: *timeout})
+		res, err = prog.RunWith(chow88.RunOptions{Deadline: *timeout, Engine: *engine})
 		if err != nil {
 			fatal(err)
 		}
@@ -291,6 +301,8 @@ func classify(err error) (int, string) {
 		return exitBudget, "instruction budget"
 	case errors.Is(err, sim.ErrDeadline):
 		return exitDeadline, "deadline"
+	case errors.Is(err, sim.ErrBadEngine):
+		return exitBadEngine, "bad engine"
 	}
 	return exitInternal, "internal error"
 }

@@ -25,6 +25,7 @@ func TestClassify(t *testing.T) {
 		{&sim.Trap{Msg: "x", PC: 1}, exitTrap},
 		{fmt.Errorf("pc 3: %w", sim.ErrLimit), exitBudget},
 		{fmt.Errorf("pc 3: %w", sim.ErrDeadline), exitDeadline},
+		{sim.ValidateEngine("turbo"), exitBadEngine},
 		{errors.New("anything else"), exitInternal},
 		// Wrapped variants classify the same way.
 		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), exitParse},

@@ -9,30 +9,37 @@ import (
 	"chow88/internal/sim"
 )
 
-// requireEnginesAgree runs a compiled image on both simulator engines with
-// profiling on and requires bit-identical Output, Stats, InstrCounts and
-// error text — the fidelity contract behind every pixie number the paper's
-// tables report.
+// requireEnginesAgree runs a compiled image on all three simulator tiers
+// with profiling on and requires the fast and native engines bit-identical
+// to the reference oracle — Output, Stats, InstrCounts and error text —
+// the fidelity contract behind every pixie number the paper's tables
+// report. It returns the native tier's result and error.
 func requireEnginesAgree(t *testing.T, label string, prog *Program, opts sim.Options) (*sim.Result, error) {
 	t.Helper()
-	fast, ferr := sim.Run(prog.Code, opts)
 	ref, rerr := sim.RunReference(prog.Code, opts)
-	switch {
-	case (ferr == nil) != (rerr == nil):
-		t.Fatalf("%s: engines disagree on error:\nfast: %v\n ref: %v", label, ferr, rerr)
-	case ferr != nil && ferr.Error() != rerr.Error():
-		t.Fatalf("%s: engines disagree on error text:\nfast: %v\n ref: %v", label, ferr, rerr)
+	var res *sim.Result
+	var err error
+	for _, engine := range []string{"fast", "native"} {
+		o := opts
+		o.Engine = engine
+		res, err = sim.Run(prog.Code, o)
+		switch {
+		case (err == nil) != (rerr == nil):
+			t.Fatalf("%s: %s vs reference disagree on error:\n%s: %v\nref: %v", label, engine, engine, err, rerr)
+		case err != nil && err.Error() != rerr.Error():
+			t.Fatalf("%s: %s vs reference disagree on error text:\n%s: %v\nref: %v", label, engine, engine, err, rerr)
+		}
+		if !reflect.DeepEqual(res.Output, ref.Output) {
+			t.Fatalf("%s: %s output diverged\n%s: %v\nref: %v", label, engine, engine, res.Output, ref.Output)
+		}
+		if res.Stats != ref.Stats {
+			t.Fatalf("%s: %s stats diverged from reference:\n%s", label, engine, res.Stats.Diff(&ref.Stats))
+		}
+		if !reflect.DeepEqual(res.InstrCounts, ref.InstrCounts) {
+			t.Fatalf("%s: %s instruction counts diverged", label, engine)
+		}
 	}
-	if !reflect.DeepEqual(fast.Output, ref.Output) {
-		t.Fatalf("%s: output diverged\nfast: %v\n ref: %v", label, fast.Output, ref.Output)
-	}
-	if fast.Stats != ref.Stats {
-		t.Fatalf("%s: stats diverged\nfast: %+v\n ref: %+v", label, fast.Stats, ref.Stats)
-	}
-	if !reflect.DeepEqual(fast.InstrCounts, ref.InstrCounts) {
-		t.Fatalf("%s: instruction counts diverged", label)
-	}
-	return fast, ferr
+	return res, err
 }
 
 // TestEnginesBitIdenticalOnSuite runs every suite program under all six

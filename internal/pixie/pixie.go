@@ -77,6 +77,35 @@ func (s *Stats) CyclesPerCall() float64 {
 	return float64(s.Cycles) / float64(s.Calls)
 }
 
+// Diff reports how s differs from o, one "counter: got want" line per
+// diverging field, or "" when the two are identical. The simulator's
+// differential tests use it so a divergence names the counters involved
+// instead of dumping two whole structs side by side.
+func (s *Stats) Diff(o *Stats) string {
+	if *s == *o {
+		return ""
+	}
+	var b strings.Builder
+	line := func(name string, got, want int64) {
+		if got != want {
+			fmt.Fprintf(&b, "%-16s %12d != %12d\n", name, got, want)
+		}
+	}
+	line("cycles", s.Cycles, o.Cycles)
+	line("instructions", s.Instrs, o.Instrs)
+	line("calls", s.Calls, o.Calls)
+	line("loads", s.Loads, o.Loads)
+	line("stores", s.Stores, o.Stores)
+	for i := range s.LoadsByClass {
+		line(fmt.Sprintf("loads.class%d", i), s.LoadsByClass[i], o.LoadsByClass[i])
+		line(fmt.Sprintf("stores.class%d", i), s.StoresByClass[i], o.StoresByClass[i])
+	}
+	line("branches", s.Branches, o.Branches)
+	line("taken", s.Taken, o.Taken)
+	line("muldiv", s.MulDiv, o.MulDiv)
+	return b.String()
+}
+
 // PercentReduction returns the percent reduction of new relative to base:
 // positive when new is an improvement (smaller).
 func PercentReduction(base, new int64) float64 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -8,37 +9,49 @@ import (
 	"chow88/internal/mcode"
 )
 
-// runEngines executes p on both engines under identical options and
-// requires bit-identical Output, Stats, InstrCounts and error text. It
-// returns the fast engine's result and error for further assertions.
+// runEngines executes p on all three tiers under identical options and
+// requires the fast and native engines bit-identical — Output, Stats,
+// InstrCounts and error text — to the reference oracle. It returns the
+// native tier's result and error for further assertions.
 func runEngines(t *testing.T, p *mcode.Program, opts Options) (*Result, error) {
 	t.Helper()
-	fast, ferr := Run(p, opts)
 	ref, rerr := RunReference(p, opts)
-	switch {
-	case (ferr == nil) != (rerr == nil):
-		t.Fatalf("engines disagree on error:\nfast: %v\n ref: %v", ferr, rerr)
-	case ferr != nil && ferr.Error() != rerr.Error():
-		t.Fatalf("engines disagree on error text:\nfast: %v\n ref: %v", ferr, rerr)
+	var res *Result
+	var err error
+	for _, engine := range []string{"fast", "native"} {
+		o := opts
+		o.Engine = engine
+		res, err = Run(p, o)
+		switch {
+		case (err == nil) != (rerr == nil):
+			t.Fatalf("%s vs reference disagree on error:\n%s: %v\nref: %v", engine, engine, err, rerr)
+		case err != nil && err.Error() != rerr.Error():
+			t.Fatalf("%s vs reference disagree on error text:\n%s: %v\nref: %v", engine, engine, err, rerr)
+		}
+		if !reflect.DeepEqual(res.Output, ref.Output) {
+			t.Fatalf("%s output diverged:\n%s: %v\nref: %v", engine, engine, res.Output, ref.Output)
+		}
+		if res.Stats != ref.Stats {
+			t.Fatalf("%s stats diverged from reference:\n%s", engine, res.Stats.Diff(&ref.Stats))
+		}
+		if !reflect.DeepEqual(res.InstrCounts, ref.InstrCounts) {
+			t.Fatalf("%s instruction counts diverged:\n%s: %v\nref: %v", engine, engine, res.InstrCounts, ref.InstrCounts)
+		}
 	}
-	if !reflect.DeepEqual(fast.Output, ref.Output) {
-		t.Fatalf("output diverged:\nfast: %v\n ref: %v", fast.Output, ref.Output)
-	}
-	if fast.Stats != ref.Stats {
-		t.Fatalf("stats diverged:\nfast: %+v\n ref: %+v", fast.Stats, ref.Stats)
-	}
-	if !reflect.DeepEqual(fast.InstrCounts, ref.InstrCounts) {
-		t.Fatalf("instruction counts diverged:\nfast: %v\n ref: %v", fast.InstrCounts, ref.InstrCounts)
-	}
-	return fast, ferr
+	return res, err
 }
 
-// requireFastPath asserts that p passes static verification, i.e. the fast
-// engine actually executes the predecoded image rather than falling back.
+// requireFastPath asserts that p passes static verification and native
+// translation, i.e. both block engines actually execute their compiled
+// form of the image rather than falling down the tier ladder.
 func requireFastPath(t *testing.T, p *mcode.Program) {
 	t.Helper()
-	if img, _ := imageFor(p); img == nil {
+	img, _ := imageFor(p)
+	if img == nil {
 		t.Fatalf("image rejected by verify; fast path not exercised:\n%v", mcode.Verify(p))
+	}
+	if ni, reason := nativeFor(p, img); ni == nil {
+		t.Fatalf("native translation declined; closure threading not exercised: %s", reason)
 	}
 }
 
@@ -375,5 +388,56 @@ func TestEnginesSignedDivisionEdge(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res.Output, []int64{-1 << 63, 0}) {
 		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+// TestNativeConcurrentRuns hammers the native tier from many goroutines:
+// a shared program (translation-cache hit path) interleaved with fresh
+// program values (miss path, including the wholesale cache reset once the
+// map fills). Run under the race detector by `make native`, this is the
+// test that holds the cache's locking and the translated closures'
+// statelessness honest.
+func TestNativeConcurrentRuns(t *testing.T) {
+	mk := func() *mcode.Program {
+		return prog(
+			mcode.Instr{Op: mcode.LI, Rd: mach.T0, Imm: 3},
+			// loop:
+			mcode.Instr{Op: mcode.ADD, Rd: mach.T0, Rs: mach.T0, HasImm: true, Imm: -1},
+			mcode.Instr{Op: mcode.BNEZ, Rs: mach.T0, Target: 3},
+			mcode.Instr{Op: mcode.PRINT, Rs: mach.T0},
+			mcode.Instr{Op: mcode.JR, Rs: mach.RA},
+		)
+	}
+	shared := mk()
+	want, werr := RunReference(shared, Options{Profile: true})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	const workers, iters = 8, 40
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < iters; i++ {
+				p := shared
+				if i%3 == 0 {
+					p = mk() // a fresh program value forces a fresh translation
+				}
+				res, err := Run(p, Options{Engine: "native", Profile: true})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d run %d: %v", w, i, err)
+					return
+				}
+				if !reflect.DeepEqual(res.Output, want.Output) || res.Stats != want.Stats {
+					errs <- fmt.Errorf("worker %d run %d diverged:\n%s", w, i, res.Stats.Diff(&want.Stats))
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -70,6 +70,90 @@ func (m *machine) prefixStats(b *block, end int) {
 	}
 }
 
+// flushEnts materializes pixie.Stats, the per-instruction profile counts
+// and the obs dispatch histogram from the per-run block entry counters,
+// then resets the counters so it is safe to resume batching afterwards.
+// Both block engines — the predecoded dispatch loop and the
+// closure-threaded native tier — run on the same entry-counter
+// representation, so this is the single place batched counts become
+// statistics.
+func (m *machine) flushEnts(img *image, ents []entCnt) {
+	st := &m.res.Stats
+	ic := m.res.InstrCounts
+	xcode := img.xcode
+	for bi := range ents {
+		c := ents[bi].count
+		if c == 0 {
+			continue
+		}
+		b := &img.blocks[bi]
+		st.AddN(&b.delta, c)
+		if ic != nil {
+			for i := b.start; i < b.end; i++ {
+				ic[i] += c
+			}
+			for _, tb := range img.tails[bi] {
+				tbb := &img.blocks[tb]
+				for i := tbb.start; i < tbb.end; i++ {
+					ic[i] += c
+				}
+			}
+		}
+		if m.superHits != nil {
+			// Attribute the block's dispatches to its predecoded span
+			// (tail-inlined bodies included — they live in the span).
+			// Never touched in the dispatch loops: the histogram, like
+			// Stats, materializes from the entry counters alone.
+			m.blockEntries += c
+			hi := int32(len(xcode))
+			if bi+1 < len(img.blocks) {
+				hi = img.blocks[bi+1].x0
+			}
+			for k := b.x0; k < hi; k++ {
+				m.superHits[xcode[k].op] += c
+			}
+		}
+		ents[bi].count = 0
+	}
+}
+
+// faultEnts reports a trap with preformatted message msg at original code
+// index fpc inside block bi, replicating the reference interpreter's
+// partial accounting for the faulting instruction: InstrCounts and
+// Instrs/Cycles always tick before any fault there; DIV/REM charge their
+// full latency before the zero check; JALR counts the call before
+// validating the callee. The faulting block's entry is unwound first — it
+// never completed, so its batched delta must not apply.
+func (m *machine) faultEnts(img *image, ents []entCnt, bi int32, fpc int, msg string) error {
+	ents[bi].count--
+	m.flushEnts(img, ents)
+	m.prefixStats(&img.blocks[bi], fpc)
+	st := &m.res.Stats
+	if ic := m.res.InstrCounts; ic != nil {
+		ic[fpc]++
+	}
+	st.Instrs++
+	st.Cycles++
+	switch m.p.Code[fpc].Op {
+	case mcode.DIV, mcode.REM:
+		st.Cycles += 34
+		st.MulDiv++
+	case mcode.JALR:
+		st.Calls++
+	}
+	return &Trap{Msg: msg, PC: fpc}
+}
+
+// spOverEnts reports a stack overflow after the instruction at fpc: the
+// reference interpreter completes the instruction (full statistics) and
+// then checks the floor, so the prefix includes fpc itself.
+func (m *machine) spOverEnts(img *image, ents []entCnt, bi int32, fpc int) error {
+	ents[bi].count--
+	m.flushEnts(img, ents)
+	m.prefixStats(&img.blocks[bi], fpc+1)
+	return m.trap(fpc, "stack overflow (sp %d below floor %d)", m.regs[mach.SP], m.stackFloor)
+}
+
 // runFast executes the program from pc 0 on the predecoded image.
 func (m *machine) runFast(img *image) error {
 	p := m.p
@@ -95,76 +179,19 @@ func (m *machine) runFast(img *image) error {
 	for i, e := range img.ents {
 		ents[i] = entCnt{x0: e.x0, ninstr: e.ninstr}
 	}
-	flush := func() {
-		ic := m.res.InstrCounts
-		for bi := range ents {
-			c := ents[bi].count
-			if c == 0 {
-				continue
-			}
-			b := &img.blocks[bi]
-			st.AddN(&b.delta, c)
-			if ic != nil {
-				for i := b.start; i < b.end; i++ {
-					ic[i] += c
-				}
-				for _, tb := range img.tails[bi] {
-					tbb := &img.blocks[tb]
-					for i := tbb.start; i < tbb.end; i++ {
-						ic[i] += c
-					}
-				}
-			}
-			if m.superHits != nil {
-				// Attribute the block's dispatches to its predecoded span
-				// (tail-inlined bodies included — they live in the span).
-				// Never touched in the dispatch loop: the histogram, like
-				// Stats, materializes from the entry counters alone.
-				m.blockEntries += c
-				hi := int32(len(xcode))
-				if bi+1 < len(img.blocks) {
-					hi = img.blocks[bi+1].x0
-				}
-				for k := b.x0; k < hi; k++ {
-					m.superHits[xcode[k].op] += c
-				}
-			}
-			ents[bi].count = 0
-		}
-	}
+	flush := func() { m.flushEnts(img, ents) }
 
-	// fault reports a trap at original code index fpc inside block bi,
-	// replicating the reference interpreter's partial accounting for the
-	// faulting instruction: InstrCounts and Instrs/Cycles always tick
-	// before any fault there; DIV/REM charge their full latency before the
-	// zero check; JALR counts the call before validating the callee.
+	// fault reports a trap at original code index fpc inside block bi; the
+	// partial-accounting contract lives in machine.faultEnts, shared with
+	// the native tier.
 	fault := func(bi int32, fpc int, format string, args ...any) error {
-		ents[bi].count--
-		flush()
-		m.prefixStats(&img.blocks[bi], fpc)
-		if ic := m.res.InstrCounts; ic != nil {
-			ic[fpc]++
-		}
-		st.Instrs++
-		st.Cycles++
-		switch p.Code[fpc].Op {
-		case mcode.DIV, mcode.REM:
-			st.Cycles += 34
-			st.MulDiv++
-		case mcode.JALR:
-			st.Calls++
-		}
-		return m.trap(fpc, format, args...)
+		return m.faultEnts(img, ents, bi, fpc, fmt.Sprintf(format, args...))
 	}
 
-	// spOver reports a stack overflow after the instruction at fpc: the
-	// reference interpreter completes the instruction (full statistics)
-	// and then checks the floor, so the prefix includes fpc itself.
+	// spOver reports a stack overflow after the instruction at fpc; see
+	// machine.spOverEnts.
 	spOver := func(bi int32, fpc int) error {
-		ents[bi].count--
-		flush()
-		m.prefixStats(&img.blocks[bi], fpc+1)
-		return m.trap(fpc, "stack overflow (sp %d below floor %d)", regs[mach.SP], m.stackFloor)
+		return m.spOverEnts(img, ents, bi, fpc)
 	}
 
 	// instrs mirrors what st.Instrs will be once counts are flushed; the

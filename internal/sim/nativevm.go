@@ -1,0 +1,306 @@
+// The closure-threaded native execution tier. Where the fast engine
+// dispatches predecoded superinstructions through one big switch, the
+// native tier translates each basic block once into directly executable
+// closures — one per superinstruction, specialized by its register and
+// immediate operands at translation time — and resolves every static
+// control edge to a direct *nblock pointer (unconditional edges skip even
+// the terminator call: the block records its successor and the run loop
+// follows the pointer). Blocks that branch back to themselves fuse into
+// self-contained loop closures that keep iterating without returning to
+// the run loop. No opcode is inspected at run time.
+//
+// Accounting is identical to the fast engine by construction: both run on
+// the per-run block entry counters, and machine.flushEnts /
+// machine.faultEnts / machine.spOverEnts (fastvm.go) are the only code
+// that turns those counters into pixie.Stats, InstrCounts and the obs
+// dispatch histogram. The differential suite holds all three tiers
+// bit-identical to RunReference.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"chow88/internal/mcode"
+	"chow88/internal/obs"
+	"chow88/internal/pixie"
+)
+
+// nsig tells runNative why a block body stopped without a successor.
+type nsig uint8
+
+const (
+	// nsExit: the program executed EXIT; flush and return cleanly.
+	nsExit nsig = iota
+	// nsFault: a closure recorded a trap in faultBI/faultPC and the
+	// message fields.
+	nsFault
+	// nsSPOver: a stack-pointer guard tripped (faultBI/faultPC).
+	nsSPOver
+	// nsLeave: control left the code image at leavePC.
+	nsLeave
+	// nsBridge: a register-indirect jump landed mid-block at bridgePC; run
+	// the reference interpreter until control reaches a block head.
+	nsBridge
+)
+
+// nstep executes one non-terminating superinstruction. A false return
+// means a fault was recorded in the context and the block must unwind.
+type nstep func(*nctx) bool
+
+// nblockFn executes a block's terminator (everything after its steps) and
+// returns the successor block, or nil with c.sig saying why.
+type nblockFn func(*nctx) *nblock
+
+// nblock is one translated basic block. The run loop executes steps in
+// order, then either follows next directly (unconditional control — no
+// closure call at all) or calls term. ninstr mirrors the entry table so
+// the per-entry instruction accounting reads from the same cache line as
+// the step slice.
+type nblock struct {
+	steps []nstep
+	// term is nil exactly when the block ends in resolved unconditional
+	// control; then next is its successor. Terminators that compute a
+	// successor (branches, indirect jumps, EXIT, edges that leave the
+	// image) live in term, with next nil.
+	term   nblockFn
+	next   *nblock
+	ninstr int32
+	bi     int32
+}
+
+// nimage is a program's closure-threaded translation. It is immutable
+// after translateNative returns and safe to share across concurrent runs:
+// translated closures capture only translation-time constants (unpacked
+// operands, *nblock successors, the image's runs table), never run state.
+type nimage struct {
+	blocks []nblock
+}
+
+// nctx is the per-run execution context threaded through every closure.
+// All mutable run state lives here or behind m; the closures themselves
+// are stateless, which is what makes the translation cache race-free.
+type nctx struct {
+	regs     *[256]int64
+	mem      []int64
+	memWords int64
+	m        *machine
+	st       *pixie.Stats
+	// ents is the per-run block entry counter table; instrs mirrors what
+	// st.Instrs will be once counts are flushed. maxInstrs and deadlineAt
+	// are copied out of the machine so the per-block admission checks pay
+	// no pointer chase; deadlineAt is kept in sync with m.deadlineAt
+	// around polls and interpreter bridges. Fused self-loop closures
+	// advance ents/instrs directly (see loopTerm in nativetrans.go).
+	ents       []entCnt
+	instrs     int64
+	maxInstrs  int64
+	deadlineAt int64
+	// sig and the fields below carry a block's exit disposition out to
+	// runNative. Fault messages are deferred: closures record a fixed
+	// message or a format plus one operand, and runNative formats on the
+	// (terminal, cold) fault path — keeping fmt out of the closures keeps
+	// them leaf functions.
+	sig      nsig
+	faultBI  int32
+	faultPC  int
+	faultMsg string // fixed-text trap message, or ""
+	faultFmt string // one-verb format when faultMsg is empty
+	faultArg int64  // %d operand for faultFmt
+	faultStr string // %s operand for faultFmt (extern call names)
+	leavePC  int
+	bridgePC int64
+}
+
+// fault records a trap with a fixed message at original code index fpc
+// inside block bi. The false return lets step closures write
+// `return c.fault(...)`.
+func (c *nctx) fault(bi int32, fpc int, msg string) bool {
+	c.sig, c.faultBI, c.faultPC = nsFault, bi, fpc
+	c.faultMsg = msg
+	return false
+}
+
+// faultAddr records a trap whose message formats one integer operand
+// (bad addresses, bad function values).
+func (c *nctx) faultAddr(bi int32, fpc int, format string, arg int64) bool {
+	c.sig, c.faultBI, c.faultPC = nsFault, bi, fpc
+	c.faultMsg, c.faultStr = "", ""
+	c.faultFmt, c.faultArg = format, arg
+	return false
+}
+
+// faultName records a trap whose message formats one string operand.
+func (c *nctx) faultName(bi int32, fpc int, format, name string) bool {
+	c.sig, c.faultBI, c.faultPC = nsFault, bi, fpc
+	c.faultMsg = ""
+	c.faultFmt, c.faultStr = format, name
+	return false
+}
+
+// faultText resolves the recorded fault message (cold path).
+func (c *nctx) faultText() string {
+	switch {
+	case c.faultMsg != "":
+		return c.faultMsg
+	case c.faultStr != "":
+		return fmt.Sprintf(c.faultFmt, c.faultStr)
+	default:
+		return fmt.Sprintf(c.faultFmt, c.faultArg)
+	}
+}
+
+// spOver records a stack-overflow guard trip after the instruction at fpc.
+func (c *nctx) spOver(bi int32, fpc int) bool {
+	c.sig, c.faultBI, c.faultPC = nsSPOver, bi, fpc
+	return false
+}
+
+// leave records control leaving the code image at pc. The nil return
+// lets terminator closures write `return c.leave(pc)`.
+func (c *nctx) leave(pc int) *nblock {
+	c.sig, c.leavePC = nsLeave, pc
+	return nil
+}
+
+// nEntry is a memoized translation outcome: the closure-threaded image,
+// or nil with the reason translation declined (the run then takes the
+// fast engine, reason surfaced on Result.FallbackReason).
+type nEntry struct {
+	ni     *nimage
+	reason string
+}
+
+// nativeCache memoizes translations per predecoded image. Keying on the
+// *image identity is sound because imageFor memoizes images per program:
+// the same program always yields the same image pointer until its cache
+// entry is evicted, at which point the stale key here simply ages out at
+// the next wholesale reset. Bounded like imageCache.
+var nativeCache = struct {
+	sync.Mutex
+	ents map[*image]nEntry
+}{ents: map[*image]nEntry{}}
+
+const nativeCacheCap = 128
+
+// nativeFor returns the memoized closure-threaded translation of img, or
+// (nil, reason) when translation declined. Safe for concurrent use; the
+// first caller translates under the lock, later callers hit the cache.
+func nativeFor(p *mcode.Program, img *image) (*nimage, string) {
+	s := obs.Current()
+	nativeCache.Lock()
+	defer nativeCache.Unlock()
+	if e, ok := nativeCache.ents[img]; ok {
+		s.Add(obs.CSimNativeCacheHits, 1)
+		return e.ni, e.reason
+	}
+	sp := s.Span(obs.PhasePredecode, "native-translate")
+	ni, reason := translateNative(p, img)
+	sp.End()
+	s.Add(obs.CSimNativeTranslates, 1)
+	if ni != nil {
+		s.Add(obs.CSimNativeBlocks, int64(len(ni.blocks)))
+	}
+	if len(nativeCache.ents) >= nativeCacheCap {
+		nativeCache.ents = make(map[*image]nEntry, nativeCacheCap)
+	}
+	nativeCache.ents[img] = nEntry{ni: ni, reason: reason}
+	return ni, reason
+}
+
+// runNative executes the program from block 0 on the closure-threaded
+// image. The loop owns exactly what fastvm's shared edge code owns —
+// per-entry counter/budget/deadline bookkeeping — and the translated
+// closures own everything else. Error paths reuse the fast engine's
+// flush/fault/spOver machinery so trap pc, message text and partial
+// statistics are shared by construction.
+func (m *machine) runNative(img *image, nimg *nimage) error {
+	ents := make([]entCnt, len(img.ents))
+	for i, e := range img.ents {
+		ents[i] = entCnt{x0: e.x0, ninstr: e.ninstr}
+	}
+	c := &nctx{
+		regs:       &m.regs,
+		mem:        m.mem,
+		memWords:   m.memWords,
+		m:          m,
+		st:         &m.res.Stats,
+		ents:       ents,
+		maxInstrs:  m.maxInstrs,
+		deadlineAt: m.deadlineAt,
+	}
+	// The hot-loop bookkeeping lives in locals: fields of c reload from
+	// memory after every closure call (the callee could alias them), while
+	// locals stay in registers. c.instrs/c.deadlineAt are synced for the
+	// fused trace closures, which advance them internally.
+	instrs, maxInstrs, deadlineAt := int64(0), m.maxInstrs, m.deadlineAt
+	cur := &nimg.blocks[0]
+	for {
+		ents[cur.bi].count++
+		instrs += int64(cur.ninstr)
+		if instrs > maxInstrs {
+			// The budget could expire inside the entered block; unwind its
+			// entry and let the reference interpreter finish the run with
+			// exact per-instruction accounting.
+			ents[cur.bi].count--
+			m.flushEnts(img, ents)
+			obs.Current().Add(obs.CSimBudgetHandoff, 1)
+			_, _, err := m.interpret(int(img.blocks[cur.bi].start), nil)
+			return err
+		}
+		if instrs >= deadlineAt {
+			// Wall-clock expiry stops at the block boundary: unwind the
+			// entry that was never executed, flush, and return (see runFast).
+			m.deadlineAt += deadlineStride
+			deadlineAt = m.deadlineAt
+			c.deadlineAt = deadlineAt
+			if time.Now().After(m.deadline) {
+				ents[cur.bi].count--
+				m.flushEnts(img, ents)
+				return fmt.Errorf("pc %d: %w", img.blocks[cur.bi].start, ErrDeadline)
+			}
+		}
+		for _, s := range cur.steps {
+			if !s(c) {
+				goto handle
+			}
+		}
+		if cur.term == nil {
+			cur = cur.next
+			continue
+		}
+		c.instrs = instrs
+		if next := cur.term(c); next != nil {
+			instrs = c.instrs
+			cur = next
+			continue
+		}
+	handle:
+		switch c.sig {
+		case nsExit:
+			m.flushEnts(img, ents)
+			return nil
+		case nsFault:
+			return m.faultEnts(img, ents, c.faultBI, c.faultPC, c.faultText())
+		case nsSPOver:
+			return m.spOverEnts(img, ents, c.faultBI, c.faultPC)
+		case nsLeave:
+			m.flushEnts(img, ents)
+			return m.trap(c.leavePC, "control left the code image")
+		default: // nsBridge
+			// Register-indirect jump into the middle of a block: flush, run
+			// the reference interpreter precisely until control reaches a
+			// block head, and resume closure threading there.
+			m.flushEnts(img, ents)
+			npc, done, err := m.interpret(int(c.bridgePC), img.blockIdx)
+			if done {
+				return err
+			}
+			instrs = m.res.Stats.Instrs // flush + interpret leave them equal
+			deadlineAt = m.deadlineAt   // the interpreter may have polled
+			c.deadlineAt = deadlineAt
+			cur = &nimg.blocks[img.blockIdx[npc]]
+		}
+	}
+}

@@ -5,13 +5,17 @@
 // stores; 12-cycle multiply; 35-cycle divide). It fills a pixie.Stats with
 // the trace counters as it runs.
 //
-// Two engines share the machine model. Run, the default, executes a
+// Three engines share the machine model, forming a ladder of increasing
+// speed. RunReference is the original per-instruction interpreter and the
+// oracle the others are tested against. The fast engine executes a
 // predecoded image: the program is translated once into a dense internal
 // ISA, basic blocks are discovered, and each block's statistics are
 // accumulated in one step per block entry (see predecode.go / fastvm.go).
-// RunReference is the original per-instruction interpreter; the two are
-// bit-identical in Output, Stats and InstrCounts, which the differential
-// tests enforce.
+// The native engine — Run's default — further translates the predecoded
+// blocks into closure-threaded code with zero switch dispatch (see
+// nativevm.go / nativetrans.go). All three are bit-identical in Output,
+// Stats and InstrCounts, which the differential tests enforce;
+// Options.Engine pins a specific tier.
 package sim
 
 import (
@@ -43,6 +47,28 @@ type Options struct {
 	// Profile records per-instruction execution counts in the result,
 	// enabling profile feedback to the register allocator.
 	Profile bool
+	// Engine pins an execution tier: "native" (closure-threaded, the
+	// default), "fast" (predecoded block dispatch) or "reference" (the
+	// per-instruction oracle). Empty selects the default ladder. A pinned
+	// block engine still degrades — to the fast engine when native
+	// translation declines, to the reference interpreter when the image
+	// fails static verification or the initial stack pointer is degenerate
+	// — with the reason on Result.FallbackReason. Unknown names make Run
+	// fail with ErrBadEngine.
+	Engine string
+}
+
+// ErrBadEngine reports an unknown Options.Engine name.
+var ErrBadEngine = errors.New("unknown engine")
+
+// ValidateEngine checks an Options.Engine value; the empty string (the
+// default ladder) is valid.
+func ValidateEngine(name string) error {
+	switch name {
+	case "", "native", "fast", "reference":
+		return nil
+	}
+	return fmt.Errorf("%w %q (valid: native, fast, reference)", ErrBadEngine, name)
 }
 
 const defaultMaxInstrs = int64(2_000_000_000)
@@ -73,14 +99,15 @@ type Result struct {
 	// InstrCounts holds per-code-index execution counts when Options.Profile
 	// was set (indexed like Program.Code).
 	InstrCounts []int64
-	// Engine names the engine that executed the run: "fast" (the predecoded
-	// block-batched engine) or "reference" (the per-instruction
-	// interpreter).
+	// Engine names the engine that executed the run: "native" (the
+	// closure-threaded tier), "fast" (the predecoded block-batched engine)
+	// or "reference" (the per-instruction interpreter).
 	Engine string
-	// FallbackReason explains a reference-engine run the fast engine
-	// declined — the static verification error, or the degenerate initial
-	// stack pointer. Empty when the fast engine ran or when the caller asked
-	// for the reference engine outright.
+	// FallbackReason explains a run that degraded below the requested
+	// tier — the static verification error or the degenerate initial stack
+	// pointer (reference fallbacks), or the declined native translation (a
+	// fast fallback). Empty when the requested tier ran or when the caller
+	// asked for the reference engine outright.
 	FallbackReason string
 	// Report carries the run's metrics window when an obs session is
 	// active; nil otherwise.
@@ -237,37 +264,68 @@ func newMachine(p *mcode.Program, opts Options) *machine {
 	return m
 }
 
-// Run executes the program from its startup stub on the predecoded engine.
-// Images that fail static verification — and degenerate configurations
-// whose initial stack pointer already sits below the data segment — take
-// the reference interpreter wholesale: exactness over speed for bad inputs.
+// Run executes the program from its startup stub on the selected engine
+// (Options.Engine; the closure-threaded native tier by default).
+// Degradation is always toward exactness, never a guess: images that fail
+// static verification — and degenerate configurations whose initial stack
+// pointer already sits below the data segment — take the reference
+// interpreter wholesale, and a native run whose translation declines takes
+// the fast engine. Every fallback surfaces its reason on
+// Result.FallbackReason.
 func Run(p *mcode.Program, opts Options) (*Result, error) {
+	if err := ValidateEngine(opts.Engine); err != nil {
+		return nil, err
+	}
 	s := obs.Current()
 	snap := s.Snap()
 	sp := s.Span(obs.PhaseRun, "sim.Run")
 	m := newMachine(p, opts)
 	defer m.release()
-	img, reason := imageFor(p)
 	var err error
-	switch {
-	case img == nil:
-		m.res.Engine, m.res.FallbackReason = "reference", reason
-		s.Add(obs.CSimRunsRef, 1)
-		s.Add(obs.CSimVerifyFallback, 1)
-		_, _, err = m.interpret(0, nil)
-	case m.regs[mach.SP] < m.stackFloor:
+	if opts.Engine == "reference" {
 		m.res.Engine = "reference"
-		m.res.FallbackReason = "initial stack pointer below the data segment"
 		s.Add(obs.CSimRunsRef, 1)
-		s.Add(obs.CSimStackFallback, 1)
 		_, _, err = m.interpret(0, nil)
-	default:
-		m.res.Engine = "fast"
-		s.Add(obs.CSimRunsFast, 1)
-		if s != nil {
-			m.superHits = make([]int64, numXops)
+	} else {
+		img, reason := imageFor(p)
+		switch {
+		case img == nil:
+			m.res.Engine, m.res.FallbackReason = "reference", reason
+			s.Add(obs.CSimRunsRef, 1)
+			s.Add(obs.CSimVerifyFallback, 1)
+			_, _, err = m.interpret(0, nil)
+		case m.regs[mach.SP] < m.stackFloor:
+			m.res.Engine = "reference"
+			m.res.FallbackReason = "initial stack pointer below the data segment"
+			s.Add(obs.CSimRunsRef, 1)
+			s.Add(obs.CSimStackFallback, 1)
+			_, _, err = m.interpret(0, nil)
+		case opts.Engine == "fast":
+			m.res.Engine = "fast"
+			s.Add(obs.CSimRunsFast, 1)
+			if s != nil {
+				m.superHits = make([]int64, numXops)
+			}
+			err = m.runFast(img)
+		default: // "" or "native"
+			nimg, nreason := nativeFor(p, img)
+			if nimg == nil {
+				m.res.Engine, m.res.FallbackReason = "fast", nreason
+				s.Add(obs.CSimRunsFast, 1)
+				s.Add(obs.CSimNativeFallback, 1)
+				if s != nil {
+					m.superHits = make([]int64, numXops)
+				}
+				err = m.runFast(img)
+			} else {
+				m.res.Engine = "native"
+				s.Add(obs.CSimRunsNative, 1)
+				if s != nil {
+					m.superHits = make([]int64, numXops)
+				}
+				err = m.runNative(img, nimg)
+			}
 		}
-		err = m.runFast(img)
 	}
 	sp.End()
 	m.finishObs(s, snap)

@@ -149,7 +149,7 @@ func TestWallClockDeadline(t *testing.T) {
 	for _, run := range []struct {
 		name string
 		fn   func(*mcode.Program, Options) (*Result, error)
-	}{{"fast", Run}, {"reference", RunReference}} {
+	}{{"native", pinEngine("native")}, {"fast", pinEngine("fast")}, {"reference", RunReference}} {
 		t.Run(run.name, func(t *testing.T) {
 			res, err := run.fn(p, Options{Deadline: time.Millisecond})
 			if !errors.Is(err, ErrDeadline) {
@@ -280,7 +280,8 @@ func TestDeadlinePartialStatsExact(t *testing.T) {
 		name string
 		run  func(*mcode.Program, Options) (*Result, error)
 	}{
-		{"fast", Run},
+		{"native", pinEngine("native")},
+		{"fast", pinEngine("fast")},
 		{"reference", RunReference},
 	}
 	for _, e := range engines {
@@ -330,5 +331,14 @@ func TestDeadlinePartialStatsExact(t *testing.T) {
 				t.Errorf("budget run should count exactly one phantom fetch, found %d", extra)
 			}
 		})
+	}
+}
+
+// pinEngine adapts Run to the (program, options) signature of the engine
+// tables above, with the named tier pinned via Options.Engine.
+func pinEngine(engine string) func(*mcode.Program, Options) (*Result, error) {
+	return func(p *mcode.Program, o Options) (*Result, error) {
+		o.Engine = engine
+		return Run(p, o)
 	}
 }
