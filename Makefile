@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet chaos incr native fuzz trace clean
+.PHONY: all build test race bench ci fmt-check vet chaos incr native inline fuzz trace clean
 
 all: build
 
@@ -60,6 +60,17 @@ native:
 	$(GO) test -race -run 'TestNativeConcurrentRuns' -count=2 ./internal/sim
 	$(GO) test -run '^$$' -bench 'BenchmarkSimNative' -benchtime 1x ./
 
+# Procedure-integrator gate: the inline pass unit tests, the inlined-corpus
+# slice (clean validator run across all modes, three-engine differential,
+# parallel/sequential determinism, the mode-C cycles-win acceptance bar and
+# the statefile mode-skew fallback) and a one-iteration smoke of the inline
+# on/off benchmark rows (see DESIGN.md §12). Also exercised by plain
+# `make test`; this target runs the inlining slice alone.
+inline:
+	$(GO) test ./internal/inline
+	$(GO) test -run 'TestInline' -v ./ ./internal/ir
+	$(GO) test -run '^$$' -bench 'BenchmarkInline' -benchtime 1x ./
+
 # Longer fuzzing session for the front-end containment and differential
 # compile targets. FUZZTIME can be raised for overnight runs.
 FUZZTIME ?= 60s
@@ -74,7 +85,7 @@ fuzz:
 # incremental and simulator benchmarks (all three engines) plus the
 # obs-disabled zero-allocation check, and a short smoke of both fuzz
 # targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race incr native
+ci: fmt-check vet build race incr native inline
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./

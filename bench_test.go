@@ -320,6 +320,43 @@ func BenchmarkCompileCodegen(b *testing.B) {
 	}
 }
 
+// BenchmarkInline measures what the procedure integrator buys on the
+// BenchmarkSim workloads: each pair of rows compiles under mode C with
+// profile feedback — inlining off against inlining on at the default
+// budget — and attaches the paper metrics (cycles, save/restore traffic,
+// linkage cycles) for benchstat comparison of the on/off columns.
+func BenchmarkInline(b *testing.B) {
+	for _, p := range compileBenchPrograms() {
+		for _, variant := range []string{"off", "on"} {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, variant), func(b *testing.B) {
+				var prog *Program
+				var err error
+				if variant == "on" {
+					prog, err = CompileInlined(p.Source, ModeC(), 0)
+				} else {
+					prog, err = CompileProfiled(p.Source, ModeC())
+				}
+				if err != nil {
+					b.Fatalf("compile: %v", err)
+				}
+				var last *RunResult
+				for i := 0; i < b.N; i++ {
+					res, err := prog.Run()
+					if err != nil {
+						b.Fatalf("run: %v", err)
+					}
+					last = res
+				}
+				if last != nil {
+					b.ReportMetric(float64(last.Stats.Cycles), "paper-cycles")
+					b.ReportMetric(float64(last.Stats.SaveRestoreLS()), "paper-saverestore")
+					b.ReportMetric(float64(last.Stats.LinkageCycles), "paper-linkage")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkHeightSweep is the ablation the paper's analysis calls for: "the
 // relevant parameter is the height of the call graph". It builds synthetic
 // call chains of growing depth, with register pressure at every level, and

@@ -74,6 +74,11 @@ type Program struct {
 	// after a validation failure or recovered worker panic). Empty for a
 	// clean compile. Also available on Report when one is attached.
 	Demotions []obs.Demotion
+	// Inline is the procedure integrator's report when the mode enabled
+	// inlining and the integrated build survived validation; nil otherwise
+	// (including when a failed inlined build was discarded — see the
+	// "discard-inlining" Demotion).
+	Inline *obs.InlineReport
 }
 
 // Compile compiles CW source under the given mode.
@@ -108,7 +113,9 @@ func Compile(src string, mode Mode) (*Program, error) {
 		return nil, err
 	}
 	sp.End()
-	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code, Demotions: demotions}
+	// plan.Module, not mod: an inlined build that was discarded compiled the
+	// pristine clone, and an inlined build that stuck rewrote mod in place.
+	p := &Program{Mode: mode, Module: plan.Module, Plan: plan, Code: code, Demotions: demotions, Inline: plan.Inline}
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: demotions}
 	}
@@ -142,7 +149,7 @@ func CompileIncremental(src string, mode Mode, statePath string) (*Program, erro
 		// A failed save only costs the next round its head start.
 		_ = res.State.Save(statePath)
 	}
-	p := &Program{Mode: mode, Module: res.Plan.Module, Plan: res.Plan, Code: res.Prog, Demotions: res.Demotions}
+	p := &Program{Mode: mode, Module: res.Plan.Module, Plan: res.Plan, Code: res.Prog, Demotions: res.Demotions, Inline: res.Plan.Inline}
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: res.Demotions}
 	}

@@ -23,6 +23,11 @@
 //	-plan            print the call graph, open/closed classification and
 //	                 register summaries
 //	-open f,g        force the named procedures open (separate compilation)
+//	-pgo             profile-guided build: a baseline training run attaches
+//	                 measured block frequencies before the final compile
+//	-inline[=budget] profile-guided procedure integration (implies -pgo);
+//	                 budget is the code-growth allowance in percent of the
+//	                 pre-inlining instruction count (default 50)
 //	-incremental=f.state
 //	                 reuse the previous build recorded in the statefile; only
 //	                 the edit's summary-delta frontier is recompiled, and the
@@ -49,6 +54,7 @@
 //	8  instruction budget exceeded
 //	9  wall-clock deadline exceeded (-timeout)
 //	10 unknown -engine name
+//	11 invalid -inline budget
 //
 // Every failure prints exactly one structured diagnostic line on stderr:
 // "chowcc: <class>: <detail>".
@@ -67,6 +73,7 @@ import (
 	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/front"
+	"chow88/internal/inline"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/obs"
@@ -88,7 +95,30 @@ const (
 	exitBudget    = 8
 	exitDeadline  = 9
 	exitBadEngine = 10
+	exitBadBudget = 11
 )
+
+// inlineFlag is the -inline[=budget] value: bool-like (bare -inline works)
+// but also accepting a percentage (-inline=75). The raw text is validated
+// after flag parsing with inline.ParseBudget so a bad budget is classified
+// with its own exit code rather than flag package's generic usage error.
+type inlineFlag struct {
+	set bool
+	raw string
+}
+
+func (v *inlineFlag) String() string   { return v.raw }
+func (v *inlineFlag) IsBoolFlag() bool { return true }
+func (v *inlineFlag) Set(s string) error {
+	if s == "false" {
+		v.set = false
+		v.raw = ""
+		return nil
+	}
+	v.set = true
+	v.raw = s
+	return nil
+}
 
 func main() {
 	o3 := flag.Bool("O3", false, "enable inter-procedural register allocation")
@@ -101,6 +131,9 @@ func main() {
 	doIR := flag.Bool("ir", false, "print optimized IR")
 	doPlan := flag.Bool("plan", false, "print call graph and allocation plan")
 	openList := flag.String("open", "", "comma-separated procedures to force open")
+	pgo := flag.Bool("pgo", false, "profile-guided build (baseline training run attaches block frequencies)")
+	var inlineOpt inlineFlag
+	flag.Var(&inlineOpt, "inline", "profile-guided inlining, optionally with a code-growth budget percent (implies -pgo)")
 	incrPath := flag.String("incremental", "", "statefile enabling incremental recompilation (created if missing)")
 	strict := flag.Bool("strict", false, "fail on linkage-invariant violations instead of degrading")
 	validate := flag.Bool("validate", true, "run the linkage-invariant validator after planning and codegen")
@@ -155,16 +188,41 @@ func main() {
 	mode.Validate = *validate
 	mode.Strict = *strict
 	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, *regs)
+	if inlineOpt.set {
+		budget, err := inline.ParseBudget(inlineOpt.raw)
+		if err != nil {
+			fatal(err)
+		}
+		mode.Inline = true
+		mode.InlineBudget = budget
+		mode.Name += fmt.Sprintf(" inline=%d", budget)
+	}
+	usePGO := *pgo || inlineOpt.set
+	if usePGO && *incrPath != "" {
+		fmt.Fprintln(os.Stderr, "chowcc: usage error: -pgo/-inline cannot be combined with -incremental")
+		os.Exit(exitUsage)
+	}
 
 	var prog *chow88.Program
 	var err error
-	if *incrPath != "" {
+	switch {
+	case *incrPath != "":
 		prog, err = chow88.CompileUnitsIncremental(mode, *incrPath, units...)
-	} else {
+	case usePGO:
+		prog, err = chow88.CompileUnitsProfiled(mode, units...)
+	default:
 		prog, err = chow88.CompileUnits(mode, units...)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if usePGO {
+		fmt.Fprintln(os.Stderr, "chowcc: pgo: measured block frequencies attached from training run")
+	}
+	if prog.Inline != nil {
+		fmt.Fprintf(os.Stderr, "chowcc: %s\n", prog.Inline)
+	} else if inlineOpt.set {
+		fmt.Fprintln(os.Stderr, "chowcc: inline: discarded (integrated build failed validation)")
 	}
 
 	if *doIR {
@@ -303,6 +361,8 @@ func classify(err error) (int, string) {
 		return exitDeadline, "deadline"
 	case errors.Is(err, sim.ErrBadEngine):
 		return exitBadEngine, "bad engine"
+	case errors.Is(err, inline.ErrBadBudget):
+		return exitBadBudget, "bad inline budget"
 	}
 	return exitInternal, "internal error"
 }

@@ -7,6 +7,7 @@ import (
 
 	"chow88/internal/codegen"
 	"chow88/internal/front"
+	"chow88/internal/inline"
 	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
@@ -26,6 +27,9 @@ func TestClassify(t *testing.T) {
 		{fmt.Errorf("pc 3: %w", sim.ErrLimit), exitBudget},
 		{fmt.Errorf("pc 3: %w", sim.ErrDeadline), exitDeadline},
 		{sim.ValidateEngine("turbo"), exitBadEngine},
+		{badBudgetErr("bogus"), exitBadBudget},
+		{badBudgetErr("0"), exitBadBudget},
+		{badBudgetErr("-3"), exitBadBudget},
 		{errors.New("anything else"), exitInternal},
 		// Wrapped variants classify the same way.
 		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), exitParse},
@@ -34,5 +38,35 @@ func TestClassify(t *testing.T) {
 		if code, _ := classify(c.err); code != c.code {
 			t.Errorf("classify(%v) = %d, want %d", c.err, code, c.code)
 		}
+	}
+}
+
+// badBudgetErr produces the error a bad -inline=budget value yields.
+func badBudgetErr(s string) error {
+	_, err := inline.ParseBudget(s)
+	return err
+}
+
+func TestInlineFlag(t *testing.T) {
+	cases := []struct {
+		in  string
+		set bool
+		raw string
+	}{
+		{"true", true, "true"}, // bare -inline
+		{"75", true, "75"},
+		{"false", false, ""}, // -inline=false disables
+	}
+	for _, c := range cases {
+		var v inlineFlag
+		if err := v.Set(c.in); err != nil {
+			t.Fatalf("Set(%q): %v", c.in, err)
+		}
+		if v.set != c.set || v.raw != c.raw {
+			t.Errorf("Set(%q) = {set:%v raw:%q}, want {set:%v raw:%q}", c.in, v.set, v.raw, c.set, c.raw)
+		}
+	}
+	if !(&inlineFlag{}).IsBoolFlag() {
+		t.Error("inlineFlag must be bool-like so bare -inline parses")
 	}
 }

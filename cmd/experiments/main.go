@@ -24,11 +24,12 @@ func main() {
 	f4 := flag.Bool("fig4", false, "demonstrate Figure 4 (save placement vs call frequency)")
 	height := flag.Bool("height", false, "run the call-graph-height ablation (D vs E crossover)")
 	profile := flag.Bool("profile", false, "measure profile feedback vs static frequency estimates")
+	inl := flag.Bool("inline", false, "measure profile-guided inlining vs IPRA with pixie attribution")
 	all := flag.Bool("all", false, "run everything")
 	stats := flag.Bool("stats", false, "collect and print per-measurement compile/run metrics")
 	flag.Parse()
 
-	if !(*t1 || *t2 || *f1 || *f2 || *f3 || *f4 || *height || *profile) {
+	if !(*t1 || *t2 || *f1 || *f2 || *f3 || *f4 || *height || *profile || *inl) {
 		*all = true
 	}
 	if *stats {
@@ -77,6 +78,7 @@ func main() {
 		{*all || *f4, experiments.Fig4},
 		{*all || *height, experiments.HeightSweep},
 		{*all || *profile, experiments.ProfileFeedback},
+		{*all || *inl, experiments.InlineVsIPRA},
 	} {
 		if !fg.on {
 			continue

@@ -285,6 +285,11 @@ type fngen struct {
 	isLeaf     bool
 	paramIndex map[int]int // temp ID -> parameter position
 
+	// linkage, while set, flags emitted instructions as call-linkage
+	// overhead for the tracer — except save/restore-classified accesses,
+	// which stay in their own attribution bucket.
+	linkage bool
+
 	// liveAcross maps each call instruction to the registers holding values
 	// that must survive it.
 	liveAcross map[*ir.Instr]mach.RegSet
@@ -312,7 +317,12 @@ func newFngen(pp *core.ProgramPlan, fp *core.FuncPlan) *fngen {
 	}
 }
 
-func (g *fngen) emit(in mcode.Instr) { g.code = append(g.code, in) }
+func (g *fngen) emit(in mcode.Instr) {
+	if g.linkage && in.Class != mcode.ClassSaveRestore {
+		in.Linkage = true
+	}
+	g.code = append(g.code, in)
+}
 
 func (g *fngen) emitBranch(op mcode.OpCode, rs mach.Reg, blk *ir.Block) {
 	g.fixes = append(g.fixes, fixup{at: len(g.code), blk: blk})
@@ -464,6 +474,8 @@ func (g *fngen) emitRestore(r mach.Reg) {
 }
 
 func (g *fngen) prologue() {
+	g.linkage = true
+	defer func() { g.linkage = false }()
 	if g.frameSize > 0 {
 		g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: int64(-g.frameSize)})
 	}
@@ -688,6 +700,7 @@ func (g *fngen) instr(b *ir.Block, in *ir.Instr, isTerm bool, next *ir.Block) er
 			g.emitBranch(mcode.J, 0, in.Else)
 		}
 	case ir.OpRet:
+		g.linkage = true
 		if g.f.Returns {
 			rs := g.readOp(in.A, mach.K0)
 			g.emit(mcode.Instr{Op: mcode.MOVE, Rd: mach.V0, Rs: rs})
@@ -700,6 +713,7 @@ func (g *fngen) instr(b *ir.Block, in *ir.Instr, isTerm bool, next *ir.Block) er
 			g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: int64(g.frameSize)})
 		}
 		g.emit(mcode.Instr{Op: mcode.JR, Rs: mach.RA})
+		g.linkage = false
 	default:
 		return fmt.Errorf("unhandled IR op %s", in.Op)
 	}
@@ -815,6 +829,8 @@ func (g *fngen) emitArrayAccess(arr ir.ArrayRef, idx ir.Operand, gen func(base m
 //  4. restore the saved registers,
 //  5. collect the result.
 func (g *fngen) call(in *ir.Instr) {
+	g.linkage = true
+	defer func() { g.linkage = false }()
 	clob := g.pp.Oracle.Clobbered(in)
 	toSave := g.liveAcross[in] & clob
 	var saved []mach.Reg

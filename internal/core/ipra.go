@@ -51,6 +51,13 @@ type Mode struct {
 	// failure or recovered panic fails the compile instead of demoting (for
 	// CI, where a plan that needed repair is itself the bug).
 	Strict bool
+	// Inline runs the profile-guided procedure integrator (internal/inline)
+	// on the module before planning; InlineBudget is its code-growth
+	// allowance in percent of the pre-inlining instruction count (0 selects
+	// the pass default). Summaries, interference and shrink-wrap placements
+	// are then computed on the integrated program.
+	Inline       bool
+	InlineBudget int
 }
 
 // The paper's measurement modes. Base is the baseline of all comparisons:
@@ -121,6 +128,10 @@ type ProgramPlan struct {
 	// Failed records planning-worker panics recovered under Mode.Validate,
 	// keyed by function; the pipeline demotes and re-plans these.
 	Failed map[*ir.Func]string
+	// Inline is the procedure integrator's report when the pipeline ran it
+	// before planning; nil otherwise. Attached here so the drivers see the
+	// decisions without a second return path through Build.
+	Inline *obs.InlineReport
 
 	failedMu sync.Mutex
 }

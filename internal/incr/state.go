@@ -70,7 +70,10 @@ type FuncState struct {
 const (
 	stateMagic = "CHOWINCR"
 	// Version is the statefile format version; bump on any layout change.
-	Version = 1
+	// v2: mcode.Instr gained the Linkage attribution bit (gob layout of the
+	// cached FuncCode bodies changed, and v1 code replayed into a v2 build
+	// would silently lack linkage-cycle accounting).
+	Version = 2
 )
 
 // Save writes the state to path (atomically, via a rename).
@@ -128,9 +131,9 @@ func ModeFingerprint(mode core.Mode) string {
 	cfg := mode.Config
 	fo := append([]string(nil), mode.ForceOpen...)
 	sort.Strings(fo)
-	return fmt.Sprintf("v%d|%s|ipra=%t|sw=%t|opt=%t|nosplit=%t|validate=%t|strict=%t|cfg=%s/%08x/%08x/%v|forceopen=%v",
+	return fmt.Sprintf("v%d|%s|ipra=%t|sw=%t|opt=%t|nosplit=%t|validate=%t|strict=%t|inline=%t/%d|cfg=%s/%08x/%08x/%v|forceopen=%v",
 		Version, mode.Name, mode.IPRA, mode.ShrinkWrap, mode.Optimize, mode.DisableSplitting,
-		mode.Validate, mode.Strict,
+		mode.Validate, mode.Strict, mode.Inline, mode.InlineBudget,
 		cfg.Name, uint32(cfg.CallerSaved), uint32(cfg.CalleeSaved), cfg.Params, fo)
 }
 

@@ -123,6 +123,8 @@ func TestModeFingerprint(t *testing.T) {
 		"DisableSplitting": func(m *core.Mode) { m.DisableSplitting = !m.DisableSplitting },
 		"Validate":         func(m *core.Mode) { m.Validate = !m.Validate },
 		"Strict":           func(m *core.Mode) { m.Strict = !m.Strict },
+		"Inline":           func(m *core.Mode) { m.Inline = !m.Inline },
+		"InlineBudget":     func(m *core.Mode) { m.InlineBudget = 75 },
 	}
 	for name, flip := range axes {
 		m := core.ModeC()

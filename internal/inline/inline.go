@@ -1,0 +1,266 @@
+// Package inline is the profile-guided procedure integrator: an IR-level
+// pass running after the front end and before register planning that
+// replaces hot calls to small closed procedures with renamed copies of
+// their bodies, under a code-growth budget.
+//
+// Inlining is the limit case of the paper's program: where inter-procedural
+// allocation shrinks the register-usage penalty of a call, inlining deletes
+// the call — no linkage moves, no frame push, no summary interlock — at the
+// price of flooding the caller with the callee's live ranges, which can
+// flip shrink-wrap placements and add save/restore traffic. The pass only
+// decides *what* to splice; the mechanics live in ir.InlineCall, and the
+// measurement of whether the trade paid off lives in the pixie
+// linkage-cycle attribution (mcode.Instr.Linkage).
+//
+// Candidate ranking follows the measured-profile convention: score a call
+// site by its block's execution frequency (trained counts under profile
+// feedback, the 10^depth static estimate otherwise) divided by the callee's
+// size, so hot calls to small procedures integrate first. Only closed
+// procedures are candidates — main, externs, address-taken procedures and
+// cycle members stay calls, exactly the set the allocator cannot summarize.
+// Procedures whose every call disappears are dropped from the module.
+package inline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"chow88/internal/callgraph"
+	"chow88/internal/ir"
+	"chow88/internal/obs"
+)
+
+// DefaultBudget is the code-growth allowance, in percent of the module's
+// pre-inlining instruction count, used when -inline is given without a
+// value.
+const DefaultBudget = 50
+
+// MaxBudget bounds the allowance; beyond 10000% the budget is surely a
+// typo, and unbounded growth would defeat the deadline machinery.
+const MaxBudget = 10000
+
+// ErrBadBudget reports an unusable -inline budget value. The CLI maps it
+// to its own exit code.
+var ErrBadBudget = errors.New("invalid inline budget")
+
+// ParseBudget interprets the -inline flag value: empty or "true" (the bare
+// flag) selects DefaultBudget, otherwise the value must be an integer
+// percentage in [1, MaxBudget].
+func ParseBudget(s string) (int, error) {
+	if s == "" || s == "true" {
+		return DefaultBudget, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q is not an integer percentage", ErrBadBudget, s)
+	}
+	if n < 1 || n > MaxBudget {
+		return 0, fmt.Errorf("%w: %d%% outside [1, %d]", ErrBadBudget, n, MaxBudget)
+	}
+	return n, nil
+}
+
+// maxRounds bounds the pick-up-cloned-sites iteration: a call site copied
+// into a caller by round N is a fresh candidate in round N+1, so hot call
+// chains flatten, but only while the budget lasts.
+const maxRounds = 4
+
+// candidate is one rankable call site.
+type candidate struct {
+	caller *ir.Func
+	callee *ir.Func
+	call   *ir.Instr // stable identity; block/index relocated at splice time
+	freq   float64
+	size   int // callee instruction count at ranking time
+	// Deterministic tie-break key: caller module position, block ID,
+	// instruction index at ranking time.
+	callerIdx, blockID, instrIdx int
+}
+
+// Apply inlines into mod in place and returns the report. budget is the
+// growth allowance in percent; forceOpen mirrors the mode's separate
+// compilation list, so a procedure the allocator must keep open is never
+// integrated either.
+func Apply(mod *ir.Module, budget int, forceOpen []string) *obs.InlineReport {
+	os := obs.Current()
+	sp := os.Span(obs.PhaseInline, "inline")
+	defer sp.End()
+
+	rep := &obs.InlineReport{Budget: budget}
+	base := moduleSize(mod)
+	rep.BaseInstrs = base
+	maxGrowth := base * budget / 100
+	grown := 0
+
+	open := map[string]bool{}
+	for _, n := range forceOpen {
+		open[n] = true
+	}
+
+	// Each distinct call instruction counts once, however many rounds
+	// re-surface it; stopped tracks the refused set so acceptance on a
+	// later round (smaller callee never happens, but cheaper competitors
+	// finishing first does) uncounts the refusal.
+	seen := map[*ir.Instr]bool{}
+	stopped := map[*ir.Instr]bool{}
+	for round := 0; round < maxRounds; round++ {
+		cands := collect(mod, open)
+		progressed := false
+		for _, c := range cands {
+			if !seen[c.call] {
+				seen[c.call] = true
+				rep.SitesConsidered++
+			}
+			// Growth of one splice: the body, the parameter bindings, the
+			// entry jump.
+			cost := c.size + len(c.callee.Params) + 1
+			if grown+cost > maxGrowth {
+				stopped[c.call] = true
+				continue
+			}
+			site, ok := locate(c.caller, c.call)
+			if !ok {
+				continue // splice of an earlier candidate consumed it
+			}
+			if err := ir.InlineCall(c.caller, site, c.callee); err != nil {
+				continue
+			}
+			grown += cost
+			progressed = true
+			delete(stopped, c.call)
+			rep.SitesInlined++
+			rep.Inlined = append(rep.Inlined, obs.InlinedSite{
+				Caller: c.caller.Name, Callee: c.callee.Name, Freq: c.freq,
+			})
+		}
+		if !progressed {
+			break
+		}
+	}
+	rep.BudgetStopped = len(stopped)
+
+	rep.ProcsEliminated = dropDead(mod)
+	rep.FinalInstrs = moduleSize(mod)
+
+	os.Add(obs.CInlineSitesConsidered, int64(rep.SitesConsidered))
+	os.Add(obs.CInlineSitesInlined, int64(rep.SitesInlined))
+	os.Add(obs.CInlineBudgetStopped, int64(rep.BudgetStopped))
+	os.Add(obs.CInlineProcsEliminated, int64(rep.ProcsEliminated))
+	return rep
+}
+
+// collect ranks the current inlinable call sites, hottest-per-instruction
+// first, with a fully deterministic order.
+func collect(mod *ir.Module, forceOpen map[string]bool) []candidate {
+	g := callgraph.Build(mod, forceOpen)
+	sizes := map[*ir.Func]int{}
+	callerIdx := map[*ir.Func]int{}
+	for i, f := range mod.Funcs {
+		callerIdx[f] = i
+		sizes[f] = funcSize(f)
+	}
+	var cands []candidate
+	for _, f := range mod.Funcs {
+		if f.Extern {
+			continue
+		}
+		for _, cs := range f.CallSites() {
+			if cs.Instr.Op != ir.OpCall {
+				continue
+			}
+			callee := cs.Instr.Callee
+			if callee.Extern || callee == f || g.Open[callee] || len(callee.Blocks) == 0 {
+				continue
+			}
+			cands = append(cands, candidate{
+				caller:    f,
+				callee:    callee,
+				call:      cs.Instr,
+				freq:      cs.Block.Freq(),
+				size:      sizes[callee],
+				callerIdx: callerIdx[f],
+				blockID:   cs.Block.ID,
+				instrIdx:  cs.Index,
+			})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		si := cands[i].freq / float64(cands[i].size)
+		sj := cands[j].freq / float64(cands[j].size)
+		if si != sj {
+			return si > sj
+		}
+		if cands[i].callerIdx != cands[j].callerIdx {
+			return cands[i].callerIdx < cands[j].callerIdx
+		}
+		if cands[i].blockID != cands[j].blockID {
+			return cands[i].blockID < cands[j].blockID
+		}
+		return cands[i].instrIdx < cands[j].instrIdx
+	})
+	return cands
+}
+
+// locate finds the call instruction's current position — earlier splices in
+// the same block move instructions between blocks, so the (block, index)
+// recorded at ranking time may be stale while the *ir.Instr is stable.
+func locate(f *ir.Func, call *ir.Instr) (ir.CallSite, bool) {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in == call {
+				return ir.CallSite{Block: b, Index: i, Instr: in}, true
+			}
+		}
+	}
+	return ir.CallSite{}, false
+}
+
+// dropDead removes procedures no longer reachable from main over direct
+// calls and function-address captures, returning how many were dropped.
+// Externs stay: they emit no code and anchor separate-compilation linkage.
+func dropDead(mod *ir.Module) int {
+	main := mod.Lookup("main")
+	if main == nil || main.Extern {
+		return 0
+	}
+	reach := map[*ir.Func]bool{main: true}
+	work := []*ir.Func{main}
+	for len(work) > 0 {
+		f := work[0]
+		work = work[1:]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if (in.Op == ir.OpCall || in.Op == ir.OpFuncAddr) && in.Callee != nil && !reach[in.Callee] {
+					reach[in.Callee] = true
+					work = append(work, in.Callee)
+				}
+			}
+		}
+	}
+	drop := map[*ir.Func]bool{}
+	for _, f := range mod.Funcs {
+		if !f.Extern && !reach[f] {
+			drop[f] = true
+		}
+	}
+	mod.RemoveFuncs(drop)
+	return len(drop)
+}
+
+func funcSize(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func moduleSize(mod *ir.Module) int {
+	n := 0
+	for _, f := range mod.Funcs {
+		n += funcSize(f)
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package inline
+
+import (
+	"errors"
+	"testing"
+
+	"chow88/internal/front"
+	"chow88/internal/ir"
+)
+
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		err  bool
+	}{
+		{"", DefaultBudget, false},
+		{"true", DefaultBudget, false},
+		{"1", 1, false},
+		{"75", 75, false},
+		{"10000", MaxBudget, false},
+		{"0", 0, true},
+		{"-5", 0, true},
+		{"10001", 0, true},
+		{"fifty", 0, true},
+		{"50%", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBudget(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBudget(%q) = %d, want error", c.in, got)
+			} else if !errors.Is(err, ErrBadBudget) {
+				t.Errorf("ParseBudget(%q) error %v is not ErrBadBudget", c.in, err)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseBudget(%q) = %d, %v, want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+const smallSrc = `
+func add(a int, b int) int {
+    return a + b;
+}
+
+func twice(x int) int {
+    return add(x, x);
+}
+
+func main() {
+    var i int;
+    var s int;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        s = add(s, twice(i));
+    }
+    print(s);
+}
+`
+
+func TestApplySmallModule(t *testing.T) {
+	mod, err := front.Module(smallSrc, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Apply(mod, 200, nil)
+	if rep.SitesInlined == 0 {
+		t.Fatal("no sites inlined on an all-leaf module")
+	}
+	if rep.SitesConsidered < rep.SitesInlined {
+		t.Errorf("considered %d < inlined %d", rep.SitesConsidered, rep.SitesInlined)
+	}
+	// add and twice have exactly one shape of caller each and fit any sane
+	// budget; with every call gone both must be dropped.
+	for _, name := range []string{"add", "twice"} {
+		if f := mod.Lookup(name); f != nil {
+			t.Errorf("%s still in module after all its calls were inlined", name)
+		}
+	}
+	if rep.ProcsEliminated != 2 {
+		t.Errorf("ProcsEliminated = %d, want 2", rep.ProcsEliminated)
+	}
+	if rep.FinalInstrs <= 0 || rep.BaseInstrs <= 0 {
+		t.Errorf("size accounting missing: base %d final %d", rep.BaseInstrs, rep.FinalInstrs)
+	}
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					t.Errorf("%s still calls %s", f.Name, in.Callee.Name)
+				}
+			}
+		}
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		t.Fatalf("inlined module fails IR verification: %v", err)
+	}
+}
+
+func TestApplyBudgetRefusal(t *testing.T) {
+	mod, err := front.Module(smallSrc, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% of a tiny module rounds to zero growth: every candidate must be
+	// refused, counted once, and the module left untouched.
+	before := moduleSize(mod)
+	rep := Apply(mod, 1, nil)
+	if rep.SitesInlined != 0 {
+		t.Errorf("SitesInlined = %d under a zero-growth budget", rep.SitesInlined)
+	}
+	if rep.BudgetStopped == 0 {
+		t.Error("no sites recorded as budget-stopped")
+	}
+	if rep.BudgetStopped != rep.SitesConsidered {
+		t.Errorf("BudgetStopped %d != SitesConsidered %d with nothing inlined",
+			rep.BudgetStopped, rep.SitesConsidered)
+	}
+	if got := moduleSize(mod); got != before {
+		t.Errorf("module size changed %d -> %d despite zero-growth budget", before, got)
+	}
+}
+
+func TestApplyForceOpenExcluded(t *testing.T) {
+	mod, err := front.Module(smallSrc, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Apply(mod, 200, []string{"add"})
+	for _, s := range rep.Inlined {
+		if s.Callee == "add" {
+			t.Error("force-open procedure was inlined")
+		}
+	}
+	if mod.Lookup("add") == nil {
+		t.Error("force-open procedure was dropped")
+	}
+}
+
+const recursiveSrc = `
+func fact(n int) int {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+
+func main() {
+    print(fact(6));
+}
+`
+
+func TestApplySkipsCycles(t *testing.T) {
+	mod, err := front.Module(recursiveSrc, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Apply(mod, 1000, nil)
+	if rep.SitesInlined != 0 {
+		t.Errorf("inlined %d sites of a recursive callee", rep.SitesInlined)
+	}
+	if mod.Lookup("fact") == nil {
+		t.Error("recursive procedure was dropped while still called")
+	}
+}

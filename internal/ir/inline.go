@@ -1,0 +1,202 @@
+package ir
+
+import "fmt"
+
+// InlineCall splices a deep, renamed copy of callee's body into caller at
+// the given call site, the register-renaming discipline of the
+// `inline_procedures` exemplar lifted to basic-block IR: every callee temp
+// and local array is cloned into fresh caller storage, parameters become
+// explicit copies of the call's argument operands, and each return becomes
+// a copy of the returned value into the call's destination followed by a
+// jump to the continuation block (the instructions that followed the call).
+//
+// Block frequencies are scaled to the call site: with profiles attached,
+// each cloned block receives the callee block's measured count scaled by
+// siteCount/calleeEntryCount, and the scaled share is subtracted from the
+// original callee blocks (so a callee that stays live — other call sites,
+// address taken — keeps exactly the counts of the calls that remain).
+// Without profiles the cloned blocks inherit the callee's loop depth added
+// to the call site's, preserving the static 10^depth estimate.
+//
+// The caller's CFG is recomputed; the callee is left structurally intact.
+// The caller and callee must belong to the same module (globals and callees
+// referenced by the cloned body are shared, not remapped).
+func InlineCall(caller *Func, site CallSite, callee *Func) error {
+	call := site.Instr
+	if call.Op != OpCall || call.Callee != callee {
+		return fmt.Errorf("inline %s into %s: site is not a direct call to the callee", callee.Name, caller.Name)
+	}
+	if callee.Extern {
+		return fmt.Errorf("inline %s into %s: callee is extern", callee.Name, caller.Name)
+	}
+	if callee == caller {
+		return fmt.Errorf("inline %s: cannot inline a function into itself", callee.Name)
+	}
+	if len(call.Args) != len(callee.Params) {
+		return fmt.Errorf("inline %s into %s: arity %d != %d", callee.Name, caller.Name, len(call.Args), len(callee.Params))
+	}
+	b := site.Block
+	if site.Index >= len(b.Instrs) || b.Instrs[site.Index] != call {
+		return fmt.Errorf("inline %s into %s: stale call site", callee.Name, caller.Name)
+	}
+
+	// Continuation: the tail of the call block, entered by every inlined
+	// return. It runs exactly as often as the call block itself.
+	cont := caller.NewBlock()
+	cont.Instrs = append(cont.Instrs, b.Instrs[site.Index+1:]...)
+	cont.LoopDepth = b.LoopDepth
+	cont.ProfCount = b.ProfCount
+	b.Instrs = b.Instrs[:site.Index]
+
+	// Fresh caller storage for every callee temp and local array.
+	tmap := make(map[*Temp]*Temp, len(callee.temps))
+	for _, t := range callee.temps {
+		tmap[t] = caller.NewTemp(callee.Name+"$"+t.Name, t.IsVar)
+	}
+	amap := make(map[*LocalArray]*LocalArray, len(callee.LocalArrays))
+	for _, a := range callee.LocalArrays {
+		na := &LocalArray{
+			Name:     fmt.Sprintf("%s$%s.%d", callee.Name, a.Name, len(caller.LocalArrays)),
+			Size:     a.Size,
+			IsSpill:  a.IsSpill,
+			SpillVar: a.SpillVar,
+		}
+		caller.LocalArrays = append(caller.LocalArrays, na)
+		amap[a] = na
+	}
+
+	// Bind arguments to the cloned parameter temps, in order.
+	for i, p := range callee.Params {
+		b.Instrs = append(b.Instrs, copyInto(tmap[p], call.Args[i]))
+	}
+
+	// Frequency scaling: the share of the callee's measured counts owned by
+	// this call site.
+	siteCount := b.ProfCount
+	entryCount := int64(-1)
+	if len(callee.Blocks) > 0 {
+		entryCount = callee.Entry().ProfCount
+	}
+
+	bmap := make(map[*Block]*Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := caller.NewBlock()
+		nb.LoopDepth = cb.LoopDepth + b.LoopDepth
+		nb.ProfCount = scaledCount(cb.ProfCount, siteCount, entryCount)
+		bmap[cb] = nb
+	}
+
+	remapT := func(t *Temp) *Temp {
+		if t == nil {
+			return nil
+		}
+		if nt, ok := tmap[t]; ok {
+			return nt
+		}
+		return t
+	}
+	remapOp := func(o Operand) Operand {
+		o.Temp = remapT(o.Temp)
+		return o
+	}
+	for _, cb := range callee.Blocks {
+		nb := bmap[cb]
+		for _, in := range cb.Instrs {
+			if in.Op == OpRet {
+				if call.Dst != nil && in.retHasValue() {
+					nb.Instrs = append(nb.Instrs, copyInto(call.Dst, remapOp(in.A)))
+				}
+				nb.Instrs = append(nb.Instrs, &Instr{Op: OpJmp, Target: cont})
+				continue
+			}
+			v := *in
+			v.Dst = remapT(v.Dst)
+			v.A = remapOp(v.A)
+			v.B = remapOp(v.B)
+			if in.Args != nil {
+				v.Args = make([]Operand, len(in.Args))
+				for j, a := range in.Args {
+					v.Args[j] = remapOp(a)
+				}
+			}
+			if v.Arr.Local != nil {
+				v.Arr = ArrayRef{Local: amap[v.Arr.Local]}
+			}
+			if v.Target != nil {
+				v.Target = bmap[v.Target]
+			}
+			if v.Else != nil {
+				v.Else = bmap[v.Else]
+			}
+			nb.Instrs = append(nb.Instrs, &v)
+		}
+	}
+
+	// Consume this site's share of the callee's counts, leaving the
+	// remainder for the call sites that survive.
+	if siteCount >= 0 && entryCount > 0 {
+		for _, cb := range callee.Blocks {
+			if cb.ProfCount >= 0 {
+				taken := scaledCount(cb.ProfCount, siteCount, entryCount)
+				if taken > 0 {
+					cb.ProfCount -= taken
+					if cb.ProfCount < 0 {
+						cb.ProfCount = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Enter the inlined body where the call was.
+	b.Instrs = append(b.Instrs, &Instr{Op: OpJmp, Target: bmap[callee.Entry()]})
+	caller.ComputeCFG()
+	return nil
+}
+
+// copyInto builds the copy of an operand into dst: a const materializes, a
+// temp copies.
+func copyInto(dst *Temp, o Operand) *Instr {
+	if o.IsConst() {
+		return &Instr{Op: OpConst, Dst: dst, Imm: o.Const}
+	}
+	return &Instr{Op: OpCopy, Dst: dst, A: o}
+}
+
+// scaledCount apportions a callee block count to one call site:
+// count * site/entry, rounded down, clamped to the count itself. A missing
+// profile anywhere (-1) propagates.
+func scaledCount(count, site, entry int64) int64 {
+	if count < 0 || site < 0 {
+		return -1
+	}
+	if entry <= 0 {
+		return 0
+	}
+	s := count * site / entry
+	if s > count {
+		s = count
+	}
+	return s
+}
+
+// RemoveFuncs drops the given functions from the module, renumbering
+// nothing: remaining functions keep their identity, and function "values"
+// (module indices) are assigned at code generation from the surviving
+// order. The inliner uses it to drop procedures whose every call site was
+// absorbed. Removing a function that is still referenced leaves dangling
+// Callee pointers — callers must ensure the dropped set is unreachable.
+func (m *Module) RemoveFuncs(drop map[*Func]bool) {
+	if len(drop) == 0 {
+		return
+	}
+	kept := m.Funcs[:0]
+	for _, f := range m.Funcs {
+		if drop[f] {
+			delete(m.byName, f.Name)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	m.Funcs = kept
+}

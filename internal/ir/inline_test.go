@@ -1,0 +1,346 @@
+package ir
+
+import "testing"
+
+// buildAddFunc makes `func add(a, b) { return a + b }`.
+func buildAddFunc() *Func {
+	f := NewFunc("add")
+	f.Returns = true
+	a := f.NewTemp("a", true)
+	b := f.NewTemp("b", true)
+	f.Params = []*Temp{a, b}
+	r := f.NewTemp("", false)
+	blk := f.NewBlock()
+	op := TempOp(r)
+	blk.Instrs = []*Instr{
+		{Op: OpAdd, Dst: r, A: TempOp(a), B: TempOp(b)},
+		NewRet(&op),
+	}
+	f.ComputeCFG()
+	return f
+}
+
+// buildCaller makes `func main() { x = add(3, y); print(x) }` and returns
+// the module, caller and call site.
+func buildCaller(add *Func) (*Module, *Func, CallSite) {
+	m := NewModule()
+	m.AddFunc(add)
+	main := NewFunc("main")
+	m.AddFunc(main)
+	y := main.NewTemp("y", true)
+	x := main.NewTemp("x", true)
+	blk := main.NewBlock()
+	blk.Instrs = []*Instr{
+		{Op: OpConst, Dst: y, Imm: 4},
+		{Op: OpCall, Dst: x, Callee: add, Args: []Operand{ConstOp(3), TempOp(y)}},
+		{Op: OpPrint, A: TempOp(x)},
+		NewRet(nil),
+	}
+	main.ComputeCFG()
+	return m, main, main.CallSites()[0]
+}
+
+func TestInlineCallBasic(t *testing.T) {
+	add := buildAddFunc()
+	m, main, site := buildCaller(add)
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("inlined module fails verify: %v", err)
+	}
+	if n := len(main.CallSites()); n != 0 {
+		t.Errorf("call survived inlining: %d sites", n)
+	}
+	// The callee body is untouched and still verifies.
+	if err := Verify(add); err != nil {
+		t.Errorf("callee damaged: %v", err)
+	}
+	// No caller instruction may reference a callee temp or block.
+	calleeTemps := map[*Temp]bool{}
+	for _, ct := range add.Temps() {
+		calleeTemps[ct] = true
+	}
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses(nil) {
+				if calleeTemps[u] {
+					t.Fatalf("caller uses callee temp %s", u)
+				}
+			}
+			if in.Dst != nil && calleeTemps[in.Dst] {
+				t.Fatalf("caller writes callee temp %s", in.Dst)
+			}
+		}
+	}
+	// The inlined body must feed the result: an add of the bound params
+	// into a fresh temp, copied to x.
+	var sawAdd, sawResultCopy bool
+	x := main.Temps()[1]
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd {
+				sawAdd = true
+			}
+			if in.Op == OpCopy && in.Dst == x {
+				sawResultCopy = true
+			}
+		}
+	}
+	if !sawAdd || !sawResultCopy {
+		t.Errorf("spliced body incomplete: add=%v resultcopy=%v", sawAdd, sawResultCopy)
+	}
+}
+
+func TestInlineCallConstArgMaterializes(t *testing.T) {
+	add := buildAddFunc()
+	_, main, site := buildCaller(add)
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	// The const argument 3 must become an OpConst into the cloned param.
+	found := false
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpConst && in.Imm == 3 && in.Dst != nil && in.Dst.Name == "add$a" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("const argument was not materialized into the cloned parameter")
+	}
+}
+
+func TestInlineCallMidBlockTail(t *testing.T) {
+	// Instructions after the call must run after the inlined body, exactly
+	// once, on the path from every inlined return.
+	add := buildAddFunc()
+	_, main, site := buildCaller(add)
+	callBlock := site.Block
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	// The call block now ends in a jump into the inlined entry.
+	term := callBlock.Terminator()
+	if term == nil || term.Op != OpJmp {
+		t.Fatalf("call block terminator = %v", term)
+	}
+	// Walk from the inlined entry: every path must reach the print.
+	rpo := main.RPO()
+	var printBlock *Block
+	for _, b := range rpo {
+		for _, in := range b.Instrs {
+			if in.Op == OpPrint {
+				printBlock = b
+			}
+		}
+	}
+	if printBlock == nil {
+		t.Fatal("continuation (print) unreachable after inlining")
+	}
+	if len(printBlock.Preds) == 0 {
+		t.Error("continuation has no predecessors")
+	}
+}
+
+func TestInlineCallProfileScaling(t *testing.T) {
+	// Callee: entry count 100 (10 per call from this site's 10 plus 90
+	// from elsewhere). After inlining a site with count 10, the clone gets
+	// 10% of each callee block count and the callee keeps the rest.
+	add := buildAddFunc()
+	add.Entry().SetProfile(100)
+	m, main, site := buildCaller(add)
+	site.Block.SetProfile(10)
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	if got := add.Entry().ProfCount; got != 90 {
+		t.Errorf("callee entry count after inline = %d, want 90", got)
+	}
+	var cloneCount int64 = -2
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd {
+				cloneCount = b.ProfCount
+			}
+		}
+	}
+	if cloneCount != 10 {
+		t.Errorf("cloned body count = %d, want 10", cloneCount)
+	}
+	_ = m
+}
+
+func TestInlineCallNoProfileLoopDepth(t *testing.T) {
+	add := buildAddFunc()
+	add.Entry().LoopDepth = 1
+	_, main, site := buildCaller(add)
+	site.Block.LoopDepth = 2
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	var cloneDepth = -1
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd {
+				cloneDepth = b.LoopDepth
+			}
+		}
+	}
+	if cloneDepth != 3 {
+		t.Errorf("cloned body depth = %d, want 3 (2 site + 1 callee)", cloneDepth)
+	}
+	for _, b := range main.Blocks {
+		if b.ProfCount != -1 {
+			t.Errorf("block %s has prof count %d without a profile", b.Name, b.ProfCount)
+		}
+	}
+}
+
+func TestInlineCallVoidCallee(t *testing.T) {
+	g := &Global{Name: "g", Size: 1}
+	callee := NewFunc("store")
+	v := callee.NewTemp("v", true)
+	callee.Params = []*Temp{v}
+	cb := callee.NewBlock()
+	cb.Instrs = []*Instr{
+		{Op: OpStoreG, Global: g, A: TempOp(v)},
+		NewRet(nil),
+	}
+	callee.ComputeCFG()
+
+	m := NewModule()
+	m.Globals = append(m.Globals, g)
+	m.AddFunc(callee)
+	main := NewFunc("main")
+	m.AddFunc(main)
+	mb := main.NewBlock()
+	mb.Instrs = []*Instr{
+		{Op: OpCall, Callee: callee, Args: []Operand{ConstOp(7)}},
+		NewRet(nil),
+	}
+	main.ComputeCFG()
+
+	if err := InlineCall(main, main.CallSites()[0], callee); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("void inline fails verify: %v", err)
+	}
+	found := false
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpStoreG && in.Global == g {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("void callee body not spliced")
+	}
+}
+
+func TestInlineCallLocalArraysCloned(t *testing.T) {
+	callee := NewFunc("buf")
+	callee.Returns = true
+	arr := &LocalArray{Name: "tmp", Size: 4}
+	callee.LocalArrays = []*LocalArray{arr}
+	r := callee.NewTemp("", false)
+	cb := callee.NewBlock()
+	op := TempOp(r)
+	cb.Instrs = []*Instr{
+		{Op: OpStoreIdx, Arr: ArrayRef{Local: arr}, A: ConstOp(0), B: ConstOp(9)},
+		{Op: OpLoadIdx, Dst: r, Arr: ArrayRef{Local: arr}, A: ConstOp(0)},
+		NewRet(&op),
+	}
+	callee.ComputeCFG()
+
+	m := NewModule()
+	m.AddFunc(callee)
+	main := NewFunc("main")
+	m.AddFunc(main)
+	x := main.NewTemp("x", true)
+	mb := main.NewBlock()
+	mb.Instrs = []*Instr{
+		{Op: OpCall, Dst: x, Callee: callee},
+		{Op: OpPrint, A: TempOp(x)},
+		NewRet(nil),
+	}
+	main.ComputeCFG()
+
+	if err := InlineCall(main, main.CallSites()[0], callee); err != nil {
+		t.Fatal(err)
+	}
+	if len(main.LocalArrays) != 1 {
+		t.Fatalf("caller local arrays = %d, want 1", len(main.LocalArrays))
+	}
+	clone := main.LocalArrays[0]
+	if clone == arr {
+		t.Fatal("local array shared, not cloned")
+	}
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Arr.Local == arr {
+				t.Fatal("caller references callee local array")
+			}
+		}
+	}
+	if clone.Size != 4 {
+		t.Errorf("clone size = %d", clone.Size)
+	}
+}
+
+func TestInlineCallErrors(t *testing.T) {
+	add := buildAddFunc()
+	_, main, site := buildCaller(add)
+
+	// Self-inline.
+	if err := InlineCall(main, site, main); err == nil {
+		t.Error("self-inline accepted")
+	}
+	// Extern callee.
+	ext := NewFunc("ext")
+	ext.Extern = true
+	bad := site
+	bad.Instr = &Instr{Op: OpCall, Callee: ext}
+	if err := InlineCall(main, bad, ext); err == nil {
+		t.Error("extern inline accepted")
+	}
+	// Stale site: inline once, then reuse the same handle.
+	if err := InlineCall(main, site, add); err != nil {
+		t.Fatal(err)
+	}
+	if err := InlineCall(main, site, add); err == nil {
+		t.Error("stale call site accepted")
+	}
+}
+
+func TestRemoveFuncs(t *testing.T) {
+	m := NewModule()
+	a := NewFunc("a")
+	b := NewFunc("b")
+	c := NewFunc("c")
+	for _, f := range []*Func{a, b, c} {
+		blk := f.NewBlock()
+		blk.Instrs = []*Instr{NewRet(nil)}
+		m.AddFunc(f)
+	}
+	m.RemoveFuncs(map[*Func]bool{b: true})
+	if len(m.Funcs) != 2 || m.Funcs[0] != a || m.Funcs[1] != c {
+		t.Fatalf("funcs after removal: %v", m.Funcs)
+	}
+	if m.Lookup("b") != nil {
+		t.Error("removed func still resolvable")
+	}
+	if m.Lookup("a") != a || m.Lookup("c") != c {
+		t.Error("surviving funcs unresolvable")
+	}
+	if m.FuncIndex(a) != 1 || m.FuncIndex(c) != 2 {
+		t.Error("indices not dense after removal")
+	}
+	m.RemoveFuncs(nil) // no-op
+	if len(m.Funcs) != 2 {
+		t.Error("nil removal changed the module")
+	}
+}

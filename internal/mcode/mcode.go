@@ -97,6 +97,13 @@ type Instr struct {
 	Imm    int64 // immediate / address offset
 	Target int   // absolute code index for branches, jumps and JAL
 	Class  MemClass
+	// Linkage marks call-linkage overhead: instructions that exist only to
+	// cross a procedure boundary — frame setup/teardown, argument and
+	// return-value marshalling, the transfer itself. Save/restore traffic
+	// (ClassSaveRestore) is never flagged, so the tracer's linkage-cycle and
+	// save/restore buckets partition call overhead disjointly; inlining
+	// removes the former and may add the latter.
+	Linkage bool
 }
 
 // String disassembles the instruction.

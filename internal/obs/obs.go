@@ -89,6 +89,12 @@ const (
 	CIncrDeltaPropagations
 	CIncrDemandCompiles
 	CIncrCodeReused
+	// Profile-guided inlining (internal/inline).
+	CInlineSitesConsidered
+	CInlineSitesInlined
+	CInlineBudgetStopped
+	CInlineProcsEliminated
+	CInlineDiscards
 
 	NumCounters
 )
@@ -143,6 +149,12 @@ var counterNames = [NumCounters]string{
 	CIncrDeltaPropagations: "incr.delta_propagations",
 	CIncrDemandCompiles:    "incr.demand_compiles",
 	CIncrCodeReused:        "incr.code_reused",
+
+	CInlineSitesConsidered: "inline.sites_considered",
+	CInlineSitesInlined:    "inline.sites_inlined",
+	CInlineBudgetStopped:   "inline.budget_stopped",
+	CInlineProcsEliminated: "inline.procs_eliminated",
+	CInlineDiscards:        "inline.discards",
 }
 
 // Name returns the counter's report name.
@@ -191,6 +203,7 @@ const (
 	PhasePredecode
 	PhaseRun
 	PhaseIncr
+	PhaseInline
 
 	NumPhases
 )
@@ -208,6 +221,7 @@ var phaseNames = [NumPhases]string{
 	PhasePredecode: "predecode",
 	PhaseRun:       "run",
 	PhaseIncr:      "incremental",
+	PhaseInline:    "inline",
 }
 
 // Name returns the phase's span category / report name.

@@ -69,6 +69,46 @@ func (d Demotion) String() string {
 	return fmt.Sprintf("%s: %s after %s failure (%s)", d.Func, d.Action, d.Phase, d.Reason)
 }
 
+// InlineReport summarizes one run of the profile-guided inliner over a
+// module: what was considered, what was spliced, what the growth budget
+// refused, and which procedures became uncalled and were dropped. It rides
+// on core.ProgramPlan and chow88.Program so drivers can print the one-line
+// diagnostic without re-deriving anything.
+type InlineReport struct {
+	// Budget is the code-growth allowance in percent of the pre-inlining
+	// instruction count.
+	Budget int
+	// BaseInstrs / FinalInstrs are IR instruction counts before and after.
+	BaseInstrs      int
+	FinalInstrs     int
+	SitesConsidered int
+	SitesInlined    int
+	// BudgetStopped counts candidates skipped because splicing them would
+	// have exceeded the growth budget.
+	BudgetStopped   int
+	ProcsEliminated int
+	// Inlined lists the accepted sites in the order they were spliced.
+	Inlined []InlinedSite `json:",omitempty"`
+}
+
+// InlinedSite is one accepted inlining decision.
+type InlinedSite struct {
+	Caller string
+	Callee string
+	// Freq is the call block's execution-frequency estimate at decision
+	// time (measured count under profile feedback, 10^depth otherwise).
+	Freq float64
+}
+
+// String is the one-line driver diagnostic.
+func (r *InlineReport) String() string {
+	if r == nil {
+		return ""
+	}
+	return fmt.Sprintf("inline: %d/%d sites inlined, %d procs eliminated, ir %d -> %d instrs (budget %d%%, %d stopped)",
+		r.SitesInlined, r.SitesConsidered, r.ProcsEliminated, r.BaseInstrs, r.FinalInstrs, r.Budget, r.BudgetStopped)
+}
+
 // RunReport describes one simulator run.
 type RunReport struct {
 	Report

@@ -28,6 +28,7 @@ import (
 	"chow88/internal/core"
 	"chow88/internal/front"
 	"chow88/internal/incr"
+	"chow88/internal/inline"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
@@ -67,7 +68,46 @@ type offender struct {
 // after planning and after code generation, worker panics are contained,
 // and offending procedures degrade per the ladder; every intervention is
 // returned as an obs.Demotion (and counted on the active obs session).
+//
+// With mode.Inline set, the profile-guided procedure integrator rewrites
+// mod in place first (so any profile counts attached to its blocks are
+// honored), and the whole validated pipeline runs on the integrated
+// program. Should that build fail and the mode is not Strict, the inlining
+// is discarded wholesale — the pipeline reruns on a pristine pre-inlining
+// clone and records the retreat as a Demotion — because a partial
+// un-inlining cannot be expressed once blocks are spliced. The returned
+// plan's Module is the module actually compiled; with a discard that is
+// the clone, not mod.
 func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+	if !mode.Inline {
+		return build(mod, mode)
+	}
+	budget := mode.InlineBudget
+	if budget == 0 {
+		budget = inline.DefaultBudget
+	}
+	pristine := ir.CloneModule(mod)
+	rep := inline.Apply(mod, budget, mode.ForceOpen)
+	pp, prog, demotions, err := build(mod, mode)
+	if err == nil {
+		pp.Inline = rep
+		return pp, prog, demotions, nil
+	}
+	if mode.Strict {
+		return pp, nil, demotions, err
+	}
+	obs.Current().Add(obs.CInlineDiscards, 1)
+	pp, prog, demotions, err2 := build(pristine, mode)
+	if err2 != nil {
+		return pp, nil, demotions, err2
+	}
+	demotions = append(demotions, obs.Demotion{
+		Func: "*", Phase: "inline", Action: "discard-inlining", Reason: err.Error(),
+	})
+	return pp, prog, demotions, nil
+}
+
+func build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
 	pp := core.PlanModule(mod, mode)
 	if !mode.Validate {
 		prog, err := codegen.Generate(pp)
@@ -139,6 +179,15 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 // The returned state describes the new revision for the next round; it is
 // nil when the build degraded (demotions) or the source resists chunking.
 func BuildIncremental(src string, mode core.Mode, st *incr.State) (*IncrementalResult, error) {
+	// Inlining rewrites the module after the front end, so the statefile's
+	// chunk-to-function correspondence no longer describes the compiled
+	// program: never reuse prior state and never capture new state under
+	// it. (The mode fingerprint rejects cross-mode reuse anyway; this gate
+	// makes the policy explicit and skips the work.)
+	if mode.Inline {
+		obs.Current().Add(obs.CIncrFullRebuild, 1)
+		return fullBuildIncremental(src, mode, "inlining enabled")
+	}
 	reason := "no previous state"
 	if st != nil {
 		out, r := incr.Apply(src, mode, st)
@@ -187,7 +236,8 @@ func fullBuildIncremental(src string, mode core.Mode, reason string) (*Increment
 	res := &IncrementalResult{Plan: pp, Prog: prog, FallbackReason: reason, Demotions: demotions}
 	// A degraded plan reflects this build's repair history, not a function
 	// of the source alone; don't let it seed future incremental rounds.
-	if len(demotions) == 0 {
+	// Inlined builds never capture: see BuildIncremental.
+	if len(demotions) == 0 && !mode.Inline {
 		if st, err := incr.Capture(src, mode, pp); err == nil {
 			res.State = st
 		}

@@ -16,10 +16,17 @@ import (
 // Stats accumulates the trace counters for one program run.
 type Stats struct {
 	Cycles int64
-	Instrs int64
-	Calls  int64 // executed JAL/JALR
-	Loads  int64
-	Stores int64
+	// LinkageCycles counts cycles spent on instructions the code generator
+	// flagged as call-linkage overhead (frame setup/teardown, argument and
+	// result marshalling, the control transfer itself) — disjoint from
+	// save/restore traffic, which SaveRestoreLS reports. Together the two
+	// attribute where procedure-call overhead went, which is how the
+	// inline-vs-IPRA experiment explains its cycle deltas.
+	LinkageCycles int64
+	Instrs        int64
+	Calls         int64 // executed JAL/JALR
+	Loads         int64
+	Stores        int64
 	// LoadsByClass and StoresByClass index by mcode.MemClass.
 	LoadsByClass  [5]int64
 	StoresByClass [5]int64
@@ -36,6 +43,7 @@ func (s *Stats) Add(d *Stats) { s.AddN(d, 1) }
 // the end — one AddN per basic block with n = its entry count.
 func (s *Stats) AddN(d *Stats, n int64) {
 	s.Cycles += n * d.Cycles
+	s.LinkageCycles += n * d.LinkageCycles
 	s.Instrs += n * d.Instrs
 	s.Calls += n * d.Calls
 	s.Loads += n * d.Loads
@@ -92,6 +100,7 @@ func (s *Stats) Diff(o *Stats) string {
 		}
 	}
 	line("cycles", s.Cycles, o.Cycles)
+	line("linkage cycles", s.LinkageCycles, o.LinkageCycles)
 	line("instructions", s.Instrs, o.Instrs)
 	line("calls", s.Calls, o.Calls)
 	line("loads", s.Loads, o.Loads)
@@ -133,6 +142,7 @@ func PrintRun(out, errw io.Writer, label string, output []int64, st *Stats) {
 func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles            %12d\n", s.Cycles)
+	fmt.Fprintf(&b, "linkage cycles    %12d\n", s.LinkageCycles)
 	fmt.Fprintf(&b, "instructions      %12d\n", s.Instrs)
 	fmt.Fprintf(&b, "calls             %12d (%.1f cycles/call)\n", s.Calls, s.CyclesPerCall())
 	fmt.Fprintf(&b, "loads             %12d\n", s.Loads)

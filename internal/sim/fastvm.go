@@ -134,6 +134,9 @@ func (m *machine) faultEnts(img *image, ents []entCnt, bi int32, fpc int, msg st
 	}
 	st.Instrs++
 	st.Cycles++
+	if m.p.Code[fpc].Linkage {
+		st.LinkageCycles++
+	}
 	switch m.p.Code[fpc].Op {
 	case mcode.DIV, mcode.REM:
 		st.Cycles += 34

@@ -383,6 +383,9 @@ func isControl(op mcode.OpCode) bool {
 func addInstrStats(st *pixie.Stats, in *mcode.Instr) {
 	st.Instrs++
 	st.Cycles++
+	if in.Linkage {
+		st.LinkageCycles++
+	}
 	switch in.Op {
 	case mcode.MUL:
 		st.Cycles += 11

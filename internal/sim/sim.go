@@ -433,6 +433,9 @@ func (m *machine) interpret(pc int, stopAt []int32) (int, bool, error) {
 			return 0, true, fmt.Errorf("pc %d: %w", pc, ErrLimit)
 		}
 		st.Cycles++
+		if in.Linkage {
+			st.LinkageCycles++
+		}
 		nextPC := pc + 1
 
 		switch in.Op {

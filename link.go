@@ -105,6 +105,19 @@ func CompileUnitsIncremental(mode Mode, statePath string, srcs ...string) (*Prog
 	return CompileIncremental(ast.Format(linked), mode, statePath)
 }
 
+// CompileUnitsProfiled links the units (§7) and compiles the whole program
+// with profile feedback: a baseline training build runs once to attach
+// measured block frequencies before the final build under mode (which, with
+// mode.Inline set, also drives the procedure integrator from those
+// measurements). With a single unit it is equivalent to CompileProfiled.
+func CompileUnitsProfiled(mode Mode, srcs ...string) (*Program, error) {
+	linked, err := LinkUnits(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProfiled(ast.Format(linked), mode)
+}
+
 // CompileSeparate compiles the units without cross-unit linking, the
 // paper's separate-compilation regime: every function that other units
 // import (extern) is forced open, so its callers must assume the default

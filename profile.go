@@ -72,11 +72,27 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 		return nil, err
 	}
 	sp.End()
-	p := &Program{Mode: mode, Module: mod, Plan: plan, Code: code, Demotions: demotions}
+	p := &Program{Mode: mode, Module: plan.Module, Plan: plan, Code: code, Demotions: demotions, Inline: plan.Inline}
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap1), Training: training, Demotions: demotions}
 	}
 	return p, nil
+}
+
+// CompileInlined is the profile-guided inlining entry point: a training
+// build and run under the baseline mode attach measured block frequencies
+// (exactly as CompileProfiled), and the final build then runs the procedure
+// integrator on the profiled IR before planning — so call sites are ranked
+// by how often they actually executed, not by loop-depth guesses. budget is
+// the code-growth allowance in percent of the pre-inlining instruction
+// count; 0 selects the pass default.
+//
+// The training build itself never inlines: it exists to measure the
+// program's call structure, which inlining would erase.
+func CompileInlined(src string, mode Mode, budget int) (*Program, error) {
+	mode.Inline = true
+	mode.InlineBudget = budget
+	return CompileProfiled(src, mode)
 }
 
 // ApplyProfile folds a profiling run's per-instruction execution counts back
