@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt-check vet chaos incr native inline fuzz trace clean
+.PHONY: all build test race bench benchjson ci fmt-check vet chaos incr native inline fuzz trace clean
 
 all: build
 
@@ -21,6 +21,13 @@ race:
 # compare with benchstat (see README "Benchmarking the compiler").
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchmem ./
+
+# Benchmark trajectory snapshot: one-iteration rows for the compile,
+# simulator and inliner benchmarks (including the paper-* custom metrics),
+# converted to JSON so successive PRs accumulate comparable BENCH_*.json
+# files instead of unparsed bench text.
+benchjson:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim|BenchmarkInline' -benchmem -benchtime 1x ./ | $(GO) run ./cmd/benchjson -o BENCH_8.json
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -82,12 +89,13 @@ fuzz:
 # test suite (./... includes the incr and front packages, so the
 # incremental driver's concurrency runs under the detector), the
 # incremental differential suite, a one-iteration smoke of the compile,
-# incremental and simulator benchmarks (all three engines) plus the
-# obs-disabled zero-allocation check, and a short smoke of both fuzz
-# targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race incr native inline
-	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchtime 1x ./
+# incremental, simulator (all three engines) and inliner benchmarks (via
+# benchjson, which also refreshes the BENCH_8.json trajectory snapshot),
+# the obs- and explain-disabled zero-allocation checks, and a short smoke
+# of both fuzz targets (seed corpus + a few seconds of mutation).
+ci: fmt-check vet build race incr native inline benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
+	$(GO) test -run '^$$' -bench 'BenchmarkExplainDisabled' -benchtime 1x ./internal/explain
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./
 

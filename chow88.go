@@ -27,6 +27,7 @@ package chow88
 
 import (
 	"chow88/internal/core"
+	"chow88/internal/explain"
 	"chow88/internal/front"
 	"chow88/internal/incr"
 	"chow88/internal/interp"
@@ -119,7 +120,17 @@ func Compile(src string, mode Mode) (*Program, error) {
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: demotions}
 	}
+	attachExplain(p)
 	return p, nil
+}
+
+// attachExplain snapshots the active decision journal (if any) onto the
+// program's compile report, so chowcc -json and the explaindiff artifacts
+// fall out of the ordinary report path.
+func attachExplain(p *Program) {
+	if j := explain.Current(); j != nil && p.Report != nil {
+		p.Report.Explain = j.Artifact()
+	}
 }
 
 // CompileIncremental compiles src like Compile, reusing the previous
@@ -153,6 +164,9 @@ func CompileIncremental(src string, mode Mode, statePath string) (*Program, erro
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap), Demotions: res.Demotions}
 	}
+	// On the incremental path the journal covers only the replanned
+	// frontier: reused plans and code were never re-decided this round.
+	attachExplain(p)
 	return p, nil
 }
 

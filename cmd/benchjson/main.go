@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark-trajectory document. Each benchmark row keeps its benchstat
+// name and iteration count plus every reported metric — the standard
+// ns/op, B/op and allocs/op and the suite's custom paper metrics
+// (paper-cycles, paper-saverestore, ...) — so successive PRs can append
+// comparable snapshots (BENCH_8.json and friends) without re-parsing
+// bench text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./ | benchjson -o BENCH.json
+//
+// Input may also be a file argument. Lines that are not benchmark rows
+// (goos/goarch/pkg/cpu headers, PASS/ok trailers) inform the header
+// fields; anything unrecognized is ignored, so the tool tolerates
+// interleaved test log output. Exit status 1 means the input held no
+// benchmark rows at all.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result: the full sub-benchmark name (including the
+// -cpus suffix, as benchstat keys it), the iteration count, and every
+// metric the row reported, keyed by unit.
+type Row struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the whole document: the run's environment header and its rows.
+type File struct {
+	Goos       string `json:"goos,omitempty"`
+	Goarch     string `json:"goarch,omitempty"`
+	Pkg        string `json:"pkg,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	Benchmarks []Row  `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench.txt]")
+		os.Exit(2)
+	}
+
+	b, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	file, err := parseBench(b)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d rows\n", *out, len(file.Benchmarks))
+}
+
+// parseBench extracts the environment header and benchmark rows from go
+// test -bench output. An input with no rows is an error: it usually means
+// the -bench pattern matched nothing.
+func parseBench(b []byte) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if row, ok := parseRow(line); ok {
+				f.Benchmarks = append(f.Benchmarks, row)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark rows in input")
+	}
+	return f, nil
+}
+
+// parseRow parses one result line: name, iteration count, then
+// value/unit pairs ("123456 ns/op", "4096 paper-saverestore").
+func parseRow(line string) (Row, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Row{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Row{}, false
+	}
+	row := Row{Name: fields[0], N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Row{}, false
+		}
+		row.Metrics[fields[i+1]] = v
+	}
+	return row, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

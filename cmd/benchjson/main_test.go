@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: chow88
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkCompile/nim/C-8         	     100	  1234567 ns/op	  345678 B/op	    4567 allocs/op
+BenchmarkSim/nim/fast-8          	       3	 98765432 ns/op	     12345 paper-cycles	      42 paper-saverestore
+BenchmarkInline/nim/on-8         	       1	  5555555 ns/op
+PASS
+ok  	chow88	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.Pkg != "chow88" {
+		t.Errorf("header = %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d rows, want 3", len(f.Benchmarks))
+	}
+	r := f.Benchmarks[0]
+	if r.Name != "BenchmarkCompile/nim/C-8" || r.N != 100 {
+		t.Errorf("row 0 = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 1234567 || r.Metrics["allocs/op"] != 4567 {
+		t.Errorf("row 0 metrics = %v", r.Metrics)
+	}
+	if f.Benchmarks[1].Metrics["paper-saverestore"] != 42 {
+		t.Errorf("custom paper metric lost: %v", f.Benchmarks[1].Metrics)
+	}
+	if len(f.Benchmarks[2].Metrics) != 1 {
+		t.Errorf("row without -benchmem should have one metric: %v", f.Benchmarks[2].Metrics)
+	}
+}
+
+// Interleaved non-benchmark noise (test log lines, chowcc diagnostics) must
+// not break parsing.
+func TestParseBenchTolerantOfNoise(t *testing.T) {
+	noisy := strings.Replace(sample, "PASS\n",
+		"chowcc: pgo: measured block frequencies attached\nsome random log line\nPASS\n", 1)
+	f, err := parseBench([]byte(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Errorf("got %d rows, want 3", len(f.Benchmarks))
+	}
+}
+
+func TestParseBenchEmptyInputFails(t *testing.T) {
+	if _, err := parseBench([]byte("goos: linux\nPASS\n")); err == nil {
+		t.Error("input without rows parsed without error")
+	}
+}
+
+// A benchmark name line without results (the line go test prints before
+// the result when -v interleaves) must be skipped, not mis-parsed.
+func TestParseRowRejectsBareNames(t *testing.T) {
+	if _, ok := parseRow("BenchmarkCompile/nim/C"); ok {
+		t.Error("bare benchmark name parsed as a row")
+	}
+	if _, ok := parseRow("BenchmarkCompile/nim/C-8 \t notanumber ns/op"); ok {
+		t.Error("malformed count parsed as a row")
+	}
+}

@@ -22,6 +22,12 @@
 //	-ir              print the optimized IR
 //	-plan            print the call graph, open/closed classification and
 //	                 register summaries
+//	-explain[=proc]  print the decision-provenance journal: every allocation
+//	                 decision (classification, spills, §6 wrap choices,
+//	                 linkage negotiation, save/restore placements, inlining
+//	                 verdicts) with its cause; optionally filtered to one
+//	                 procedure. With -json the journal attaches to the
+//	                 compile report instead (field "Explain")
 //	-open f,g        force the named procedures open (separate compilation)
 //	-pgo             profile-guided build: a baseline training run attaches
 //	                 measured block frequencies before the final compile
@@ -72,6 +78,7 @@ import (
 	"chow88"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/explain"
 	"chow88/internal/front"
 	"chow88/internal/inline"
 	"chow88/internal/ir"
@@ -120,6 +127,28 @@ func (v *inlineFlag) Set(s string) error {
 	return nil
 }
 
+// explainFlag is the -explain[=proc] value: bool-like (bare -explain prints
+// the whole journal) but also accepting a procedure name to filter to.
+type explainFlag struct {
+	set  bool
+	proc string
+}
+
+func (v *explainFlag) String() string   { return v.proc }
+func (v *explainFlag) IsBoolFlag() bool { return true }
+func (v *explainFlag) Set(s string) error {
+	if s == "false" {
+		v.set = false
+		v.proc = ""
+		return nil
+	}
+	v.set = true
+	if s != "true" {
+		v.proc = s
+	}
+	return nil
+}
+
 func main() {
 	o3 := flag.Bool("O3", false, "enable inter-procedural register allocation")
 	o2 := flag.Bool("O2", true, "baseline global optimization (always on)")
@@ -134,6 +163,8 @@ func main() {
 	pgo := flag.Bool("pgo", false, "profile-guided build (baseline training run attaches block frequencies)")
 	var inlineOpt inlineFlag
 	flag.Var(&inlineOpt, "inline", "profile-guided inlining, optionally with a code-growth budget percent (implies -pgo)")
+	var explainOpt explainFlag
+	flag.Var(&explainOpt, "explain", "print the decision-provenance journal, optionally filtered to one procedure")
 	incrPath := flag.String("incremental", "", "statefile enabling incremental recompilation (created if missing)")
 	strict := flag.Bool("strict", false, "fail on linkage-invariant violations instead of degrading")
 	validate := flag.Bool("validate", true, "run the linkage-invariant validator after planning and codegen")
@@ -145,6 +176,9 @@ func main() {
 
 	if *stats || *jsonOut || *traceOut != "" {
 		obs.Begin(obs.Options{Trace: *traceOut != ""})
+	}
+	if explainOpt.set {
+		explain.Begin()
 	}
 
 	if err := sim.ValidateEngine(*engine); err != nil {
@@ -234,8 +268,11 @@ func main() {
 	if *doAsm {
 		fmt.Print(prog.Disassemble())
 	}
+	if explainOpt.set && !*jsonOut {
+		fmt.Print(explain.Current().Artifact().Narrative(explainOpt.proc))
+	}
 	var res *chow88.RunResult
-	if *doRun || *jsonOut || !(*doIR || *doPlan || *doAsm) {
+	if *doRun || *jsonOut || !(*doIR || *doPlan || *doAsm || explainOpt.set) {
 		res, err = prog.RunWith(chow88.RunOptions{Deadline: *timeout, Engine: *engine})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,132 @@
+// Command explaindiff attributes the save/restore (and hence linkage-cycle)
+// difference between two compiles to the specific allocation decisions that
+// changed. Its inputs are two decision-provenance journals: either whole
+// `chowcc -explain -json` documents (in which case each run's pixie stats
+// supply a measured delta to attribute) or bare explain artifacts (the
+// "Explain" field alone), in any combination.
+//
+// For every save/restore site that appears in one journal but not the other
+// — or appears in both with a different expected execution count — the tool
+// prints the site, its cause (shrink-wrap equation, entry/exit default,
+// around-call, return address) and the frequency-weighted operation delta,
+// followed by the changed non-placement decisions ("because:" lines — a
+// classification flip, a §6 wrap reversal, a renegotiated parameter, an
+// inliner verdict) that explain it. The per-site deltas sum to a predicted
+// save/restore cycle delta; when both inputs carry run statistics the
+// prediction is compared against the measured SaveRestoreLS difference and
+// the attributed percentage reported.
+//
+// Usage:
+//
+//	explaindiff [-json] a.json b.json
+//
+// The report reads as "what changed going from a to b". Exit status 1 means
+// an input could not be read or carried no journal; 2 is a usage error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"chow88/internal/explain"
+	"chow88/internal/pixie"
+)
+
+func main() {
+	jsonOut := false
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: explaindiff [-json] a.json b.json")
+		os.Exit(2)
+	}
+	if err := run(args[0], args[1], jsonOut, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "explaindiff:", err)
+		os.Exit(1)
+	}
+}
+
+// input is one loaded journal plus the run stats that came with it.
+type input struct {
+	name  string
+	art   *explain.Artifact
+	stats *pixie.Stats
+}
+
+// doc matches the two accepted shapes at once: a chowcc -json document
+// (Mode/Stats/Compile.Explain) and a bare artifact (procs/module). Pointer
+// fields distinguish "absent" from "empty".
+type doc struct {
+	Mode    string       `json:"Mode"`
+	Stats   *pixie.Stats `json:"Stats"`
+	Compile *struct {
+		Explain *explain.Artifact `json:"Explain"`
+	} `json:"Compile"`
+	Procs  *[]explain.ProcJournal `json:"procs"`
+	Module []explain.Decision     `json:"module"`
+}
+
+func load(path string) (*input, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	in := &input{name: filepath.Base(path), stats: d.Stats}
+	if d.Mode != "" {
+		in.name = fmt.Sprintf("%s (%s)", filepath.Base(path), d.Mode)
+	}
+	switch {
+	case d.Compile != nil && d.Compile.Explain != nil:
+		in.art = d.Compile.Explain
+	case d.Procs != nil:
+		in.art = &explain.Artifact{Procs: *d.Procs, Module: d.Module}
+	default:
+		return nil, fmt.Errorf("%s: no explain journal (compile with chowcc -explain -json)", path)
+	}
+	return in, nil
+}
+
+func run(aPath, bPath string, jsonOut bool, out io.Writer) error {
+	a, err := load(aPath)
+	if err != nil {
+		return err
+	}
+	b, err := load(bPath)
+	if err != nil {
+		return err
+	}
+	d := explain.DiffArtifacts(a.art, b.art)
+	var measured float64
+	haveMeasured := a.stats != nil && b.stats != nil
+	if haveMeasured {
+		measured = float64(b.stats.SaveRestoreLS() - a.stats.SaveRestoreLS())
+	}
+	if jsonOut {
+		rep := struct {
+			A string `json:"a"`
+			B string `json:"b"`
+			*explain.Diff
+			Measured    *float64 `json:"measured_save_restore_delta,omitempty"`
+			Attribution *float64 `json:"attribution_percent,omitempty"`
+		}{A: a.name, B: b.name, Diff: d}
+		if haveMeasured {
+			att := d.Attribution(measured)
+			rep.Measured, rep.Attribution = &measured, &att
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	_, err = fmt.Fprint(out, d.Format(a.name, b.name, measured, haveMeasured))
+	return err
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chow88"
+	"chow88/internal/explain"
+	"chow88/internal/obs"
+	"chow88/internal/pixie"
+)
+
+// compileDoc compiles src under mode with the journal active and returns a
+// chowcc -json-shaped document.
+func compileDoc(t *testing.T, src string, mode chow88.Mode) []byte {
+	t.Helper()
+	obs.Begin(obs.Options{})
+	explain.Begin()
+	defer explain.End()
+	defer obs.End()
+	prog, err := chow88.Compile(src, mode)
+	if err != nil {
+		t.Fatalf("compile %s: %v", mode.Name, err)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", mode.Name, err)
+	}
+	doc := struct {
+		Mode    string
+		Stats   pixie.Stats
+		Compile *obs.CompileReport
+	}{mode.Name, res.Stats, prog.Report}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+const src = `
+func leaf(a int, b int) int {
+    var s int;
+    var i int;
+    for (i = 0; i < 8; i = i + 1) { s = s + a * b + i; }
+    return s;
+}
+func mid(x int) int {
+    var acc int;
+    var i int;
+    for (i = 0; i < 6; i = i + 1) { acc = acc + leaf(x, i); }
+    return acc;
+}
+func main() {
+    var t int;
+    var i int;
+    for (i = 0; i < 5; i = i + 1) { t = t + mid(i); }
+    print(t);
+}
+`
+
+func writeDocs(t *testing.T) (aPath, bPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	aPath = filepath.Join(dir, "b.json")
+	bPath = filepath.Join(dir, "c.json")
+	if err := os.WriteFile(aPath, compileDoc(t, src, chow88.ModeB()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, compileDoc(t, src, chow88.ModeC()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return aPath, bPath
+}
+
+func TestDiffChowccDocs(t *testing.T) {
+	aPath, bPath := writeDocs(t)
+	var out strings.Builder
+	if err := run(aPath, bPath, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "predicted save/restore delta:") {
+		t.Errorf("report missing prediction line:\n%s", got)
+	}
+	if !strings.Contains(got, "measured  save/restore delta:") {
+		t.Errorf("both docs carry stats but report has no measured line:\n%s", got)
+	}
+	if !strings.Contains(got, "% attributed") {
+		t.Errorf("report missing attribution:\n%s", got)
+	}
+}
+
+func TestDiffJSONOutput(t *testing.T) {
+	aPath, bPath := writeDocs(t)
+	var out strings.Builder
+	if err := run(aPath, bPath, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		A            string  `json:"a"`
+		B            string  `json:"b"`
+		PredictedOps float64 `json:"predicted_save_restore_ops"`
+		Measured     *float64
+		Attribution  *float64 `json:"attribution_percent"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.A == "" || rep.B == "" {
+		t.Errorf("missing input labels: %+v", rep)
+	}
+	if rep.Attribution == nil {
+		t.Errorf("missing attribution despite stats on both inputs")
+	}
+}
+
+// A bare artifact (the Explain field alone) must also load, and without
+// stats the report carries no measured line.
+func TestDiffBareArtifacts(t *testing.T) {
+	aPath, bPath := writeDocs(t)
+	dir := t.TempDir()
+	for i, p := range []*string{&aPath, &bPath} {
+		b, err := os.ReadFile(*p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d struct {
+			Compile struct {
+				Explain json.RawMessage
+			}
+		}
+		if err := json.Unmarshal(b, &d); err != nil {
+			t.Fatal(err)
+		}
+		bare := filepath.Join(dir, []string{"a", "b"}[i]+".json")
+		if err := os.WriteFile(bare, d.Compile.Explain, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		*p = bare
+	}
+	var out strings.Builder
+	if err := run(aPath, bPath, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "predicted save/restore delta:") {
+		t.Errorf("report missing prediction line:\n%s", got)
+	}
+	if strings.Contains(got, "measured") {
+		t.Errorf("bare artifacts carry no stats, yet a measured line appeared:\n%s", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	noJournal := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(noJournal, []byte(`{"Mode":"x","Stats":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(noJournal); err == nil {
+		t.Error("document without a journal loaded without error")
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Error("malformed JSON loaded without error")
+	}
+}

@@ -5,6 +5,15 @@
 // non-negative. Exit status 1 means the file would not load cleanly in
 // Perfetto / chrome://tracing.
 //
+// Decision-provenance events (category "explain", emitted when -explain and
+// -trace are combined) get three additional checks: each must carry an
+// args.phase naming the pipeline phase that owns it, each must fall inside
+// some same-thread span of that phase's category (an explain event floating
+// outside its owning plan/compile/inline span renders misleadingly), and
+// within one thread the explain stream's timestamps must be monotonically
+// non-decreasing in file order (the journal's retention order is the order
+// decisions were taken).
+//
 // Usage:
 //
 //	tracelint trace.json
@@ -17,12 +26,14 @@ import (
 )
 
 type event struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	TS   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	PID  int      `json:"pid"`
-	TID  int      `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
 }
 
 type objectFormat struct {
@@ -38,20 +49,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	events, err := parse(b)
+	events, spans, explains, err := lint(b)
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", os.Args[1], err))
 	}
-	spans := 0
-	for i, e := range events {
+	fmt.Printf("%s: ok, %d events (%d spans, %d explain)\n", os.Args[1], events, spans, explains)
+}
+
+// lint parses and validates a trace, returning the event, span and
+// explain-event counts. The first violation aborts with an error naming the
+// offending event's index in file order.
+func lint(b []byte) (events, spans, explains int, err error) {
+	evs, err := parse(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i, e := range evs {
 		if err := check(e); err != nil {
-			fatal(fmt.Errorf("%s: event %d: %w", os.Args[1], i, err))
+			return 0, 0, 0, fmt.Errorf("event %d: %w", i, err)
 		}
 		if e.Ph == "X" {
 			spans++
 		}
+		if e.Cat == "explain" {
+			explains++
+		}
 	}
-	fmt.Printf("%s: ok, %d events (%d spans)\n", os.Args[1], len(events), spans)
+	if err := checkExplain(evs); err != nil {
+		return 0, 0, 0, err
+	}
+	return len(evs), spans, explains, nil
 }
 
 // parse accepts both trace_event containers: the object format and the
@@ -88,6 +115,59 @@ func check(e event) error {
 		}
 	case "M":
 		// Metadata events carry no timing.
+	}
+	return nil
+}
+
+// eps absorbs the rounding of timestamps to trace microseconds: an explain
+// event cut at the very edge of its owning span may land a hair outside it.
+const eps = 0.01
+
+// checkExplain runs the decision-provenance checks. First pass gathers the
+// candidate owning spans (non-explain complete events, keyed by thread);
+// second pass requires every explain event to carry args.phase, to nest
+// inside a same-thread span of that category, and to keep the per-thread
+// explain stream monotonic in file order.
+func checkExplain(evs []event) error {
+	type span struct {
+		cat        string
+		start, end float64
+	}
+	spans := map[int][]span{}
+	for _, e := range evs {
+		if e.Ph == "X" && e.Cat != "explain" && e.TS != nil && e.Dur != nil {
+			spans[e.TID] = append(spans[e.TID], span{e.Cat, *e.TS, *e.TS + *e.Dur})
+		}
+	}
+	lastTS := map[int]float64{}
+	for i, e := range evs {
+		if e.Cat != "explain" {
+			continue
+		}
+		phase, _ := e.Args["phase"].(string)
+		if phase == "" {
+			return fmt.Errorf("event %d: explain event %q: missing args.phase", i, e.Name)
+		}
+		if e.TS == nil {
+			return fmt.Errorf("event %d: explain event %q: missing ts", i, e.Name)
+		}
+		ts := *e.TS
+		if last, seen := lastTS[e.TID]; seen && ts < last {
+			return fmt.Errorf("event %d: explain event %q: ts %v precedes the previous explain event on tid %d (%v)",
+				i, e.Name, ts, e.TID, last)
+		}
+		lastTS[e.TID] = ts
+		contained := false
+		for _, s := range spans[e.TID] {
+			if s.cat == phase && ts >= s.start-eps && ts <= s.end+eps {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return fmt.Errorf("event %d: explain event %q (phase %s, ts %v) is outside every %s span on tid %d",
+				i, e.Name, phase, ts, phase, e.TID)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chow88"
+	"chow88/internal/explain"
+	"chow88/internal/obs"
+)
+
+const src = `
+func helper(a int, b int) int {
+    if (a > b) { return helper(b, a); }
+    return a + b;
+}
+func main() { print(helper(3, 4)); }
+`
+
+// realTrace compiles a program with tracing and the journal active and
+// returns the serialized trace, which must contain explain events.
+func realTrace(t *testing.T) []byte {
+	t.Helper()
+	obs.Begin(obs.Options{Trace: true})
+	explain.Begin()
+	defer explain.End()
+	if _, err := chow88.Compile(src, chow88.ModeC()); err != nil {
+		obs.End()
+		t.Fatalf("compile: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := obs.End().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLintRealTrace(t *testing.T) {
+	b := realTrace(t)
+	events, spans, explains, err := lint(b)
+	if err != nil {
+		t.Fatalf("real trace fails lint: %v", err)
+	}
+	if events == 0 || spans == 0 {
+		t.Errorf("empty trace: %d events, %d spans", events, spans)
+	}
+	if explains == 0 {
+		t.Errorf("compile with an active journal produced no explain events")
+	}
+}
+
+// corrupt loads the trace, applies f to its events, and re-serializes.
+func corrupt(t *testing.T, b []byte, f func([]map[string]any) []map[string]any) []byte {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(doc["traceEvents"], &evs); err != nil {
+		t.Fatal(err)
+	}
+	evs = f(evs)
+	out, err := json.Marshal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["traceEvents"] = out
+	full, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+// firstExplain returns the index of the first explain event.
+func firstExplain(t *testing.T, evs []map[string]any) int {
+	t.Helper()
+	for i, e := range evs {
+		if e["cat"] == "explain" {
+			return i
+		}
+	}
+	t.Fatal("no explain event in trace")
+	return -1
+}
+
+func TestLintRejectsCorruptedTraces(t *testing.T) {
+	base := realTrace(t)
+	cases := []struct {
+		name    string
+		mutate  func([]map[string]any) []map[string]any
+		wantErr string
+	}{
+		{
+			"explain event outside every owning span",
+			func(evs []map[string]any) []map[string]any {
+				evs[firstExplain(t, evs)]["ts"] = 1e12
+				return evs
+			},
+			"outside every",
+		},
+		{
+			"missing args.phase",
+			func(evs []map[string]any) []map[string]any {
+				evs[firstExplain(t, evs)]["args"] = map[string]any{"func": "helper"}
+				return evs
+			},
+			"missing args.phase",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := corrupt(t, base, c.mutate)
+			_, _, _, err := lint(b)
+			if err == nil {
+				t.Fatalf("corrupted trace (%s) passed lint", c.name)
+			}
+			if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// Two explain events on one thread with timestamps out of file order must
+// be rejected even though each sits inside its owning span.
+func TestLintRejectsNonMonotonicExplain(t *testing.T) {
+	trace := `[
+	 {"name":"PlanModule","ph":"X","cat":"plan","ts":0,"dur":100,"pid":0,"tid":0},
+	 {"name":"classify f","ph":"X","cat":"explain","ts":50,"dur":0.001,"pid":0,"tid":0,"args":{"phase":"plan","func":"f"}},
+	 {"name":"classify g","ph":"X","cat":"explain","ts":40,"dur":0.001,"pid":0,"tid":0,"args":{"phase":"plan","func":"g"}}
+	]`
+	_, _, _, err := lint([]byte(trace))
+	if err == nil {
+		t.Fatal("non-monotonic explain stream passed lint")
+	}
+	if !strings.Contains(err.Error(), "precedes") {
+		t.Errorf("error %q does not mention the ordering violation", err)
+	}
+}
+
+func TestLintStillAcceptsBareArray(t *testing.T) {
+	arr := `[{"name":"x","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]`
+	if _, _, _, err := lint([]byte(arr)); err != nil {
+		t.Errorf("bare event array rejected: %v", err)
+	}
+}

@@ -20,6 +20,22 @@ import (
 	"chow88/internal/ir"
 )
 
+// Cause is the machine-matchable enum behind an open/closed verdict; the
+// explain journal and explaindiff key on it (OpenReason keeps the prose).
+type Cause string
+
+// The classification causes. CauseDemotion is assigned after Build, by the
+// pipeline's degradation ladder, when it forces a procedure open.
+const (
+	CauseClosed    Cause = "closed"
+	CauseMain      Cause = "main"
+	CauseExtern    Cause = "extern"
+	CauseAddrTaken Cause = "addr-taken"
+	CauseCycle     Cause = "cycle"
+	CauseForceOpen Cause = "force-open"
+	CauseDemotion  Cause = "demotion"
+)
+
 // Graph is the analyzed call graph.
 type Graph struct {
 	M *ir.Module
@@ -34,6 +50,8 @@ type Graph struct {
 	Open map[*ir.Func]bool
 	// OpenReason explains why a procedure is open (diagnostics).
 	OpenReason map[*ir.Func]string
+	// OpenCause is OpenReason's enum form (CauseClosed when absent/closed).
+	OpenCause map[*ir.Func]Cause
 	// PostOrder is the bottom-up processing order: every closed procedure
 	// appears before all of its callers.
 	PostOrder []*ir.Func
@@ -51,6 +69,7 @@ func Build(m *ir.Module, forceOpen map[string]bool) *Graph {
 		HasIndirect: map[*ir.Func]bool{},
 		Open:        map[*ir.Func]bool{},
 		OpenReason:  map[*ir.Func]string{},
+		OpenCause:   map[*ir.Func]Cause{},
 		InCycle:     map[*ir.Func]bool{},
 	}
 	for _, f := range m.Funcs {
@@ -75,24 +94,25 @@ func Build(m *ir.Module, forceOpen map[string]bool) *Graph {
 
 	g.findCycles()
 
-	markOpen := func(f *ir.Func, reason string) {
+	markOpen := func(f *ir.Func, cause Cause, reason string) {
 		if !g.Open[f] {
 			g.Open[f] = true
 			g.OpenReason[f] = reason
+			g.OpenCause[f] = cause
 		}
 	}
 	for _, f := range m.Funcs {
 		switch {
 		case f.Extern:
-			markOpen(f, "extern")
+			markOpen(f, CauseExtern, "extern")
 		case f.Name == "main":
-			markOpen(f, "main (called by the operating system)")
+			markOpen(f, CauseMain, "main (called by the operating system)")
 		case f.AddressTaken:
-			markOpen(f, "address taken (indirect-call candidate)")
+			markOpen(f, CauseAddrTaken, "address taken (indirect-call candidate)")
 		case g.InCycle[f]:
-			markOpen(f, "recursive (call-graph cycle)")
+			markOpen(f, CauseCycle, "recursive (call-graph cycle)")
 		case forceOpen[f.Name]:
-			markOpen(f, "forced open (separate compilation)")
+			markOpen(f, CauseForceOpen, "forced open (separate compilation)")
 		}
 	}
 

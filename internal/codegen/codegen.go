@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"chow88/internal/core"
+	"chow88/internal/explain"
 	"chow88/internal/faultinject"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
@@ -33,6 +35,10 @@ import (
 // which keeps the image byte-identical to sequential generation
 // (pp.Mode.Sequential).
 func Generate(pp *core.ProgramPlan) (*mcode.Program, error) {
+	// Placement decisions journal at emission time; the degradation loop may
+	// generate several times per compile, and only the last generation's
+	// placements describe the shipped program, so earlier ones are dropped.
+	explain.Current().DropPlacements()
 	codes, err := EmitFuncs(pp)
 	if err != nil {
 		return nil, err
@@ -285,6 +291,11 @@ type fngen struct {
 	isLeaf     bool
 	paramIndex map[int]int // temp ID -> parameter position
 
+	// exp is the active explain journal (nil when recording is off); every
+	// save/restore the function emits is journaled as the placement ground
+	// truth, with the plan's eq-3.x provenance note where one was recorded.
+	exp *explain.Journal
+
 	// linkage, while set, flags emitted instructions as call-linkage
 	// overhead for the tracer — except save/restore-classified accesses,
 	// which stay in their own attribution bucket.
@@ -304,6 +315,7 @@ func newFngen(pp *core.ProgramPlan, fp *core.FuncPlan) *fngen {
 		fp:  fp,
 		f:   fp.F,
 		cfg: pp.Mode.Config,
+		exp: explain.Current(),
 
 		blockStart:      map[*ir.Block]int{},
 		arrOffset:       map[*ir.LocalArray]int{},
@@ -350,7 +362,7 @@ func (g *fngen) run() error {
 		}
 		for _, r := range g.savesByBlock[b] {
 			if b != g.f.Entry() {
-				g.emitSave(r)
+				g.emitSave(b, r)
 			}
 		}
 		var next *ir.Block
@@ -465,12 +477,41 @@ func (g *fngen) incomingIsStack(i int) bool {
 	return i >= len(g.cfg.Params)
 }
 
-func (g *fngen) emitSave(r mach.Reg) {
+func (g *fngen) emitSave(b *ir.Block, r mach.Reg) {
 	g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: r, Imm: int64(g.saveSlot[r]), Class: mcode.ClassSaveRestore})
+	if g.exp != nil {
+		why := g.fp.Plan.SaveWhy(r, b)
+		g.exp.Record(g.f.Name, explain.Decision{
+			Kind: explain.KindSave, Reg: r.String(), Block: b.Name,
+			Cause: planCause(why), Freq: b.Freq(), Detail: why,
+		})
+	}
 }
 
-func (g *fngen) emitRestore(r mach.Reg) {
+func (g *fngen) emitRestore(b *ir.Block, r mach.Reg) {
 	g.emit(mcode.Instr{Op: mcode.LW, Rd: r, Rs: mach.SP, Imm: int64(g.saveSlot[r]), Class: mcode.ClassSaveRestore})
+	if g.exp != nil {
+		why := g.fp.Plan.RestoreWhy(r, b)
+		g.exp.Record(g.f.Name, explain.Decision{
+			Kind: explain.KindRestore, Reg: r.String(), Block: b.Name,
+			Cause: planCause(why), Freq: b.Freq(), Detail: why,
+		})
+	}
+}
+
+// planCause maps a plan site's provenance note to the cause enum: the eq-3.x
+// notes come from ShrinkWrap, the convention note from EntryExitPlan, and an
+// empty note from a plan built while no journal was active (a cached
+// incremental plan).
+func planCause(why string) string {
+	switch {
+	case why == "":
+		return "plan"
+	case strings.HasPrefix(why, "eq "):
+		return "shrink-wrap"
+	default:
+		return "entry-exit"
+	}
 }
 
 func (g *fngen) prologue() {
@@ -481,9 +522,16 @@ func (g *fngen) prologue() {
 	}
 	if !g.isLeaf {
 		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: mach.RA, Imm: int64(g.raSlot), Class: mcode.ClassSaveRestore})
+		if g.exp != nil {
+			g.exp.Record(g.f.Name, explain.Decision{
+				Kind: explain.KindSave, Reg: mach.RA.String(), Block: g.f.Entry().Name,
+				Cause: "ra", Freq: g.f.Entry().Freq(),
+				Detail: "non-leaf: return address preserved across calls",
+			})
+		}
 	}
 	for _, r := range g.savesByBlock[g.f.Entry()] {
-		g.emitSave(r)
+		g.emitSave(g.f.Entry(), r)
 	}
 	g.paramMoves()
 }
@@ -678,7 +726,7 @@ func (g *fngen) instr(b *ir.Block, in *ir.Instr, isTerm bool, next *ir.Block) er
 		g.emit(mcode.Instr{Op: mcode.LI, Rd: rd, Imm: g.pp.Module.FuncIndex(in.Callee)})
 		commit()
 	case ir.OpCall, ir.OpCallInd:
-		g.call(in)
+		g.call(b, in)
 	case ir.OpPrint:
 		rs := g.readOp(in.A, mach.K0)
 		g.emit(mcode.Instr{Op: mcode.PRINT, Rs: rs})
@@ -708,6 +756,13 @@ func (g *fngen) instr(b *ir.Block, in *ir.Instr, isTerm bool, next *ir.Block) er
 		g.emitBlockRestores(b, 0)
 		if !g.isLeaf {
 			g.emit(mcode.Instr{Op: mcode.LW, Rd: mach.RA, Rs: mach.SP, Imm: int64(g.raSlot), Class: mcode.ClassSaveRestore})
+			if g.exp != nil {
+				g.exp.Record(g.f.Name, explain.Decision{
+					Kind: explain.KindRestore, Reg: mach.RA.String(), Block: b.Name,
+					Cause: "ra", Freq: b.Freq(),
+					Detail: "non-leaf: return address reloaded before return",
+				})
+			}
 		}
 		if g.frameSize > 0 {
 			g.emit(mcode.Instr{Op: mcode.ADD, Rd: mach.SP, Rs: mach.SP, HasImm: true, Imm: int64(g.frameSize)})
@@ -738,7 +793,7 @@ func (g *fngen) emitBlockRestores(b *ir.Block, cond mach.Reg) mach.Reg {
 		}
 	}
 	for _, r := range regs {
-		g.emitRestore(r)
+		g.emitRestore(b, r)
 	}
 	return cond
 }
@@ -828,15 +883,26 @@ func (g *fngen) emitArrayAccess(arr ir.ArrayRef, idx ir.Operand, gen func(base m
 //  3. transfer control,
 //  4. restore the saved registers,
 //  5. collect the result.
-func (g *fngen) call(in *ir.Instr) {
+func (g *fngen) call(b *ir.Block, in *ir.Instr) {
 	g.linkage = true
 	defer func() { g.linkage = false }()
+	callee := "(indirect)"
+	if in.Op == ir.OpCall {
+		callee = in.Callee.Name
+	}
 	clob := g.pp.Oracle.Clobbered(in)
 	toSave := g.liveAcross[in] & clob
 	var saved []mach.Reg
 	toSave.ForEach(func(r mach.Reg) {
 		g.emit(mcode.Instr{Op: mcode.SW, Rs: mach.SP, Rt: r, Imm: int64(g.callSlot[r]), Class: mcode.ClassSaveRestore})
 		saved = append(saved, r)
+		if g.exp != nil {
+			g.exp.Record(g.f.Name, explain.Decision{
+				Kind: explain.KindSave, Reg: r.String(), Callee: callee, Block: b.Name,
+				Cause: "around-call", Freq: b.Freq(),
+				Detail: fmt.Sprintf("live across the call and %s clobbers it (summary %s)", callee, clob),
+			})
+		}
 	})
 
 	// Indirect target value is fetched into $k1 before argument marshalling
@@ -888,6 +954,13 @@ func (g *fngen) call(in *ir.Instr) {
 
 	for _, r := range saved {
 		g.emit(mcode.Instr{Op: mcode.LW, Rd: r, Rs: mach.SP, Imm: int64(g.callSlot[r]), Class: mcode.ClassSaveRestore})
+		if g.exp != nil {
+			g.exp.Record(g.f.Name, explain.Decision{
+				Kind: explain.KindRestore, Reg: r.String(), Callee: callee, Block: b.Name,
+				Cause: "around-call", Freq: b.Freq(),
+				Detail: "reload after the call that clobbered it",
+			})
+		}
 	}
 	if in.Dst != nil {
 		rd, commit := g.dstReg(in.Dst, mach.K0)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"chow88/internal/callgraph"
 	"chow88/internal/ir"
 	"chow88/internal/obs"
 )
@@ -20,6 +21,7 @@ import (
 func (pp *ProgramPlan) Demote(f *ir.Func, reason string) {
 	pp.Graph.Open[f] = true
 	pp.Graph.OpenReason[f] = reason
+	pp.Graph.OpenCause[f] = callgraph.CauseDemotion
 }
 
 // Affected returns the call-graph slice a change to roots invalidates: the
@@ -66,6 +68,8 @@ func (pp *ProgramPlan) Replan(fs []*ir.Func, noShrinkWrap map[*ir.Func]bool) err
 		delete(pp.Funcs, f)
 	}
 	s := obs.Current()
+	sp := s.Span(obs.PhasePlan, fmt.Sprintf("replan (%d funcs)", len(fs)))
+	defer sp.End()
 	for _, f := range fs {
 		mode := pp.Mode
 		if noShrinkWrap[f] {

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"chow88/internal/callgraph"
+	"chow88/internal/explain"
 	"chow88/internal/faultinject"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
@@ -173,6 +175,18 @@ func PlanModule(m *ir.Module, mode Mode) *ProgramPlan {
 		Funcs:  map[*ir.Func]*FuncPlan{},
 		Order:  g.PostOrder,
 	}
+	if j := explain.Current(); j != nil {
+		// Journal buckets serialize in module order regardless of which
+		// worker records them, which is what makes parallel and sequential
+		// explain output byte-identical.
+		names := make([]string, 0, len(m.Funcs))
+		for _, f := range m.Funcs {
+			if !f.Extern {
+				names = append(names, f.Name)
+			}
+		}
+		j.SetModuleOrder(names)
+	}
 	var oracle regalloc.Oracle
 	publish := func(*ir.Func, *Summary) {}
 	if mode.IPRA {
@@ -295,6 +309,20 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 	cfg := mode.Config
 	open := g.Open[f]
 	interMode := mode.IPRA && !open
+	j := explain.Current()
+	if j != nil {
+		cause := g.OpenCause[f]
+		if cause == "" {
+			cause = callgraph.CauseClosed
+		}
+		detail := g.OpenReason[f]
+		if detail == "" {
+			detail = "summary known before every caller is processed (§3)"
+		}
+		j.Record(f.Name, explain.Decision{
+			Kind: explain.KindClassify, Cause: string(cause), Detail: detail,
+		})
+	}
 
 	// Registers destroyed by the subtrees of this function's calls.
 	var childUsed mach.RegSet
@@ -341,8 +369,8 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 		TreeUsed:   treeUsed,
 	}
 
+	var localSave mach.RegSet
 	if interMode {
-		var localSave mach.RegSet
 		if mode.ShrinkWrap && !calleeSavedInTree.Empty() {
 			// §6: keep the save local (shrink-wrapped) when the usage
 			// range does not span the whole procedure; propagate to the
@@ -351,8 +379,30 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 			p := ShrinkWrap(f, app, calleeSavedInTree)
 			calleeSavedInTree.ForEach(func(r mach.Reg) {
 				if p.SaveAtEntryOnly(f, r) {
+					if j != nil {
+						j.Record(f.Name, explain.Decision{
+							Kind: explain.KindWrap, Reg: r.String(), Cause: "propagate",
+							Cost: float64(f.Entry().Freq()),
+							Detail: fmt.Sprintf("§6: only save site is entry %s (cost %.4g per activation); save/restore deferred to ancestors",
+								f.Entry().Name, f.Entry().Freq()),
+						})
+					}
 					p.Drop(r)
 				} else {
+					if j != nil {
+						var cost float64
+						for _, b := range p.SaveAt[r] {
+							cost += b.Freq()
+						}
+						for _, b := range p.RestoreAt[r] {
+							cost += b.Freq()
+						}
+						j.Record(f.Name, explain.Decision{
+							Kind: explain.KindWrap, Reg: r.String(), Cause: "wrap", Cost: cost,
+							Detail: fmt.Sprintf("§6: %d save + %d restore site(s) inside the body (cost %.4g) vs entry/exit placement (cost %.4g); kept local, dropped from summary",
+								len(p.SaveAt[r]), len(p.RestoreAt[r]), cost, 2*f.Entry().Freq()),
+						})
+					}
 					localSave = localSave.Add(r)
 				}
 			})
@@ -384,7 +434,71 @@ func planFunc(f *ir.Func, g *callgraph.Graph, mode Mode, oracle regalloc.Oracle)
 	if s := obs.Current(); s != nil {
 		recordPlanObs(s, fp, cfg)
 	}
+	if j != nil {
+		recordPlanExplain(j, fp, oracle, childUsed, localSave)
+	}
 	return fp
+}
+
+// recordPlanExplain journals the linkage this plan publishes: the negotiated
+// linkage at each call site, the register-usage summary with the bits'
+// provenance (own body vs callee trees vs locally-saved subtractions), and
+// each parameter's negotiated location. Save/restore placements journal at
+// codegen time, from the final plan, so demotion rounds never leave stale
+// placement records.
+func recordPlanExplain(j *explain.Journal, fp *FuncPlan, oracle regalloc.Oracle, childUsed, localSave mach.RegSet) {
+	f := fp.F
+	ipo, _ := oracle.(*ipraOracle)
+	for _, cs := range f.CallSites() {
+		callee := "(indirect)"
+		if cs.Instr.Op == ir.OpCall {
+			callee = cs.Instr.Callee.Name
+		}
+		cause := "default"
+		if ipo != nil && ipo.summary(cs.Instr) != nil {
+			cause = "summary"
+		}
+		j.Record(f.Name, explain.Decision{
+			Kind: explain.KindCallSite, Callee: callee, Block: cs.Block.Name,
+			Cause: cause, Freq: cs.Block.Freq(),
+			Detail: fmt.Sprintf("clobbers %s; args %s", oracle.Clobbered(cs.Instr), argLocString(oracle.ArgLocs(cs.Instr))),
+		})
+	}
+	if fp.Summary != nil {
+		j.Record(f.Name, explain.Decision{
+			Kind: explain.KindSummary, Cause: "published",
+			Detail: fmt.Sprintf("%s (own body %s + callee trees %s - kept local %s)",
+				fp.Summary, fp.Alloc.UsedRegs, childUsed, localSave),
+		})
+		for i, a := range fp.Summary.Args {
+			d := explain.Decision{Kind: explain.KindParam}
+			if a.InReg {
+				d.Reg = a.Reg.String()
+				d.Cause = "register"
+				d.Detail = fmt.Sprintf("param %d settled in %s; callers deliver it there (§4)", i, a.Reg)
+			} else {
+				d.Cause = "memory"
+				d.Detail = fmt.Sprintf("param %d never colored; callers deliver it through stack slot %d", i, a.Slot)
+			}
+			j.Record(f.Name, d)
+		}
+	}
+}
+
+// argLocString renders a call's negotiated argument locations compactly.
+func argLocString(locs []regalloc.ArgLoc) string {
+	if len(locs) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(locs))
+	for i, a := range locs {
+		if a.InReg {
+			parts[i] = a.Reg.String()
+		} else {
+			parts[i] = fmt.Sprintf("stack%d", a.Slot)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // injectFaults applies any armed chaos injection to the freshly built plan,

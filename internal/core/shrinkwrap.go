@@ -2,6 +2,7 @@ package core
 
 import (
 	"chow88/internal/dataflow"
+	"chow88/internal/explain"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/regalloc"
@@ -14,12 +15,34 @@ import (
 type SavePlan struct {
 	SaveAt    map[mach.Reg][]*ir.Block
 	RestoreAt map[mach.Reg][]*ir.Block
+
+	// saveWhy/restoreWhy hold the eq-3.x provenance note per placement site,
+	// filled only while an explain journal is active. Unexported: the plan's
+	// serialized forms (and the incremental linkage digest) never carry them.
+	saveWhy    map[mach.Reg]map[*ir.Block]string
+	restoreWhy map[mach.Reg]map[*ir.Block]string
 }
 
 // NewSavePlan returns an empty plan.
 func NewSavePlan() *SavePlan {
 	return &SavePlan{SaveAt: map[mach.Reg][]*ir.Block{}, RestoreAt: map[mach.Reg][]*ir.Block{}}
 }
+
+func noteWhy(m map[mach.Reg]map[*ir.Block]string, r mach.Reg, b *ir.Block, why string) map[mach.Reg]map[*ir.Block]string {
+	if m == nil {
+		m = map[mach.Reg]map[*ir.Block]string{}
+	}
+	if m[r] == nil {
+		m[r] = map[*ir.Block]string{}
+	}
+	m[r][b] = why
+	return m
+}
+
+// SaveWhy / RestoreWhy return the recorded provenance of one site; empty
+// when no journal was active while the plan was built.
+func (p *SavePlan) SaveWhy(r mach.Reg, b *ir.Block) string    { return p.saveWhy[r][b] }
+func (p *SavePlan) RestoreWhy(r mach.Reg, b *ir.Block) string { return p.restoreWhy[r][b] }
 
 // Regs returns the set of registers the plan manages. A nil plan manages
 // nothing.
@@ -46,6 +69,8 @@ func (p *SavePlan) SaveAtEntryOnly(f *ir.Func, r mach.Reg) bool {
 func (p *SavePlan) Drop(r mach.Reg) {
 	delete(p.SaveAt, r)
 	delete(p.RestoreAt, r)
+	delete(p.saveWhy, r)
+	delete(p.restoreWhy, r)
 }
 
 // EntryExitPlan places every register of regs at the procedure entry and all
@@ -53,9 +78,16 @@ func (p *SavePlan) Drop(r mach.Reg) {
 func EntryExitPlan(f *ir.Func, regs mach.RegSet) *SavePlan {
 	p := NewSavePlan()
 	exits := f.ExitBlocks()
+	explainOn := explain.Current() != nil
 	regs.ForEach(func(r mach.Reg) {
 		p.SaveAt[r] = []*ir.Block{f.Entry()}
 		p.RestoreAt[r] = append([]*ir.Block(nil), exits...)
+		if explainOn {
+			p.saveWhy = noteWhy(p.saveWhy, r, f.Entry(), "entry/exit convention (shrink-wrap off)")
+			for _, x := range exits {
+				p.restoreWhy = noteWhy(p.restoreWhy, r, x, "entry/exit convention (shrink-wrap off)")
+			}
+		}
 	})
 	return p
 }
@@ -286,6 +318,7 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 
 	// SAVE (3.5): at entries of blocks where the use is anticipated, not
 	// yet available, and not anticipated in any predecessor.
+	explainOn := explain.Current() != nil
 	for _, b := range blocks {
 		save := antIn[b.ID] &^ avIn[b.ID]
 		for _, p := range b.Preds {
@@ -293,6 +326,13 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 		}
 		save.ForEach(func(r mach.Reg) {
 			plan.SaveAt[r] = append(plan.SaveAt[r], b)
+			if explainOn {
+				why := "eq 3.5: anticipated here, not available, no covered predecessor"
+				if !appv[b.ID].Has(r) {
+					why += " (hoisted by range extension)"
+				}
+				plan.saveWhy = noteWhy(plan.saveWhy, r, b, why)
+			}
 		})
 		// RESTORE (3.6): at exits of blocks where the use is available, no
 		// longer anticipated, and not available in any successor.
@@ -302,6 +342,13 @@ func ShrinkWrap(f *ir.Func, app map[*ir.Block]mach.RegSet, managed mach.RegSet) 
 		}
 		restore.ForEach(func(r mach.Reg) {
 			plan.RestoreAt[r] = append(plan.RestoreAt[r], b)
+			if explainOn {
+				why := "eq 3.6: available at exit, no longer anticipated, no covered successor"
+				if !appv[b.ID].Has(r) {
+					why += " (sunk by range extension)"
+				}
+				plan.restoreWhy = noteWhy(plan.restoreWhy, r, b, why)
+			}
 		})
 	}
 	return plan

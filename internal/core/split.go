@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"chow88/internal/explain"
 	"chow88/internal/ir"
 	"chow88/internal/obs"
 	"chow88/internal/regalloc"
@@ -105,7 +108,19 @@ func trySplit(f *ir.Func, alloc *regalloc.Result, opts regalloc.Options, oracle 
 	}
 	obs.Current().Add(obs.CSplitRounds, 1)
 	alloc2 := regalloc.Allocate(f, opts)
-	if estimateTraffic(f, alloc2, oracle) < before {
+	after := estimateTraffic(f, alloc2, oracle)
+	kept := after < before
+	if j := explain.Current(); j != nil {
+		cause := "reverted"
+		if kept {
+			cause = "kept"
+		}
+		j.Record(f.Name, explain.Decision{
+			Kind: explain.KindSplit, Cause: cause, Cost: after - before,
+			Detail: fmt.Sprintf("%d spilled range(s) split into block-local pieces; predicted memory traffic %.4g -> %.4g", n, before, after),
+		})
+	}
+	if kept {
 		obs.Current().Add(obs.CSplitKept, 1)
 		return alloc2
 	}

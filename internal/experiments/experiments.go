@@ -176,9 +176,9 @@ func FormatObs(title string, rows []*Measurement, keys []string) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s%s", title, "\n")
-	fmt.Fprintf(&b, "%-11s %-5s %10s %6s %7s %6s %10s %12s %10s%s",
+	fmt.Fprintf(&b, "%-11s %-5s %10s %6s %7s %6s %10s %12s %10s %s%s",
 		"program", "mode", "compile", "funcs", "spilled", "saves",
-		"engine", "blk entries", "run", "\n")
+		"engine", "blk entries", "run", "fallback", "\n")
 	all := append([]string{"base"}, keys...)
 	for _, m := range rows {
 		for _, k := range all {
@@ -186,23 +186,38 @@ func FormatObs(title string, rows []*Measurement, keys []string) string {
 			if cr == nil && rr == nil {
 				continue
 			}
-			engine, entries, runWall := "-", int64(0), int64(0)
+			engine, fallback, entries, runWall := "-", "-", int64(0), int64(0)
 			if rr != nil {
 				engine = rr.Engine
 				entries = rr.Counter("sim.block_entries")
 				runWall = rr.WallNanos
+				if rr.FallbackReason != "" {
+					fallback = truncate(rr.FallbackReason, 40)
+				}
 			}
-			fmt.Fprintf(&b, "%-11s %-5s %10s %6d %7d %6d %10s %12d %10s%s",
+			fmt.Fprintf(&b, "%-11s %-5s %10s %6d %7d %6d %10s %12d %10s %s%s",
 				m.Name, k,
 				fmtWall(cr),
 				cr.Counter("plan.funcs_planned"),
 				cr.Counter("regalloc.ranges_spilled"),
 				cr.Counter("plan.save_sites"),
 				engine, entries,
-				time.Duration(runWall).Round(time.Microsecond), "\n")
+				time.Duration(runWall).Round(time.Microsecond),
+				fallback, "\n")
 		}
 	}
+	cs := front.CacheStats()
+	fmt.Fprintf(&b, "front cache: %d/%d entries, %d hits, %d misses, %d resets\n",
+		cs.Entries, cs.Cap, cs.Hits, cs.Misses, cs.Resets)
 	return b.String()
+}
+
+// truncate clips s to at most n runes for table rendering.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
 }
 
 func fmtWall(cr *obs.CompileReport) string {

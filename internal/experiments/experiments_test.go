@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"chow88/internal/core"
+	"chow88/internal/obs"
 	"chow88/internal/pixie"
 )
 
@@ -90,4 +91,32 @@ func TestRunSuiteOneMode(t *testing.T) {
 		}
 	}
 	_ = core.ModeC
+}
+
+// FormatObs must surface the run's fallback reason and the front-end cache
+// statistics — both previously visible only in the -json document.
+func TestFormatObsFallbackAndCacheStats(t *testing.T) {
+	m := &Measurement{
+		Name:       "demo",
+		CompileObs: map[string]*obs.CompileReport{"base": {}},
+		RunObs: map[string]*obs.RunReport{"base": {
+			Engine:         "reference",
+			FallbackReason: "static verification failed: unbalanced stack",
+		}},
+	}
+	out := FormatObs("metrics", []*Measurement{m}, nil)
+	if out == "" {
+		t.Fatal("FormatObs returned nothing despite collected reports")
+	}
+	for _, want := range []string{"fallback", "static verification failed", "front cache:", "hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// A fallback longer than the column clips rather than wrecking the row.
+	m.RunObs["base"].FallbackReason = strings.Repeat("x", 100)
+	out = FormatObs("metrics", []*Measurement{m}, nil)
+	if !strings.Contains(out, "xxx...") {
+		t.Errorf("long fallback not truncated:\n%s", out)
+	}
 }

@@ -1,0 +1,132 @@
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Artifact is the journal's serializable form: per-procedure decision lists
+// in module order, then module-level decisions. This is what chowcc -json
+// attaches to obs.CompileReport and what cmd/explaindiff consumes.
+type Artifact struct {
+	Procs []ProcJournal `json:"procs"`
+	// Module holds module-level decisions (the inline retreat); empty for
+	// ordinary compiles.
+	Module []Decision `json:"module,omitempty"`
+}
+
+// ProcJournal is one procedure's decisions, in the order they were taken:
+// classification, coloring (spills/splits), the §6 wrap choices, linkage
+// publication (call sites, summary, parameters), save/restore placement,
+// then any codegen-time around-call and return-address traffic.
+type ProcJournal struct {
+	Func      string     `json:"func"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// Artifact snapshots the journal. Buckets serialize in module order;
+// buckets for functions outside it (an inlined-away caller) follow, sorted
+// by name, so the output is a pure function of the decisions recorded.
+func (j *Journal) Artifact() *Artifact {
+	a := &Artifact{Procs: []ProcJournal{}}
+	if j == nil {
+		return a
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	emitted := make(map[string]bool, len(j.order))
+	for _, name := range j.order {
+		emitted[name] = true
+		if ds := j.funcs[name]; len(ds) > 0 {
+			a.Procs = append(a.Procs, ProcJournal{Func: name, Decisions: append([]Decision(nil), ds...)})
+		}
+	}
+	var rest []string
+	for name, ds := range j.funcs {
+		if !emitted[name] && len(ds) > 0 {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		a.Procs = append(a.Procs, ProcJournal{Func: name, Decisions: append([]Decision(nil), j.funcs[name]...)})
+	}
+	a.Module = append([]Decision(nil), j.module...)
+	return a
+}
+
+// Proc returns the named procedure's journal, nil when absent.
+func (a *Artifact) Proc(name string) *ProcJournal {
+	for i := range a.Procs {
+		if a.Procs[i].Func == name {
+			return &a.Procs[i]
+		}
+	}
+	return nil
+}
+
+// Decisions returns every decision across the artifact (module-level last).
+func (a *Artifact) Decisions() []Decision {
+	var out []Decision
+	for _, p := range a.Procs {
+		out = append(out, p.Decisions...)
+	}
+	return append(out, a.Module...)
+}
+
+// Narrative renders the artifact as the per-procedure table chowcc -explain
+// prints. A non-empty proc filters to that procedure (unknown names render
+// a one-line notice so a typo is visible rather than silent).
+func (a *Artifact) Narrative(proc string) string {
+	var b strings.Builder
+	if proc != "" {
+		p := a.Proc(proc)
+		if p == nil {
+			fmt.Fprintf(&b, "explain: no decisions recorded for procedure %q\n", proc)
+			return b.String()
+		}
+		writeProc(&b, p)
+		return b.String()
+	}
+	for i := range a.Procs {
+		writeProc(&b, &a.Procs[i])
+	}
+	if len(a.Module) > 0 {
+		b.WriteString("module:\n")
+		for _, d := range a.Module {
+			writeDecision(&b, d)
+		}
+	}
+	return b.String()
+}
+
+func writeProc(b *strings.Builder, p *ProcJournal) {
+	fmt.Fprintf(b, "%s: %d decision(s)\n", p.Func, len(p.Decisions))
+	for _, d := range p.Decisions {
+		writeDecision(b, d)
+	}
+}
+
+func writeDecision(b *strings.Builder, d Decision) {
+	subj := d.Reg
+	if d.Callee != "" {
+		if subj != "" {
+			subj += " "
+		}
+		subj += d.Callee
+	}
+	if d.Block != "" {
+		subj += "@" + d.Block
+	}
+	fmt.Fprintf(b, "  %-14s %-18s %-12s", d.Kind, subj, d.Cause)
+	if d.Freq != 0 {
+		fmt.Fprintf(b, " freq=%-10.4g", d.Freq)
+	} else {
+		fmt.Fprintf(b, " %-15s", "")
+	}
+	if d.Detail != "" {
+		fmt.Fprintf(b, " %s", d.Detail)
+	}
+	b.WriteString("\n")
+}

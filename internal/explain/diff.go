@@ -1,0 +1,262 @@
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Cross-artifact attribution: given two journals of the same program under
+// different configurations (mode B vs C, pre- vs post-inline), Diff aligns
+// their save/restore placement decisions by (procedure, kind, register,
+// block) and predicts the change in executed save/restore memory
+// operations as the frequency-weighted difference of the two placements.
+//
+// Under the simulator's cost model every load and store costs one cycle,
+// so the predicted operation delta is also the predicted cycle delta for
+// the pixie SaveRestoreLS bucket — explaindiff compares it against the
+// measured delta from two `experiments`/chowcc runs and reports how much
+// of the measurement the named decisions account for. With measured block
+// frequencies (-pgo) the prediction is exact up to blocks whose counts
+// changed between runs, i.e. normally 100%.
+
+// SiteDelta is one save/restore site whose expected executions changed.
+type SiteDelta struct {
+	Kind  string  `json:"kind"`
+	Reg   string  `json:"reg"`
+	Block string  `json:"block,omitempty"`
+	Cause string  `json:"cause,omitempty"`
+	FreqA float64 `json:"freq_a"`
+	FreqB float64 `json:"freq_b"`
+}
+
+// Ops is the site's predicted executed-operation delta (B minus A).
+func (s *SiteDelta) Ops() float64 { return s.FreqB - s.FreqA }
+
+// FuncDelta collects one procedure's changed decisions.
+type FuncDelta struct {
+	Func string `json:"func"`
+	// Ops is the procedure's predicted save/restore operation delta.
+	Ops   float64     `json:"ops"`
+	Sites []SiteDelta `json:"sites"`
+	// Context lists the non-placement decisions that changed — classify
+	// flips, §6 wrap flips, renegotiated parameters, inliner verdicts —
+	// the "why" behind the placement deltas and the linkage-cycle change.
+	Context []string `json:"context,omitempty"`
+}
+
+// Diff is the full attribution report.
+type Diff struct {
+	Funcs []FuncDelta `json:"funcs"`
+	// PredictedOps is the whole-program predicted save/restore operation
+	// (= cycle) delta, B minus A.
+	PredictedOps float64 `json:"predicted_save_restore_ops"`
+}
+
+type siteKey struct {
+	fn, kind, reg, block string
+}
+
+// DiffArtifacts attributes the placement differences between a and b.
+func DiffArtifacts(a, b *Artifact) *Diff {
+	freqA, causeA := siteIndex(a)
+	freqB, causeB := siteIndex(b)
+
+	// Procedure order: b's module order first, then procedures only a saw.
+	var order []string
+	seen := map[string]bool{}
+	for _, p := range b.Procs {
+		order = append(order, p.Func)
+		seen[p.Func] = true
+	}
+	for _, p := range a.Procs {
+		if !seen[p.Func] {
+			order = append(order, p.Func)
+			seen[p.Func] = true
+		}
+	}
+
+	byFn := map[string][]siteKey{}
+	for k := range freqA {
+		byFn[k.fn] = append(byFn[k.fn], k)
+	}
+	for k := range freqB {
+		if _, ok := freqA[k]; !ok {
+			byFn[k.fn] = append(byFn[k.fn], k)
+		}
+	}
+
+	d := &Diff{}
+	for _, fn := range order {
+		keys := byFn[fn]
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].kind != keys[j].kind {
+				return keys[i].kind < keys[j].kind
+			}
+			if keys[i].reg != keys[j].reg {
+				return keys[i].reg < keys[j].reg
+			}
+			return keys[i].block < keys[j].block
+		})
+		fd := FuncDelta{Func: fn}
+		for _, k := range keys {
+			fa, fb := freqA[k], freqB[k]
+			if fa == fb {
+				continue
+			}
+			cause := causeB[k]
+			if cause == "" {
+				cause = causeA[k]
+			}
+			fd.Sites = append(fd.Sites, SiteDelta{
+				Kind: k.kind, Reg: k.reg, Block: k.block, Cause: cause,
+				FreqA: fa, FreqB: fb,
+			})
+			fd.Ops += fb - fa
+		}
+		fd.Context = contextLines(a.Proc(fn), b.Proc(fn))
+		if len(fd.Sites) > 0 || len(fd.Context) > 0 {
+			d.Funcs = append(d.Funcs, fd)
+			d.PredictedOps += fd.Ops
+		}
+	}
+	return d
+}
+
+// siteIndex sums expected executions per save/restore site and remembers
+// each site's recorded cause. Multiple decisions on one key (a site emitted
+// in several degradation rounds, around-call saves at two calls in one
+// block) accumulate, matching how often the operation actually executes.
+func siteIndex(a *Artifact) (map[siteKey]float64, map[siteKey]string) {
+	freq := map[siteKey]float64{}
+	cause := map[siteKey]string{}
+	for _, p := range a.Procs {
+		for _, dec := range p.Decisions {
+			if dec.Kind != KindSave && dec.Kind != KindRestore {
+				continue
+			}
+			k := siteKey{fn: p.Func, kind: dec.Kind, reg: dec.Reg, block: dec.Block}
+			freq[k] += dec.Freq
+			cause[k] = dec.Cause
+		}
+	}
+	return freq, cause
+}
+
+// maxContext caps the context lines per procedure in the rendered report.
+const maxContext = 8
+
+// contextLines names the non-placement decisions that differ between the
+// two journals of one procedure.
+func contextLines(pa, pb *ProcJournal) []string {
+	countA := contextIndex(pa)
+	countB := contextIndex(pb)
+	var keys []string
+	seen := map[string]bool{}
+	for k := range countB {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range countA {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		na, nb := countA[k], countB[k]
+		switch {
+		case na == nb:
+		case na == 0:
+			out = append(out, "+ "+k)
+		case nb == 0:
+			out = append(out, "- "+k)
+		default:
+			out = append(out, fmt.Sprintf("± %s (%d -> %d)", k, na, nb))
+		}
+	}
+	return out
+}
+
+func contextIndex(p *ProcJournal) map[string]int {
+	out := map[string]int{}
+	if p == nil {
+		return out
+	}
+	for _, d := range p.Decisions {
+		switch d.Kind {
+		case KindSave, KindRestore:
+			continue
+		}
+		key := d.Kind
+		if d.Reg != "" {
+			key += " " + d.Reg
+		}
+		if d.Callee != "" {
+			key += " " + d.Callee
+		}
+		if d.Block != "" {
+			key += "@" + d.Block
+		}
+		if d.Cause != "" {
+			key += " [" + d.Cause + "]"
+		}
+		out[key]++
+	}
+	return out
+}
+
+// Attribution reports what fraction (percent, clamped to [0,100]) of the
+// measured save/restore delta the predicted decision deltas account for. A
+// zero measurement is fully attributed exactly when nothing was predicted.
+func (d *Diff) Attribution(measured float64) float64 {
+	if measured == 0 {
+		if d.PredictedOps == 0 {
+			return 100
+		}
+		return 0
+	}
+	pct := 100 * (1 - math.Abs(d.PredictedOps-measured)/math.Abs(measured))
+	if pct < 0 {
+		return 0
+	}
+	return pct
+}
+
+// Format renders the report. aName/bName label the two inputs; measured is
+// the save/restore LS delta from the two runs' pixie stats when both
+// documents carried stats (haveMeasured false renders prediction only).
+func (d *Diff) Format(aName, bName string, measured float64, haveMeasured bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explaindiff: %s -> %s\n", aName, bName)
+	if len(d.Funcs) == 0 {
+		b.WriteString("no decision differences\n")
+	}
+	for _, fd := range d.Funcs {
+		fmt.Fprintf(&b, "%s: %+.6g save/restore ops\n", fd.Func, fd.Ops)
+		for _, s := range fd.Sites {
+			fmt.Fprintf(&b, "  %-8s %-5s @%-8s %-12s %12.6g -> %-12.6g (%+.6g ops)\n",
+				s.Kind, s.Reg, s.Block, s.Cause, s.FreqA, s.FreqB, s.Ops())
+		}
+		ctx := fd.Context
+		more := 0
+		if len(ctx) > maxContext {
+			more = len(ctx) - maxContext
+			ctx = ctx[:maxContext]
+		}
+		for _, c := range ctx {
+			fmt.Fprintf(&b, "  because: %s\n", c)
+		}
+		if more > 0 {
+			fmt.Fprintf(&b, "  because: ... %d more changed decision(s)\n", more)
+		}
+	}
+	fmt.Fprintf(&b, "predicted save/restore delta: %+.6g ops (= cycles)\n", d.PredictedOps)
+	if haveMeasured {
+		fmt.Fprintf(&b, "measured  save/restore delta: %+.6g cycles (%.1f%% attributed to the decisions above)\n",
+			measured, d.Attribution(measured))
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package explain
+
+// The journal is process-global (one atomic pointer), so none of these
+// tests may run in parallel with each other; they install and tear down
+// the current journal around every scenario.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestArtifactModuleOrder(t *testing.T) {
+	j := Begin()
+	defer End()
+	j.SetModuleOrder([]string{"zeta", "alpha"})
+	j.Record("alpha", Decision{Kind: KindClassify, Cause: "closed"})
+	j.Record("zeta", Decision{Kind: KindClassify, Cause: "closed"})
+	// Buckets outside the module order (an inlined-away caller) trail,
+	// sorted by name.
+	j.Record("stray2", Decision{Kind: KindSpill, Reg: "$s0"})
+	j.Record("stray1", Decision{Kind: KindSpill, Reg: "$s1"})
+
+	a := j.Artifact()
+	var got []string
+	for _, p := range a.Procs {
+		got = append(got, p.Func)
+	}
+	want := []string{"zeta", "alpha", "stray1", "stray2"}
+	if len(got) != len(want) {
+		t.Fatalf("procs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("procs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDropPlacementsKeepsNonPlacement(t *testing.T) {
+	j := Begin()
+	defer End()
+	j.Record("f", Decision{Kind: KindClassify, Cause: "closed"})
+	j.Record("f", Decision{Kind: KindSave, Reg: "$s0", Block: "b0"})
+	j.Record("f", Decision{Kind: KindRestore, Reg: "$s0", Block: "b1"})
+	j.Record("f", Decision{Kind: KindWrap, Reg: "$s0", Cause: "wrap"})
+	j.DropPlacements()
+	j.Record("f", Decision{Kind: KindSave, Reg: "$s0", Block: "b2"})
+
+	ds := j.Artifact().Proc("f").Decisions
+	var kinds []string
+	for _, d := range ds {
+		kinds = append(kinds, d.Kind+":"+d.Block)
+	}
+	want := "classify: wrap: save:b2"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("after DropPlacements: %q, want %q", got, want)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	j := Begin()
+	defer End()
+	j.SetModuleOrder([]string{"f"})
+	j.Record("f", Decision{Kind: KindClassify})
+	j.RecordModule(Decision{Kind: KindDiscard})
+	j.Reset()
+	a := j.Artifact()
+	if len(a.Procs) != 0 || len(a.Module) != 0 {
+		t.Errorf("artifact after Reset: %+v", a)
+	}
+}
+
+func TestNarrativeFilter(t *testing.T) {
+	j := Begin()
+	defer End()
+	j.Record("f", Decision{Kind: KindClassify, Cause: "closed"})
+	j.Record("g", Decision{Kind: KindSpill, Reg: "$t0", Cause: "interference", Freq: 100})
+	a := j.Artifact()
+
+	all := a.Narrative("")
+	if !strings.Contains(all, "f: 1 decision(s)") || !strings.Contains(all, "g: 1 decision(s)") {
+		t.Errorf("full narrative:\n%s", all)
+	}
+	only := a.Narrative("g")
+	if strings.Contains(only, "f:") || !strings.Contains(only, "freq=100") {
+		t.Errorf("filtered narrative:\n%s", only)
+	}
+	missing := a.Narrative("nosuch")
+	if !strings.Contains(missing, `no decisions recorded for procedure "nosuch"`) {
+		t.Errorf("unknown-proc narrative:\n%s", missing)
+	}
+}
+
+func TestArtifactJSONRoundTrip(t *testing.T) {
+	j := Begin()
+	defer End()
+	j.Record("f", Decision{Kind: KindSave, Reg: "$s0", Block: "b0", Cause: "shrink-wrap", Freq: 8, Detail: "eq 3.5"})
+	b, err := json.Marshal(j.Artifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if d := back.Proc("f").Decisions[0]; d != (Decision{Kind: KindSave, Reg: "$s0", Block: "b0", Cause: "shrink-wrap", Freq: 8, Detail: "eq 3.5"}) {
+		t.Errorf("round trip = %+v", d)
+	}
+}
+
+func art(fn string, ds ...Decision) *Artifact {
+	return &Artifact{Procs: []ProcJournal{{Func: fn, Decisions: ds}}}
+}
+
+func TestDiffPredictsFreqWeightedDelta(t *testing.T) {
+	a := art("f",
+		Decision{Kind: KindSave, Reg: "$s0", Block: "b0", Cause: "entry-exit", Freq: 10},
+		Decision{Kind: KindRestore, Reg: "$s0", Block: "b9", Cause: "entry-exit", Freq: 10},
+	)
+	b := art("f",
+		Decision{Kind: KindSave, Reg: "$s0", Block: "b3", Cause: "shrink-wrap", Freq: 2},
+		Decision{Kind: KindRestore, Reg: "$s0", Block: "b9", Cause: "entry-exit", Freq: 10},
+		Decision{Kind: KindWrap, Reg: "$s0", Cause: "wrap"},
+	)
+	d := DiffArtifacts(a, b)
+	// Save moved from b0 (10 executions) to b3 (2): delta = -10 + 2 = -8.
+	// The unchanged restore contributes nothing.
+	if d.PredictedOps != -8 {
+		t.Errorf("PredictedOps = %v, want -8", d.PredictedOps)
+	}
+	if len(d.Funcs) != 1 || d.Funcs[0].Func != "f" {
+		t.Fatalf("funcs = %+v", d.Funcs)
+	}
+	if n := len(d.Funcs[0].Sites); n != 2 {
+		t.Errorf("sites = %d, want 2 (the moved save's two ends)", n)
+	}
+	foundWrap := false
+	for _, c := range d.Funcs[0].Context {
+		if strings.Contains(c, "wrap $s0") {
+			foundWrap = true
+		}
+	}
+	if !foundWrap {
+		t.Errorf("context %v does not name the wrap flip", d.Funcs[0].Context)
+	}
+}
+
+func TestDiffAccumulatesRepeatedSites(t *testing.T) {
+	// Two around-call saves of one register in one block accumulate.
+	a := art("f")
+	b := art("f",
+		Decision{Kind: KindSave, Reg: "$t0", Block: "b1", Cause: "around-call", Freq: 5},
+		Decision{Kind: KindSave, Reg: "$t0", Block: "b1", Cause: "around-call", Freq: 5},
+	)
+	d := DiffArtifacts(a, b)
+	if d.PredictedOps != 10 {
+		t.Errorf("PredictedOps = %v, want 10", d.PredictedOps)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	d := &Diff{PredictedOps: -90}
+	if got := d.Attribution(-100); got != 90 {
+		t.Errorf("attribution(-100) with -90 predicted = %v, want 90", got)
+	}
+	if got := d.Attribution(0); got != 0 {
+		t.Errorf("attribution(0) with nonzero prediction = %v, want 0", got)
+	}
+	if got := (&Diff{}).Attribution(0); got != 100 {
+		t.Errorf("attribution(0) with zero prediction = %v, want 100", got)
+	}
+	// Wildly wrong predictions clamp at 0, not negative.
+	if got := (&Diff{PredictedOps: 500}).Attribution(-10); got != 0 {
+		t.Errorf("clamp failed: %v", got)
+	}
+}
+
+func TestFormatMeasuredLine(t *testing.T) {
+	d := DiffArtifacts(
+		art("f", Decision{Kind: KindSave, Reg: "$s0", Block: "b0", Freq: 4}),
+		art("f"),
+	)
+	withM := d.Format("a", "b", -4, true)
+	if !strings.Contains(withM, "measured") || !strings.Contains(withM, "100.0% attributed") {
+		t.Errorf("measured render:\n%s", withM)
+	}
+	without := d.Format("a", "b", 0, false)
+	if strings.Contains(without, "measured") {
+		t.Errorf("unmeasured render still has a measured line:\n%s", without)
+	}
+}
+
+// The disabled path must stay invisible: one atomic load, zero heap
+// allocations — the same bar internal/obs holds its disabled path to.
+func TestExplainDisabledAllocFree(t *testing.T) {
+	End()
+	if n := testing.AllocsPerRun(1000, func() {
+		if j := Current(); j != nil {
+			t.Fatal("journal unexpectedly active")
+		}
+		// The nil-safe methods must also stay alloc-free.
+		Current().Record("f", Decision{})
+		Current().Reset()
+		Current().DropPlacements()
+	}); n != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkExplainDisabled(b *testing.B) {
+	End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if j := Current(); j != nil {
+			b.Fatal("journal unexpectedly active")
+		}
+	}
+}

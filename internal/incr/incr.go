@@ -265,6 +265,7 @@ func apply(src string, mode core.Mode, st *State) (*Outcome, error) {
 	}
 	var frontier []*ir.Func
 	reused := 0
+	wsp := os.Span(obs.PhasePlan, "replan frontier")
 	for _, f := range pp.Order {
 		if f.Extern {
 			continue
@@ -304,6 +305,7 @@ func apply(src string, mode core.Mode, st *State) (*Outcome, error) {
 		}
 		frontier = append(frontier, f)
 	}
+	wsp.End()
 	os.Add(obs.CIncrFuncsReplanned, int64(len(frontier)))
 	os.SetMax(obs.GIncrFrontier, int64(len(frontier)))
 

@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"chow88/internal/callgraph"
+	"chow88/internal/explain"
 	"chow88/internal/ir"
 	"chow88/internal/obs"
 )
@@ -117,6 +118,14 @@ func Apply(mod *ir.Module, budget int, forceOpen []string) *obs.InlineReport {
 			// entry jump.
 			cost := c.size + len(c.callee.Params) + 1
 			if grown+cost > maxGrowth {
+				if j := explain.Current(); j != nil && !stopped[c.call] {
+					j.Record(c.caller.Name, explain.Decision{
+						Kind: explain.KindInlineRefuse, Callee: c.callee.Name,
+						Cause: "budget", Freq: c.freq, Cost: float64(cost),
+						Detail: fmt.Sprintf("splice costs %d instrs; growth %d+%d exceeds budget %d (%d%% of %d)",
+							cost, grown, cost, maxGrowth, budget, base),
+					})
+				}
 				stopped[c.call] = true
 				continue
 			}
@@ -134,6 +143,14 @@ func Apply(mod *ir.Module, budget int, forceOpen []string) *obs.InlineReport {
 			rep.Inlined = append(rep.Inlined, obs.InlinedSite{
 				Caller: c.caller.Name, Callee: c.callee.Name, Freq: c.freq,
 			})
+			if j := explain.Current(); j != nil {
+				j.Record(c.caller.Name, explain.Decision{
+					Kind: explain.KindInline, Callee: c.callee.Name,
+					Cause: "accepted", Freq: c.freq, Cost: float64(cost),
+					Detail: fmt.Sprintf("score %.4g (freq/size %d); splice costs %d instrs, growth now %d of %d",
+						c.freq/float64(max(c.size, 1)), c.size, cost, grown, maxGrowth),
+				})
+			}
 		}
 		if !progressed {
 			break

@@ -48,6 +48,10 @@ type CompileReport struct {
 	// convention after a validation failure or a recovered worker panic.
 	// Empty for clean compiles.
 	Demotions []Demotion `json:",omitempty"`
+	// Explain carries the decision-provenance journal artifact
+	// (*explain.Artifact) when a journal was active during the compile.
+	// Typed any because obs sits below explain in the import graph.
+	Explain any `json:",omitempty"`
 }
 
 // Demotion is one graceful-degradation intervention on one procedure.

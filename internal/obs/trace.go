@@ -8,6 +8,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // traceEvent is one trace_event record. Field names follow the Chrome
@@ -26,6 +27,33 @@ type traceEvent struct {
 func (s *Session) addEvent(e traceEvent) {
 	s.trace.Lock()
 	s.trace.events = append(s.trace.events, e)
+	s.trace.Unlock()
+}
+
+// explainDur is the nominal duration of an explain marker event, in
+// microseconds. Decisions are instants, but a zero duration would be elided
+// by Dur's omitempty and some viewers drop zero-width X events, so markers
+// carry this epsilon (tracelint's containment check tolerates it).
+const explainDur = 0.001
+
+// ExplainEvent retains one decision-provenance marker on the main timeline
+// (tid 0) under the "explain" category, stamped inside the trace lock so
+// the per-TID explain stream is timestamp-monotonic in retention order.
+// No-op on a nil session or when tracing is off.
+func (s *Session) ExplainEvent(phase, fn, name string) {
+	if s == nil || !s.tracing {
+		return
+	}
+	s.trace.Lock()
+	ts := float64(time.Since(s.start).Nanoseconds()) / 1e3
+	s.trace.events = append(s.trace.events, traceEvent{
+		Name: name,
+		Cat:  "explain",
+		Ph:   "X",
+		TS:   ts,
+		Dur:  explainDur,
+		Args: map[string]any{"phase": phase, "func": fn},
+	})
 	s.trace.Unlock()
 }
 

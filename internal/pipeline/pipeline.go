@@ -26,6 +26,7 @@ import (
 	"chow88/internal/check"
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/explain"
 	"chow88/internal/front"
 	"chow88/internal/incr"
 	"chow88/internal/inline"
@@ -97,6 +98,15 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 		return pp, nil, demotions, err
 	}
 	obs.Current().Add(obs.CInlineDiscards, 1)
+	if j := explain.Current(); j != nil {
+		// The discarded build's decisions describe a program that no longer
+		// exists; restart the journal and record the retreat itself.
+		j.Reset()
+		j.RecordModule(explain.Decision{
+			Kind: explain.KindDiscard, Cause: "inline",
+			Detail: "inlined build failed (" + err.Error() + "); rebuilt the pristine pre-inlining module",
+		})
+	}
 	pp, prog, demotions, err2 := build(pristine, mode)
 	if err2 != nil {
 		return pp, nil, demotions, err2
@@ -156,6 +166,12 @@ func build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 			demotions = append(demotions, obs.Demotion{
 				Func: o.f.Name, Phase: o.phase, Action: action, Reason: o.reason,
 			})
+			if j := explain.Current(); j != nil {
+				j.Record(o.f.Name, explain.Decision{
+					Kind: explain.KindDemote, Cause: action,
+					Detail: fmt.Sprintf("%s failure: %s", o.phase, o.reason),
+				})
+			}
 			roots = append(roots, o.f)
 		}
 		if err := pp.Replan(pp.Affected(roots...), noSW); err != nil {

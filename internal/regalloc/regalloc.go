@@ -12,10 +12,13 @@
 package regalloc
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"chow88/internal/dataflow"
+	"chow88/internal/explain"
 	"chow88/internal/ir"
 	"chow88/internal/liveness"
 	"chow88/internal/mach"
@@ -157,10 +160,17 @@ func Allocate(f *ir.Func, opts Options) *Result {
 	// set; the restricted Table 2 configurations exclude them.
 	allocatable := opts.Config.Allocatable()
 	if allocatable.Empty() {
+		j := explain.Current()
 		for _, r := range ranges {
 			if r.Occurrences > 0 {
 				res.Locs[r.Temp.ID] = Loc{Kind: LocMem}
 				res.Spilled++
+				if j != nil {
+					j.Record(f.Name, explain.Decision{
+						Kind: explain.KindSpill, Cause: "no-registers", Cost: r.Weight,
+						Detail: fmt.Sprintf("%s: configuration has no allocatable registers", r.Temp),
+					})
+				}
 			}
 		}
 		res.recordObs()
@@ -246,6 +256,27 @@ func Allocate(f *ir.Func, opts Options) *Result {
 		if !found || bestNet < 0 {
 			res.Locs[id] = Loc{Kind: LocMem}
 			res.Spilled++
+			if j := explain.Current(); j != nil {
+				if !found {
+					var holders []string
+					graph.Neighbors(id).ForEach(func(n int) {
+						if len(holders) < 3 && res.Locs[n].Kind == LocReg {
+							holders = append(holders, fmt.Sprintf("%s in %s", ranges[n].Temp, res.Locs[n].Reg))
+						}
+					})
+					j.Record(f.Name, explain.Decision{
+						Kind: explain.KindSpill, Cause: "interference", Cost: r.Weight,
+						Detail: fmt.Sprintf("%s: every allocatable register held by an interfering range (%s)",
+							r.Temp, strings.Join(holders, ", ")),
+					})
+				} else {
+					j.Record(f.Name, explain.Decision{
+						Kind: explain.KindSpill, Cause: "cost", Reg: bestReg.String(), Cost: bestNet,
+						Detail: fmt.Sprintf("%s: best candidate %s nets %.4g (savings %.4g - save/restore cost); stack home is cheaper",
+							r.Temp, bestReg, bestNet, r.Weight),
+					})
+				}
+			}
 			continue
 		}
 		res.Locs[id] = Loc{Kind: LocReg, Reg: bestReg}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chow88/internal/core"
+	"chow88/internal/explain"
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/mcode"
@@ -59,6 +60,9 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 	}
 
 	// The training window closes here; the final build reports separately.
+	// The journal restarts too: the training build's decisions describe the
+	// baseline throwaway, not the program being shipped.
+	explain.Current().Reset()
 	var training *obs.Report
 	var snap1 obs.Snapshot
 	if s != nil {
@@ -76,6 +80,7 @@ func CompileProfiled(src string, mode Mode) (*Program, error) {
 	if s != nil {
 		p.Report = &obs.CompileReport{Report: *s.ReportSince(snap1), Training: training, Demotions: demotions}
 	}
+	attachExplain(p)
 	return p, nil
 }
 
