@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchjson ci fmt-check vet chaos incr native inline fuzz trace clean
+.PHONY: all build test race bench benchjson ci fmt-check vet chaos incr native inline chowd fuzz trace clean
 
 all: build
 
@@ -23,11 +23,13 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchmem ./
 
 # Benchmark trajectory snapshot: one-iteration rows for the compile,
-# simulator and inliner benchmarks (including the paper-* custom metrics),
-# converted to JSON so successive PRs accumulate comparable BENCH_*.json
-# files instead of unparsed bench text.
+# simulator, inliner and daemon-saturation benchmarks (including the
+# paper-* and req/s-p50-p99 custom metrics), converted to JSON so
+# successive PRs accumulate comparable BENCH_*.json files instead of
+# unparsed bench text. Override the output with BENCH=BENCH_N.json.
+BENCH ?= BENCH_9.json
 benchjson:
-	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim|BenchmarkInline' -benchmem -benchtime 1x ./ | $(GO) run ./cmd/benchjson -o BENCH_8.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim|BenchmarkInline|BenchmarkDaemon' -benchmem -benchtime 1x ./ | $(GO) run ./cmd/benchjson -o $(BENCH)
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -78,26 +80,40 @@ inline:
 	$(GO) test -run 'TestInline' -v ./ ./internal/ir
 	$(GO) test -run '^$$' -bench 'BenchmarkInline' -benchtime 1x ./
 
-# Longer fuzzing session for the front-end containment and differential
-# compile targets. FUZZTIME can be raised for overnight runs.
+# Daemon gate: the chowd end-to-end test — build the real chowd and
+# chowload binaries, serve a loopback unix socket, drive a mixed workload
+# with slowloris and oversized abuse alongside healthy clients, and
+# require zero healthy 5xx, zero oracle mismatches and a clean SIGTERM
+# drain (see DESIGN.md §14). The daemon's unit and chaos suites
+# (./internal/daemon) also run under plain `make test` / `make race`.
+chowd:
+	$(GO) test -run TestChowdE2E -count=1 -v ./cmd/chowd
+	$(GO) test ./internal/daemon ./internal/loadgen
+
+# Longer fuzzing session for the front-end containment, differential
+# compile and daemon request-decoder targets. FUZZTIME can be raised for
+# overnight runs.
 FUZZTIME ?= 60s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./
+	$(GO) test -run '^$$' -fuzz FuzzDaemonRequest -fuzztime $(FUZZTIME) ./
 
 # The gate every change must pass: formatting, vet, build, the race-enabled
-# test suite (./... includes the incr and front packages, so the
-# incremental driver's concurrency runs under the detector), the
-# incremental differential suite, a one-iteration smoke of the compile,
-# incremental, simulator (all three engines) and inliner benchmarks (via
-# benchjson, which also refreshes the BENCH_8.json trajectory snapshot),
-# the obs- and explain-disabled zero-allocation checks, and a short smoke
-# of both fuzz targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race incr native inline benchjson
+# test suite (./... includes the incr, front and daemon packages, so the
+# incremental driver's and admission queue's concurrency run under the
+# detector), the incremental differential suite, the chowd end-to-end
+# gate, a one-iteration smoke of the compile, incremental, simulator (all
+# three engines), inliner and daemon-saturation benchmarks (via benchjson,
+# which also refreshes the $(BENCH) trajectory snapshot), the obs- and
+# explain-disabled zero-allocation checks, and a short smoke of the fuzz
+# targets (seed corpus + a few seconds of mutation).
+ci: fmt-check vet build race incr native inline chowd benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -bench 'BenchmarkExplainDisabled' -benchtime 1x ./internal/explain
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./
+	$(GO) test -run '^$$' -fuzz FuzzDaemonRequest -fuzztime 10s ./
 
 # Observability smoke: compile and run a Table 1 program with tracing on,
 # then check the emitted Chrome trace JSON is well formed.

@@ -37,16 +37,18 @@ func sameOutput(a, b []int64) bool {
 }
 
 // TestChaosDifferential is the fault-injection differential suite (make
-// chaos): for every registered injection point and every suite program
+// chaos): for every compile-path injection point and every suite program
 // under ModeC, the compile must neither crash nor miscompile — an injected
 // fault is either caught by the validator (the procedure degrades and the
 // intervention is visible on the CompileReport) or was never eligible to
 // fire. The compiled output must match the interpreter oracle either way.
+// The service-path points (daemon worker panic, statefile corruption) are
+// exercised by internal/daemon's chaos suite.
 func TestChaosDifferential(t *testing.T) {
 	forceParallel(t)
 	oracle := oracleOutputs(t)
 	firedSomewhere := map[faultinject.Point]bool{}
-	for _, pt := range faultinject.Points() {
+	for _, pt := range faultinject.CompilePoints() {
 		for _, b := range benchprog.All() {
 			t.Run(fmt.Sprintf("%s/%s", pt, b.Name), func(t *testing.T) {
 				s := obs.Begin(obs.Options{})
@@ -98,7 +100,7 @@ func TestChaosDifferential(t *testing.T) {
 			})
 		}
 	}
-	for _, pt := range faultinject.Points() {
+	for _, pt := range faultinject.CompilePoints() {
 		if !firedSomewhere[pt] {
 			t.Errorf("injection point %s never found an eligible site in the whole suite", pt)
 		}

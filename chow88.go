@@ -26,6 +26,8 @@
 package chow88
 
 import (
+	"context"
+
 	"chow88/internal/core"
 	"chow88/internal/explain"
 	"chow88/internal/front"
@@ -97,6 +99,14 @@ type Program struct {
 // the affected call-graph slice replanned, with the interventions recorded
 // on Program.Demotions. mode.Strict turns any such repair into an error.
 func Compile(src string, mode Mode) (*Program, error) {
+	return CompileCtx(context.Background(), src, mode)
+}
+
+// CompileCtx is Compile with a cancellation/deadline context threaded
+// through the validated pipeline (checked at stage boundaries; see
+// pipeline.BuildCtx). It is the primitive the chowd daemon's per-request
+// deadlines are built on. A nil ctx means Background.
+func CompileCtx(ctx context.Context, src string, mode Mode) (*Program, error) {
 	s := obs.Current()
 	snap := s.Snap()
 	var sp obs.Span
@@ -108,7 +118,7 @@ func Compile(src string, mode Mode) (*Program, error) {
 		sp.End()
 		return nil, err
 	}
-	plan, code, demotions, err := pipeline.Build(mod, mode)
+	plan, code, demotions, err := pipeline.BuildCtx(ctx, mod, mode)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -144,6 +154,12 @@ func attachExplain(p *Program) {
 // to a full recompile, never to a wrong program. The statefile is
 // rewritten to describe the new build when possible.
 func CompileIncremental(src string, mode Mode, statePath string) (*Program, error) {
+	return CompileIncrementalCtx(context.Background(), src, mode, statePath)
+}
+
+// CompileIncrementalCtx is CompileIncremental with a cancellation/deadline
+// context (see CompileCtx). A nil ctx means Background.
+func CompileIncrementalCtx(ctx context.Context, src string, mode Mode, statePath string) (*Program, error) {
 	s := obs.Current()
 	snap := s.Snap()
 	var sp obs.Span
@@ -151,7 +167,7 @@ func CompileIncremental(src string, mode Mode, statePath string) (*Program, erro
 		sp = s.Span(obs.PhaseCompile, "CompileIncremental "+mode.Name)
 	}
 	st, _ := incr.Load(statePath) // any load failure means "no previous state"
-	res, err := pipeline.BuildIncremental(src, mode, st)
+	res, err := pipeline.BuildIncrementalCtx(ctx, src, mode, st)
 	sp.End()
 	if err != nil {
 		return nil, err

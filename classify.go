@@ -1,0 +1,31 @@
+package chow88
+
+import "chow88/internal/classify"
+
+// Exit codes, one per failure class. chowcc exits with these directly; the
+// chowd daemon maps the same classes onto HTTP statuses (see the
+// error-code table in README), so scripts and clients triage failures
+// without parsing messages whichever surface they speak to. The mapping
+// itself lives in internal/classify so the daemon (which sits below this
+// package) shares it.
+const (
+	ExitOK        = classify.ExitOK
+	ExitInternal  = classify.ExitInternal
+	ExitUsage     = classify.ExitUsage
+	ExitParse     = classify.ExitParse
+	ExitSema      = classify.ExitSema
+	ExitValidate  = classify.ExitValidate
+	ExitCodegen   = classify.ExitCodegen
+	ExitTrap      = classify.ExitTrap
+	ExitBudget    = classify.ExitBudget
+	ExitDeadline  = classify.ExitDeadline
+	ExitBadEngine = classify.ExitBadEngine
+	ExitBadBudget = classify.ExitBadBudget
+)
+
+// ClassifyError maps an error from Compile/Run (or any of their variants)
+// to its failure class: the chowcc exit code and the label of the one-line
+// diagnostic. Unrecognized errors are internal errors.
+func ClassifyError(err error) (code int, label string) {
+	return classify.Error(err)
+}

@@ -68,7 +68,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -76,33 +75,20 @@ import (
 	"strings"
 
 	"chow88"
-	"chow88/internal/codegen"
 	"chow88/internal/core"
 	"chow88/internal/explain"
-	"chow88/internal/front"
 	"chow88/internal/inline"
 	"chow88/internal/ir"
 	"chow88/internal/mach"
 	"chow88/internal/obs"
-	"chow88/internal/pipeline"
 	"chow88/internal/pixie"
 	"chow88/internal/sim"
 )
 
-// Exit codes, one per failure class.
+// Exit codes, one per failure class (shared with the error classifier the
+// chowd daemon maps onto HTTP statuses).
 const (
-	exitOK        = 0
-	exitInternal  = 1
-	exitUsage     = 2
-	exitParse     = 3
-	exitSema      = 4
-	exitValidate  = 5
-	exitCodegen   = 6
-	exitTrap      = 7
-	exitBudget    = 8
-	exitDeadline  = 9
-	exitBadEngine = 10
-	exitBadBudget = 11
+	exitUsage = chow88.ExitUsage
 )
 
 // inlineFlag is the -inline[=budget] value: bool-like (bare -inline works)
@@ -367,47 +353,11 @@ func printPlan(pp *core.ProgramPlan) {
 	}
 }
 
-// classify maps an error to its failure class: the exit code and the label
-// of the one-line diagnostic.
-func classify(err error) (int, string) {
-	var se *front.StageError
-	var ve *pipeline.ValidationError
-	var fe *codegen.FuncError
-	var trap *sim.Trap
-	switch {
-	case errors.As(err, &se):
-		switch {
-		case se.Recovered:
-			return exitInternal, "internal error"
-		case se.Stage == "parse":
-			return exitParse, "parse error"
-		case se.Stage == "sema":
-			return exitSema, "semantic error"
-		default: // lower/opt failures are compiler bugs
-			return exitInternal, "internal error"
-		}
-	case errors.As(err, &ve):
-		return exitValidate, "linkage violation"
-	case errors.As(err, &fe):
-		return exitCodegen, "codegen error"
-	case errors.As(err, &trap):
-		return exitTrap, "machine trap"
-	case errors.Is(err, sim.ErrLimit):
-		return exitBudget, "instruction budget"
-	case errors.Is(err, sim.ErrDeadline):
-		return exitDeadline, "deadline"
-	case errors.Is(err, sim.ErrBadEngine):
-		return exitBadEngine, "bad engine"
-	case errors.Is(err, inline.ErrBadBudget):
-		return exitBadBudget, "bad inline budget"
-	}
-	return exitInternal, "internal error"
-}
-
 // fatal prints the structured one-line diagnostic for err and exits with
-// its class's code.
+// its class's code (chow88.ClassifyError, shared with the chowd daemon's
+// HTTP error mapping).
 func fatal(err error) {
-	code, label := classify(err)
+	code, label := chow88.ClassifyError(err)
 	fmt.Fprintf(os.Stderr, "chowcc: %s: %v\n", label, err)
 	os.Exit(code)
 }

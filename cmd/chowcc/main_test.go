@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
+	"chow88"
 	"chow88/internal/codegen"
 	"chow88/internal/front"
 	"chow88/internal/inline"
@@ -12,31 +14,34 @@ import (
 	"chow88/internal/sim"
 )
 
+// TestClassify pins chowcc's exit codes to the shared error classifier
+// (chow88.ClassifyError, also the daemon's HTTP mapping source).
 func TestClassify(t *testing.T) {
 	cases := []struct {
 		err  error
 		code int
 	}{
-		{&front.StageError{Stage: "parse", Err: errors.New("x")}, exitParse},
-		{&front.StageError{Stage: "sema", Err: errors.New("x")}, exitSema},
-		{&front.StageError{Stage: "lower", Err: errors.New("x")}, exitInternal},
-		{&front.StageError{Stage: "parse", Recovered: true, Err: errors.New("x")}, exitInternal},
-		{&pipeline.ValidationError{Phase: "validate"}, exitValidate},
-		{&codegen.FuncError{Func: "f", Err: errors.New("x")}, exitCodegen},
-		{&sim.Trap{Msg: "x", PC: 1}, exitTrap},
-		{fmt.Errorf("pc 3: %w", sim.ErrLimit), exitBudget},
-		{fmt.Errorf("pc 3: %w", sim.ErrDeadline), exitDeadline},
-		{sim.ValidateEngine("turbo"), exitBadEngine},
-		{badBudgetErr("bogus"), exitBadBudget},
-		{badBudgetErr("0"), exitBadBudget},
-		{badBudgetErr("-3"), exitBadBudget},
-		{errors.New("anything else"), exitInternal},
+		{&front.StageError{Stage: "parse", Err: errors.New("x")}, chow88.ExitParse},
+		{&front.StageError{Stage: "sema", Err: errors.New("x")}, chow88.ExitSema},
+		{&front.StageError{Stage: "lower", Err: errors.New("x")}, chow88.ExitInternal},
+		{&front.StageError{Stage: "parse", Recovered: true, Err: errors.New("x")}, chow88.ExitInternal},
+		{&pipeline.ValidationError{Phase: "validate"}, chow88.ExitValidate},
+		{&codegen.FuncError{Func: "f", Err: errors.New("x")}, chow88.ExitCodegen},
+		{&sim.Trap{Msg: "x", PC: 1}, chow88.ExitTrap},
+		{fmt.Errorf("pc 3: %w", sim.ErrLimit), chow88.ExitBudget},
+		{fmt.Errorf("pc 3: %w", sim.ErrDeadline), chow88.ExitDeadline},
+		{fmt.Errorf("%w: %w", pipeline.ErrCanceled, context.DeadlineExceeded), chow88.ExitDeadline},
+		{sim.ValidateEngine("turbo"), chow88.ExitBadEngine},
+		{badBudgetErr("bogus"), chow88.ExitBadBudget},
+		{badBudgetErr("0"), chow88.ExitBadBudget},
+		{badBudgetErr("-3"), chow88.ExitBadBudget},
+		{errors.New("anything else"), chow88.ExitInternal},
 		// Wrapped variants classify the same way.
-		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), exitParse},
+		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), chow88.ExitParse},
 	}
 	for _, c := range cases {
-		if code, _ := classify(c.err); code != c.code {
-			t.Errorf("classify(%v) = %d, want %d", c.err, code, c.code)
+		if code, _ := chow88.ClassifyError(c.err); code != c.code {
+			t.Errorf("ClassifyError(%v) = %d, want %d", c.err, code, c.code)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+// chowd serves the chow88 compiler as a long-lived daemon: POST
+// /compile, /compile-incremental and /run with JSON bodies, GET /metrics,
+// /trace and /healthz, over TCP and/or a unix socket. See README "The
+// compile daemon" for the request schema and the HTTP error-code table.
+//
+// The daemon is built for hostile neighborhoods: bounded worker pool and
+// admission queue (429 + Retry-After under load), per-request deadlines,
+// body and source-size limits, slow-client read timeouts, per-request
+// panic containment, and LRU-bounded per-client incremental state. On
+// SIGINT/SIGTERM it drains: in-flight and queued work completes under the
+// drain deadline while new work gets 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chow88/internal/daemon"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8377", "TCP listen address (empty: no TCP listener)")
+		socket       = flag.String("socket", "", "unix socket path to listen on (empty: no socket)")
+		workers      = flag.Int("workers", 0, "compile worker pool size (0: default)")
+		queue        = flag.Int("queue", 0, "admission queue depth (0: 2x workers)")
+		stateDir     = flag.String("state-dir", "", "incremental statefile directory (empty: private temp dir)")
+		maxClients   = flag.Int("max-clients", 0, "incremental statefile LRU cap (0: default)")
+		timeout      = flag.Duration("timeout", 0, "default per-request deadline (0: 10s)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0: 60s)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		maxBody      = flag.Int64("max-body", 0, "request body byte limit (0: 1MiB)")
+		maxLines     = flag.Int("max-lines", 0, "source line limit (0: default)")
+		readTimeout  = flag.Duration("read-timeout", 0, "whole-request read timeout, slowloris defense (0: 15s)")
+		readHeader   = flag.Duration("read-header-timeout", 0, "header read timeout (0: 5s)")
+	)
+	flag.Parse()
+	if *addr == "" && *socket == "" {
+		fmt.Fprintln(os.Stderr, "chowd: nothing to listen on (need -addr and/or -socket)")
+		return 2
+	}
+
+	srv, err := daemon.NewServer(daemon.Config{
+		Workers: *workers, QueueDepth: *queue,
+		MaxBodyBytes: *maxBody, MaxSourceLines: *maxLines,
+		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
+		ReadTimeout: *readTimeout, ReadHeaderTimeout: *readHeader,
+		StateDir: *stateDir, MaxClients: *maxClients,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chowd: %v\n", err)
+		return 1
+	}
+
+	errc := make(chan error, 2)
+	serve := func(network, address string) error {
+		ln, err := net.Listen(network, address)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chowd: listening on %s %s\n", network, ln.Addr())
+		go func() { errc <- srv.Serve(ln) }()
+		return nil
+	}
+	if *socket != "" {
+		os.Remove(*socket) // a leftover socket file from a dead daemon
+		if err := serve("unix", *socket); err != nil {
+			fmt.Fprintf(os.Stderr, "chowd: %v\n", err)
+			return 1
+		}
+		defer os.Remove(*socket)
+	}
+	if *addr != "" {
+		if err := serve("tcp", *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "chowd: %v\n", err)
+			return 1
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("chowd: %v, draining (deadline %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "chowd: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Println("chowd: drained clean")
+		return 0
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "chowd: serve: %v\n", err)
+		return 1
+	}
+}

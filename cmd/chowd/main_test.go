@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChowdE2E is the daemon's end-to-end gate: build the real chowd and
+// chowload binaries, serve on a loopback unix socket, drive a mixed
+// workload with slowloris and oversized abuse alongside, and require
+// zero 5xx for healthy clients, zero oracle mismatches, defended abuse,
+// and a clean SIGTERM drain with an in-flight request still completing.
+func TestChowdE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and serves real traffic")
+	}
+	dir := t.TempDir()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := exec.Command("go", "build", "-o", dir, "./cmd/chowd", "./cmd/chowload")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	sock := filepath.Join(dir, "chowd.sock")
+	logf, err := os.Create(filepath.Join(dir, "chowd.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+	daemonCmd := exec.Command(filepath.Join(dir, "chowd"),
+		"-addr", "", "-socket", sock, "-workers", "2",
+		"-read-timeout", "2s", "-read-header-timeout", "1s",
+		"-drain-timeout", "10s")
+	daemonCmd.Stdout = logf
+	daemonCmd.Stderr = logf
+	if err := daemonCmd.Start(); err != nil {
+		t.Fatalf("start chowd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemonCmd.Wait() }()
+	defer daemonCmd.Process.Kill()
+
+	waitForSocket(t, sock, exited)
+
+	// Mixed workload: healthy clients with slowloris and oversized abuse
+	// running alongside them.
+	load := exec.Command(filepath.Join(dir, "chowload"),
+		"-socket", sock, "-clients", "4", "-n", "12",
+		"-slowloris", "2", "-slowloris-hold", "2s", "-oversized", "2", "-json")
+	out, err := load.Output()
+	if err != nil {
+		t.Fatalf("chowload: %v\n%s", err, out)
+	}
+	var sum struct {
+		Sent              int         `json:"sent"`
+		OK                int         `json:"ok"`
+		Statuses          map[int]int `json:"statuses"`
+		Healthy5xx        int         `json:"healthy_5xx"`
+		OracleMismatches  int         `json:"oracle_mismatches"`
+		SlowlorisClosed   int         `json:"slowloris_closed"`
+		OversizedRejected int         `json:"oversized_rejected"`
+	}
+	if err := json.Unmarshal(out, &sum); err != nil {
+		t.Fatalf("chowload output: %v\n%s", err, out)
+	}
+	if sum.Healthy5xx != 0 {
+		t.Errorf("healthy clients saw %d 5xx answers:\n%s", sum.Healthy5xx, out)
+	}
+	if sum.OracleMismatches != 0 {
+		t.Errorf("%d /run outputs diverged from the oracle:\n%s", sum.OracleMismatches, out)
+	}
+	if sum.OK < 4*12 {
+		t.Errorf("only %d/%d healthy requests succeeded:\n%s", sum.OK, 4*12, out)
+	}
+	if sum.SlowlorisClosed != 2 {
+		t.Errorf("server closed %d/2 slowloris connections:\n%s", sum.SlowlorisClosed, out)
+	}
+	if sum.OversizedRejected != 2 {
+		t.Errorf("server rejected %d/2 oversized bodies:\n%s", sum.OversizedRejected, out)
+	}
+
+	// Start an in-flight slow request, then SIGTERM mid-run: the drain
+	// must answer it (its own deadline classifies it) and exit clean.
+	slowDone := make(chan int, 1)
+	go func() {
+		status, err := postUnix(sock, "/run", fmt.Sprintf(`{"source":%q,"timeout_ms":1500}`, slowSrc))
+		if err != nil {
+			status = -1
+		}
+		slowDone <- status
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := daemonCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case status := <-slowDone:
+		if status != 504 && status != 200 {
+			t.Errorf("in-flight request during drain: status %d, want an answer (504 or 200)", status)
+		}
+	case <-time.After(8 * time.Second):
+		t.Error("in-flight request never answered during drain")
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Errorf("chowd exit after SIGTERM: %v (want clean 0)", err)
+		}
+	case <-time.After(12 * time.Second):
+		t.Fatal("chowd did not exit after SIGTERM")
+	}
+	logb, _ := os.ReadFile(logf.Name())
+	if !strings.Contains(string(logb), "drained clean") {
+		t.Errorf("chowd log missing clean-drain line:\n%s", logb)
+	}
+}
+
+const slowSrc = `
+func spin(n int) int {
+    var i int;
+    var acc int;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+    return acc;
+}
+func main() {
+    var j int;
+    var acc int;
+    acc = 0;
+    for (j = 0; j < 1000000; j = j + 1) { acc = acc + spin(1000); }
+    print(acc);
+}
+`
+
+func waitForSocket(t *testing.T, sock string, exited chan error) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			t.Fatalf("chowd exited during startup: %v", err)
+		default:
+		}
+		if conn, err := net.Dial("unix", sock); err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("chowd socket never came up")
+}
+
+func postUnix(sock, path, body string) (int, error) {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", sock)
+			},
+		},
+	}
+	resp, err := client.Post("http://chowd"+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,52 @@
+// chowload generates load against a chowd daemon: a healthy mixed
+// compile/run/incremental workload whose /run answers are verified against
+// the reference interpreter, plus optional abusive traffic (slowloris
+// connections, oversized bodies). It prints a summary — req/s, p50/p99
+// latency, status histogram, healthy-5xx and oracle-mismatch counts — or
+// the same as JSON with -json, which the e2e gate parses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chow88/internal/loadgen"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8377", "daemon base URL")
+		socket    = flag.String("socket", "", "dial this unix socket instead of TCP")
+		clients   = flag.Int("clients", 4, "concurrent healthy clients")
+		requests  = flag.Int("n", 25, "requests per client")
+		timeoutMS = flag.Int("timeout-ms", 0, "per-request timeout_ms field (0: server default)")
+		slow      = flag.Int("slowloris", 0, "slowloris connections to open alongside")
+		slowHold  = flag.Duration("slowloris-hold", 3*time.Second, "how long each slowloris connection drips")
+		oversized = flag.Int("oversized", 0, "oversized POSTs to send alongside")
+		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
+	)
+	flag.Parse()
+
+	sum, err := loadgen.Run(loadgen.Options{
+		BaseURL: *url, SocketPath: *socket,
+		Clients: *clients, Requests: *requests, TimeoutMS: *timeoutMS,
+		Slowloris: *slow, SlowlorisHold: *slowHold, Oversized: *oversized,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chowload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		fmt.Print(sum.String())
+	}
+	if sum.Healthy5xx > 0 || sum.OracleMismatches > 0 {
+		os.Exit(1)
+	}
+}

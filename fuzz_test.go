@@ -1,13 +1,16 @@
 package chow88
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"chow88/internal/benchprog"
+	"chow88/internal/daemon"
 	"chow88/internal/front"
 	"chow88/internal/interp"
 	"chow88/internal/parser"
@@ -102,6 +105,48 @@ func FuzzCompile(f *testing.F) {
 			if res.Output[i] != want.Output[i] {
 				t.Fatalf("output[%d] = %d, interpreter says %d", i, res.Output[i], want.Output[i])
 			}
+		}
+	})
+}
+
+// FuzzDaemonRequest hammers the chowd request decoder — the first code
+// that touches every byte a network client sends — with arbitrary input.
+// The decoder's contract: never panic, return exactly one of
+// (request, typed rejection), reject with a plausible HTTP status, and
+// only accept requests whose knobs survive full validation (so a worker
+// never sees a request it cannot build a compilation mode from).
+func FuzzDaemonRequest(f *testing.F) {
+	f.Add([]byte(`{"source":"func main() { print(1); }"}`))
+	f.Add([]byte(`{"source":"func main() { print(1); }","opt":"O2","shrinkwrap":false,"regs":"caller7","open":["f"],"strict":true}`))
+	f.Add([]byte(`{"source":"x","client":"alice","timeout_ms":250,"max_instrs":1000,"engine":"reference","disasm":true}`))
+	f.Add([]byte(`{"source":""}`))
+	f.Add([]byte(`{"source":"x","nope":1}`))
+	f.Add([]byte(`{"source":"x"} {"source":"y"}`))
+	f.Add([]byte(`{"source":"x","engine":"turbo"}`))
+	f.Add([]byte(`{"source":"x","timeout_ms":-5}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"source\":\"" + strings.Repeat("//x\\n", 600) + "\"}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, rerr := daemon.DecodeRequest(bytes.NewReader(data), daemon.Limits{MaxBodyBytes: 1 << 16, MaxSourceLines: 500})
+		if (req == nil) == (rerr == nil) {
+			t.Fatalf("DecodeRequest returned req=%v rerr=%v; want exactly one", req, rerr)
+		}
+		if rerr != nil {
+			if rerr.Status < 400 || rerr.Status > 599 {
+				t.Fatalf("rejection with non-error status %d (%s)", rerr.Status, rerr.Class)
+			}
+			if rerr.Class == "" {
+				t.Fatalf("rejection without a class: %v", rerr)
+			}
+			return
+		}
+		if req.Source == "" {
+			t.Fatal("accepted a request with empty source")
+		}
+		if _, merr := req.Mode(); merr != nil {
+			t.Fatalf("accepted request cannot build a mode: %v", merr)
 		}
 	})
 }

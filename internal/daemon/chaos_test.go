@@ -1,0 +1,179 @@
+package daemon
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"chow88"
+	"chow88/internal/faultinject"
+)
+
+// victimSrc names its worker function distinctively so a summary-corruption
+// plan keyed on it can never land in a healthy client's compile.
+const victimSrc = `
+func victimfn(a int, b int, c int) int {
+    var i int;
+    var acc int;
+    acc = b + c;
+    for (i = 0; i < a; i = i + 1) { acc = acc + i * b + c; }
+    return acc;
+}
+func helper(x int) int { return victimfn(x, x + 1, x + 2) + victimfn(x, 1, 0); }
+func main() {
+    print(helper(10));
+    print(victimfn(5, 2, 1));
+}
+`
+
+// healthyTraffic hammers /run with healthy programs from n goroutines
+// while fn runs, then asserts every healthy answer was 200 with
+// byte-identical-to-oracle output. This is the chaos suite's core claim:
+// a fault poisons at most its own request, never a neighbor's.
+func healthyTraffic(t *testing.T, url string, n, rounds int, fn func()) {
+	t.Helper()
+	srcs := []string{fibSrc, fibSrcV2}
+	oracles := make([][]int64, len(srcs))
+	for i, src := range srcs {
+		out, err := chow88.Interpret(src)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		oracles[i] = out
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, n*rounds)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (g + i) % len(srcs)
+				status, _, r := postJSON(t, url+"/run", reqBody(t, Request{Source: srcs[k]}))
+				if status != 200 || !r.OK {
+					errs <- fmt.Sprintf("healthy client %d round %d: status %d, error %+v", g, i, status, r.Error)
+					continue
+				}
+				if fmt.Sprint(r.Output) != fmt.Sprint(oracles[k]) {
+					errs <- fmt.Sprintf("healthy client %d round %d: output %v, oracle %v", g, i, r.Output, oracles[k])
+				}
+			}
+		}(g)
+	}
+	fn()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestChaosWorkerPanic injects a panic into the worker handling one
+// incremental request: that request gets a structured 500, every
+// concurrent healthy client gets oracle output, and the daemon keeps
+// serving afterward.
+func TestChaosWorkerPanic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	plan := &faultinject.Plan{Point: faultinject.PointPanicDaemonWorker, Func: "compile-incremental"}
+	faultinject.Arm(plan)
+	defer faultinject.Disarm()
+
+	healthyTraffic(t, ts.URL, 3, 5, func() {
+		status, _, r := postJSON(t, ts.URL+"/compile-incremental", reqBody(t, Request{Source: victimSrc, Client: "victim"}))
+		if status != 500 {
+			t.Errorf("victim request: status %d (resp %+v), want 500", status, r)
+		}
+		if r.Error == nil || !strings.Contains(r.Error.Detail, "worker panic (recovered)") {
+			t.Errorf("victim error = %+v, want recovered-panic detail", r.Error)
+		}
+	})
+	if !plan.Fired() {
+		t.Fatal("panic plan never fired")
+	}
+
+	// The worker that died to the panic is gone from the pool only if the
+	// daemon mishandled containment; a fresh request proves it is not.
+	status, _, r := postJSON(t, ts.URL+"/compile-incremental", reqBody(t, Request{Source: victimSrc, Client: "victim"}))
+	if status != 200 || !r.OK {
+		t.Errorf("post-panic request: status %d, resp %+v", status, r)
+	}
+	_, _, metrics := getStatus(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "daemon.request_panics 1") {
+		t.Errorf("metrics missing panic count:\n%s", metrics)
+	}
+}
+
+// TestChaosCorruptSummary corrupts the victim function's register-usage
+// summary mid-compile: the validator catches it, the degradation ladder
+// demotes/replans, and the victim still gets oracle-correct output — a
+// degraded compile, never a miscompile.
+func TestChaosCorruptSummary(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	plan := &faultinject.Plan{Point: faultinject.PointCorruptSummary, Func: "victimfn"}
+	faultinject.Arm(plan)
+	defer faultinject.Disarm()
+
+	oracle, err := chow88.Interpret(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyTraffic(t, ts.URL, 3, 5, func() {
+		status, _, r := postJSON(t, ts.URL+"/run", reqBody(t, Request{Source: victimSrc}))
+		if status != 200 || !r.OK {
+			t.Errorf("victim run: status %d, resp %+v", status, r)
+			return
+		}
+		if fmt.Sprint(r.Output) != fmt.Sprint(oracle) {
+			t.Errorf("victim output %v, oracle %v", r.Output, oracle)
+		}
+		if !plan.Fired() {
+			t.Error("summary corruption never fired")
+		}
+		if len(r.Demotions) == 0 {
+			t.Errorf("corrupted compile reported no demotions: %+v", r)
+		}
+	})
+}
+
+// TestChaosCorruptStatefile corrupts the statefile as it is written: the
+// next incremental request detects the bad checksum, falls back to a full
+// rebuild (reported as such), and the round after that is incremental
+// again — the state pipeline self-heals.
+func TestChaosCorruptStatefile(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	plan := &faultinject.Plan{Point: faultinject.PointCorruptStatefile}
+	faultinject.Arm(plan)
+	defer faultinject.Disarm()
+
+	body := func(src string) string { return reqBody(t, Request{Source: src, Client: "victim"}) }
+	healthyTraffic(t, ts.URL, 3, 5, func() {
+		// Round 1 writes a corrupted statefile (the fault fires in Save).
+		status, _, r := postJSON(t, ts.URL+"/compile-incremental", body(victimSrc))
+		if status != 200 || !r.OK {
+			t.Errorf("round 1: status %d, resp %+v", status, r)
+			return
+		}
+		if !plan.Fired() {
+			t.Error("statefile corruption never fired")
+			return
+		}
+		// Round 2 must reject the corrupt state and fully rebuild.
+		status, _, r = postJSON(t, ts.URL+"/compile-incremental", body(victimSrc))
+		if status != 200 || !r.OK {
+			t.Errorf("round 2: status %d, resp %+v", status, r)
+			return
+		}
+		if r.Incremental {
+			t.Errorf("round 2 trusted a corrupt statefile: %+v", r)
+		}
+		if !strings.Contains(r.FallbackReason, "statefile rejected") {
+			t.Errorf("round 2 fallback reason %q, want statefile rejection", r.FallbackReason)
+		}
+		// Round 3: the rewritten (clean) statefile serves increments again.
+		status, _, r = postJSON(t, ts.URL+"/compile-incremental", body(victimSrc))
+		if status != 200 || !r.OK || !r.Incremental {
+			t.Errorf("round 3: status %d, incremental %v (resp %+v), want incremental", status, r.Incremental, r)
+		}
+	})
+}

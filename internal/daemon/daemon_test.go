@@ -1,0 +1,335 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chow88"
+)
+
+const fibSrc = `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    print(fib(18));
+    print(fib(10));
+}
+`
+
+// fibSrcV2 edits only main, so an incremental rebuild reuses fib.
+const fibSrcV2 = `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    print(fib(17));
+    print(fib(10));
+}
+`
+
+// slowSrc runs ~4e9 simple instructions: far past any test deadline, past
+// the default instruction budget — a request for it only ends by limit.
+const slowSrc = `
+func spin(n int) int {
+    var i int;
+    var acc int;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+    return acc;
+}
+func main() {
+    var j int;
+    var acc int;
+    acc = 0;
+    for (j = 0; j < 1000000; j = j + 1) { acc = acc + spin(1000); }
+    print(acc);
+}
+`
+
+func testCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := testCtx(5 * time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (int, http.Header, *Response) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("POST %s: decode response: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, &r
+}
+
+func reqBody(t *testing.T, req Request) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	status, _, r := postJSON(t, ts.URL+"/run", reqBody(t, Request{Source: fibSrc}))
+	if status != 200 || !r.OK {
+		t.Fatalf("run: status %d, resp %+v", status, r)
+	}
+	want, err := chow88.Interpret(fibSrc)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if fmt.Sprint(r.Output) != fmt.Sprint(want) {
+		t.Errorf("output %v, oracle %v", r.Output, want)
+	}
+	if r.Stats == nil || r.Stats.Cycles <= 0 || r.Stats.Calls <= 0 {
+		t.Errorf("missing run stats: %+v", r.Stats)
+	}
+	if r.Mode != "O3+sw" {
+		t.Errorf("default mode = %q, want O3+sw", r.Mode)
+	}
+}
+
+func TestCompileModesAndDisasm(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	off := false
+	status, _, r := postJSON(t, ts.URL+"/compile", reqBody(t, Request{
+		Source: fibSrc, Opt: "O2", ShrinkWrap: &off, Regs: "caller7", Disasm: true,
+	}))
+	if status != 200 || !r.OK {
+		t.Fatalf("compile: status %d, resp %+v", status, r)
+	}
+	if r.Mode != "O2/caller7" {
+		t.Errorf("mode = %q, want O2/caller7", r.Mode)
+	}
+	if r.Funcs != 2 || r.CodeWords <= 0 || r.Disasm == "" {
+		t.Errorf("compile facts wrong: funcs=%d words=%d disasm=%d bytes", r.Funcs, r.CodeWords, len(r.Disasm))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 4096, MaxSourceLines: 50})
+	cases := []struct {
+		name, endpoint, body string
+		status               int
+		class                string
+	}{
+		{"malformed", "/compile", `{`, 400, "malformed-json"},
+		{"unknown field", "/compile", `{"source":"func main() { print(1); }","nope":1}`, 400, "unknown-field"},
+		{"missing source", "/compile", `{}`, 400, "missing-source"},
+		{"trailing data", "/compile", `{"source":"x"} {"source":"y"}`, 400, "trailing-data"},
+		{"bad engine", "/run", `{"source":"func main() { print(1); }","engine":"turbo"}`, 400, "bad-engine"},
+		{"bad opt", "/compile", `{"source":"func main() { print(1); }","opt":"O9"}`, 400, "bad-opt"},
+		{"bad regs", "/compile", `{"source":"func main() { print(1); }","regs":"zero"}`, 400, "bad-regs"},
+		{"negative timeout", "/compile", `{"source":"func main() { print(1); }","timeout_ms":-1}`, 400, "bad-timeout"},
+		{"missing client", "/compile-incremental", `{"source":"func main() { print(1); }"}`, 400, "missing-client"},
+		{"oversized body", "/compile", fmt.Sprintf(`{"source":%q}`, strings.Repeat("// padding\n", 600)), 413, "too-large"},
+		{"too many lines", "/compile", fmt.Sprintf(`{"source":%q}`, strings.Repeat("//x\n", 60)), 413, "too-large"},
+		{"parse error", "/compile", `{"source":"func main( {"}`, 422, "parse error"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, _, r := postJSON(t, ts.URL+c.endpoint, c.body)
+			if status != c.status {
+				t.Errorf("status = %d, want %d (resp %+v)", status, c.status, r)
+			}
+			if r.OK || r.Error == nil || r.Error.Class != c.class {
+				t.Errorf("error = %+v, want class %q", r.Error, c.class)
+			}
+		})
+	}
+	if status, _, _ := getStatus(t, ts.URL+"/compile"); status != 405 {
+		t.Errorf("GET /compile = %d, want 405", status)
+	}
+}
+
+func getStatus(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, b
+}
+
+func TestDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	start := time.Now()
+	status, _, r := postJSON(t, ts.URL+"/run", reqBody(t, Request{Source: slowSrc, TimeoutMS: 300}))
+	if status != 504 {
+		t.Fatalf("slow run: status %d (resp %+v), want 504", status, r)
+	}
+	if r.Error == nil || r.Error.Class != "deadline" {
+		t.Errorf("error = %+v, want class deadline", r.Error)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("deadline enforcement took %v", el)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	slow := reqBody(t, Request{Source: slowSrc, TimeoutMS: 1500})
+
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, _ := postJSON(t, ts.URL+"/run", slow)
+			statuses[i] = st
+		}(i)
+		time.Sleep(150 * time.Millisecond) // let it reach worker/queue
+	}
+	status, hdr, r := postJSON(t, ts.URL+"/run", slow)
+	if status != 429 {
+		t.Fatalf("third concurrent slow run: status %d (resp %+v), want 429", status, r)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if r.Error == nil || r.Error.Class != "queue-full" {
+		t.Errorf("error = %+v, want class queue-full", r.Error)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != 504 {
+			t.Errorf("slow request %d: status %d, want 504 (deadline)", i, st)
+		}
+	}
+	_, _, metrics := getStatus(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "daemon.rejected_queue_full") {
+		t.Errorf("metrics missing rejection counter:\n%s", metrics)
+	}
+}
+
+func TestIncremental(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxClients: 2})
+	status, _, r := postJSON(t, ts.URL+"/compile-incremental", reqBody(t, Request{Source: fibSrc, Client: "alice"}))
+	if status != 200 || !r.OK {
+		t.Fatalf("first build: status %d, resp %+v", status, r)
+	}
+	if r.Incremental {
+		t.Errorf("first build claims incremental (reason %q)", r.FallbackReason)
+	}
+	status, _, r = postJSON(t, ts.URL+"/compile-incremental", reqBody(t, Request{Source: fibSrcV2, Client: "alice"}))
+	if status != 200 || !r.OK {
+		t.Fatalf("second build: status %d, resp %+v", status, r)
+	}
+	if !r.Incremental || r.Reused < 1 {
+		t.Errorf("edit to main should reuse fib: %+v", r)
+	}
+
+	// Two more clients overflow MaxClients=2 and evict the oldest slot.
+	for _, c := range []string{"bob", "carol"} {
+		if st, _, rr := postJSON(t, ts.URL+"/compile-incremental", reqBody(t, Request{Source: fibSrc, Client: c})); st != 200 {
+			t.Fatalf("client %s: status %d, resp %+v", c, st, rr)
+		}
+	}
+	if n := s.states.entries(); n > 2 {
+		t.Errorf("state table holds %d clients, cap 2", n)
+	}
+	_, _, metrics := getStatus(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "daemon.state_evictions") {
+		t.Errorf("metrics missing state eviction counter:\n%s", metrics)
+	}
+}
+
+func TestMetricsTraceHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if st, _, r := postJSON(t, ts.URL+"/run", reqBody(t, Request{Source: fibSrc})); st != 200 {
+		t.Fatalf("warmup run: %d %+v", st, r)
+	}
+	st, _, metrics := getStatus(t, ts.URL+"/metrics")
+	if st != 200 {
+		t.Fatalf("/metrics: %d", st)
+	}
+	for _, want := range []string{"daemon.uptime_ns", "daemon.accepted 1", "daemon.queue_depth", "phase.compile"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	st, _, trace := getStatus(t, ts.URL+"/trace")
+	if st != 200 || !bytes.Contains(trace, []byte("traceEvents")) {
+		t.Errorf("/trace: status %d, body %.80s", st, trace)
+	}
+	st, _, hz := getStatus(t, ts.URL+"/healthz")
+	if st != 200 || !bytes.Contains(hz, []byte(`"ok":true`)) {
+		t.Errorf("/healthz: status %d, body %s", st, hz)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	s, err := NewServer(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the worker, then shut down while it runs.
+	inflight := make(chan int, 1)
+	go func() {
+		st, _, _ := postJSON(t, ts.URL+"/run", reqBody(t, Request{Source: slowSrc, TimeoutMS: 1200}))
+		inflight <- st
+	}()
+	time.Sleep(300 * time.Millisecond)
+
+	ctx, cancel := testCtx(10 * time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	time.Sleep(100 * time.Millisecond)
+
+	// New work during the drain is refused with 503.
+	st, hdr, r := postJSON(t, ts.URL+"/compile", reqBody(t, Request{Source: fibSrc}))
+	if st != 503 || r.Error == nil || r.Error.Class != "draining" {
+		t.Errorf("during drain: status %d, error %+v, want 503/draining", st, r.Error)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+
+	// The in-flight request completes (its own deadline answers it).
+	if st := <-inflight; st != 504 {
+		t.Errorf("in-flight request: status %d, want 504", st)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package daemon
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"chow88/internal/obs"
+)
+
+// clientState is one client's incremental slot: the statefile path and the
+// single-writer lock serializing that client's /compile-incremental
+// requests. Two requests from the same client must not interleave their
+// read-modify-write of the statefile; two different clients proceed in
+// parallel on different files.
+type clientState struct {
+	key  string
+	path string
+	mu   sync.Mutex
+	// refs counts requests currently using the slot; the table only
+	// evicts idle slots (refs == 0), so eviction can never delete a
+	// statefile out from under an in-flight compile.
+	refs int
+	elem *list.Element
+}
+
+// stateTable maps client keys to statefiles with LRU eviction, bounding
+// the daemon's disk footprint no matter how many distinct client keys it
+// sees over its lifetime.
+type stateTable struct {
+	mu  sync.Mutex
+	dir string
+	cap int
+	lru *list.List // front = most recently used; values are *clientState
+	m   map[string]*clientState
+	obs *obs.Session
+}
+
+func newStateTable(dir string, cap int, s *obs.Session) *stateTable {
+	if cap < 1 {
+		cap = 1
+	}
+	return &stateTable{dir: dir, cap: cap, lru: list.New(), m: map[string]*clientState{}, obs: s}
+}
+
+// statePath derives the statefile name from the client key by hashing:
+// client keys are arbitrary strings, filenames are not.
+func (t *stateTable) statePath(client string) string {
+	sum := sha256.Sum256([]byte(client))
+	return filepath.Join(t.dir, "client-"+hex.EncodeToString(sum[:8])+".cwstate")
+}
+
+// acquire returns the client's slot, creating it on first use, and pins it
+// against eviction until the matching release. Creating a slot may evict
+// the least-recently-used idle slot (and its statefile) when the table is
+// over capacity.
+func (t *stateTable) acquire(client string) *clientState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs := t.m[client]
+	if cs == nil {
+		cs = &clientState{key: client, path: t.statePath(client)}
+		cs.elem = t.lru.PushFront(cs)
+		t.m[client] = cs
+		for t.lru.Len() > t.cap {
+			if !t.evictOldestLocked() {
+				break // everything is in flight; stay over cap briefly
+			}
+		}
+	} else {
+		t.lru.MoveToFront(cs.elem)
+	}
+	cs.refs++
+	return cs
+}
+
+// release unpins a slot acquired with acquire.
+func (t *stateTable) release(cs *clientState) {
+	t.mu.Lock()
+	cs.refs--
+	t.mu.Unlock()
+}
+
+// evictOldestLocked removes the least-recently-used idle slot and deletes
+// its statefile (and any lockfile). Returns false when every slot is
+// pinned by an in-flight request.
+func (t *stateTable) evictOldestLocked() bool {
+	for e := t.lru.Back(); e != nil; e = e.Prev() {
+		cs := e.Value.(*clientState)
+		if cs.refs > 0 {
+			continue
+		}
+		t.lru.Remove(e)
+		delete(t.m, cs.key)
+		os.Remove(cs.path)
+		os.Remove(cs.path + ".lock")
+		t.obs.Add(obs.CDaemonStateEvictions, 1)
+		return true
+	}
+	return false
+}
+
+// entries reports the current slot count (tests).
+func (t *stateTable) entries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+// clearStaleLocks removes leftover .lock files in dir. The daemon is the
+// only writer of its state directory, so any lockfile present at startup
+// is debris from a crashed predecessor, not a live writer.
+func clearStaleLocks(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".lock") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

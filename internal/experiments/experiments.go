@@ -207,8 +207,8 @@ func FormatObs(title string, rows []*Measurement, keys []string) string {
 		}
 	}
 	cs := front.CacheStats()
-	fmt.Fprintf(&b, "front cache: %d/%d entries, %d hits, %d misses, %d resets\n",
-		cs.Entries, cs.Cap, cs.Hits, cs.Misses, cs.Resets)
+	fmt.Fprintf(&b, "front cache: %d/%d entries, %d hits, %d misses, %d evictions\n",
+		cs.Entries, cs.Cap, cs.Hits, cs.Misses, cs.Evictions)
 	return b.String()
 }
 

@@ -47,16 +47,28 @@ const (
 	// PointPanicCodegen panics inside one per-function code-generation
 	// worker.
 	PointPanicCodegen
+	// PointPanicDaemonWorker panics inside one chowd request worker, after
+	// admission but before any compilation work. The daemon's per-request
+	// containment must turn it into a structured error response; the
+	// process and its other workers must be unaffected.
+	PointPanicDaemonWorker
+	// PointCorruptStatefile flips one byte of an incremental statefile's
+	// checksummed payload as it is written, simulating torn or bit-rotted
+	// state on disk. The next load must reject the file end to end and
+	// degrade to a full rebuild, never a miscompile.
+	PointCorruptStatefile
 
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	PointCorruptSummary: "corrupt-summary-bit",
-	PointDropSave:       "drop-save-site",
-	PointFlipParamReg:   "flip-param-reg",
-	PointPanicPlan:      "panic-plan-worker",
-	PointPanicCodegen:   "panic-codegen-worker",
+	PointCorruptSummary:    "corrupt-summary-bit",
+	PointDropSave:          "drop-save-site",
+	PointFlipParamReg:      "flip-param-reg",
+	PointPanicPlan:         "panic-plan-worker",
+	PointPanicCodegen:      "panic-codegen-worker",
+	PointPanicDaemonWorker: "panic-daemon-worker",
+	PointCorruptStatefile:  "corrupt-statefile",
 }
 
 // String returns the point's stable name (used in demotion reasons).
@@ -72,6 +84,23 @@ func Points() []Point {
 	out := make([]Point, NumPoints)
 	for i := range out {
 		out[i] = Point(i)
+	}
+	return out
+}
+
+// CompilePoints returns the points that can fire inside a single Compile
+// call — the compile-path chaos suite arms exactly these. The remaining
+// points live on the service path (the chowd daemon's request workers and
+// the incremental statefile writer) and are exercised by the daemon chaos
+// suite instead.
+func CompilePoints() []Point {
+	var out []Point
+	for _, p := range Points() {
+		switch p {
+		case PointPanicDaemonWorker, PointCorruptStatefile:
+			continue
+		}
+		out = append(out, p)
 	}
 	return out
 }
@@ -221,4 +250,30 @@ func PanicCodegen(fn string) {
 		obs.Current().Add(obs.CCheckFaults, 1)
 		panic(fmt.Sprintf("faultinject: %s in %s", PointPanicCodegen, fn))
 	}
+}
+
+// PanicDaemonWorker panics inside a chowd request worker handling the
+// named endpoint ("compile", "compile-incremental", "run").
+func PanicDaemonWorker(endpoint string) {
+	if armed.Load() == nil {
+		return
+	}
+	if claim(PointPanicDaemonWorker, endpoint) {
+		obs.Current().Add(obs.CCheckFaults, 1)
+		panic(fmt.Sprintf("faultinject: %s handling %s", PointPanicDaemonWorker, endpoint))
+	}
+}
+
+// CorruptStatefile reports whether the statefile being written to path
+// should have one payload byte flipped (after its checksum was computed,
+// so the corruption is detectable end to end).
+func CorruptStatefile(path string) bool {
+	if armed.Load() == nil {
+		return false
+	}
+	if claim(PointCorruptStatefile, path) {
+		obs.Current().Add(obs.CCheckFaults, 1)
+		return true
+	}
+	return false
 }

@@ -9,6 +9,7 @@
 package front
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -30,48 +31,93 @@ type key struct {
 	optimize bool
 }
 
-// cache memoizes frozen, verified master modules. A master is never
-// mutated again; every caller works on a private deep copy, so a cache hit
-// is byte-identical to a cold build.
+// entry is one cached master module plus its LRU-list position.
+type entry struct {
+	k   key
+	mod *ir.Module
+}
+
+// cache memoizes frozen, verified master modules behind an LRU bound. A
+// master is never mutated again; every caller works on a private deep
+// copy, so a cache hit is byte-identical to a cold build. lru orders
+// *entry values most-recently-used first; when occupancy exceeds cap the
+// least-recently-used master is evicted one at a time, so a long-lived
+// process (the chowd daemon serving many tenants) holds at most cap
+// modules however many distinct sources pass through.
 var cache = struct {
 	sync.Mutex
-	mods map[key]*ir.Module
-}{mods: map[key]*ir.Module{}}
+	lru *list.List
+	m   map[key]*list.Element
+	cap int
+}{lru: list.New(), m: map[key]*list.Element{}, cap: DefaultCacheCap}
 
-// cacheCap bounds the cache. When full, the cache resets wholesale: the
-// working set (a benchmark suite, a test matrix) is far below the cap, so
-// eviction is a correctness backstop, not a tuning knob.
-const cacheCap = 64
+// DefaultCacheCap is the compile cache's default occupancy bound; ample
+// for a benchmark suite or test matrix, and a hard memory ceiling for a
+// multi-tenant daemon. SetCacheCap tunes it.
+const DefaultCacheCap = 64
 
 // counters are the cache's lifetime event counts, kept independently of any
 // obs session so CacheStats answers even when observability is disabled.
 var counters struct {
-	hits, misses, resets atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 // Stats is a point-in-time view of the compile cache.
 type Stats struct {
-	// Entries is the current occupancy; Cap the reset threshold.
+	// Entries is the current occupancy; Cap the LRU eviction threshold.
 	Entries, Cap int
-	// Hits, Misses and Resets count cache events over the process lifetime
-	// (a reset is the wholesale eviction at Cap).
-	Hits, Misses, Resets int64
+	// Hits, Misses and Evictions count cache events over the process
+	// lifetime (an eviction discards the least-recently-used master once
+	// occupancy would exceed Cap).
+	Hits, Misses, Evictions int64
 }
 
 // CacheStats reports the compile cache's occupancy and lifetime hit/miss/
-// reset counts. The obs metrics registry mirrors the same events per
+// eviction counts. The obs metrics registry mirrors the same events per
 // session; this accessor is the always-on view.
 func CacheStats() Stats {
 	cache.Lock()
-	n := len(cache.mods)
+	n, c := cache.lru.Len(), cache.cap
 	cache.Unlock()
 	return Stats{
-		Entries: n,
-		Cap:     cacheCap,
-		Hits:    counters.hits.Load(),
-		Misses:  counters.misses.Load(),
-		Resets:  counters.resets.Load(),
+		Entries:   n,
+		Cap:       c,
+		Hits:      counters.hits.Load(),
+		Misses:    counters.misses.Load(),
+		Evictions: counters.evictions.Load(),
 	}
+}
+
+// SetCacheCap rebounds the compile cache (shrinking evicts down to the new
+// cap immediately, oldest first) and returns the previous bound. n < 1 is
+// clamped to 1: a zero-capacity cache would break the Module contract of
+// consulting the cache at all.
+func SetCacheCap(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	s := obs.Current()
+	cache.Lock()
+	defer cache.Unlock()
+	old := cache.cap
+	cache.cap = n
+	for cache.lru.Len() > cache.cap {
+		evictOldestLocked(s)
+	}
+	return old
+}
+
+// evictOldestLocked drops the least-recently-used master; the caller holds
+// the cache lock.
+func evictOldestLocked(s *obs.Session) {
+	back := cache.lru.Back()
+	if back == nil {
+		return
+	}
+	cache.lru.Remove(back)
+	delete(cache.m, back.Value.(*entry).k)
+	counters.evictions.Add(1)
+	s.Add(obs.CFrontCacheEvict, 1)
 }
 
 // StageError attributes a front-end failure to its pipeline stage
@@ -156,7 +202,11 @@ func Module(src string, optimize, useCache bool) (*ir.Module, error) {
 	s := obs.Current()
 	k := key{src: sha256.Sum256([]byte(src)), optimize: optimize}
 	cache.Lock()
-	master := cache.mods[k]
+	var master *ir.Module
+	if el := cache.m[k]; el != nil {
+		cache.lru.MoveToFront(el)
+		master = el.Value.(*entry).mod
+	}
 	cache.Unlock()
 	if master == nil {
 		counters.misses.Add(1)
@@ -167,13 +217,18 @@ func Module(src string, optimize, useCache bool) (*ir.Module, error) {
 			return nil, err
 		}
 		cache.Lock()
-		if len(cache.mods) >= cacheCap {
-			cache.mods = make(map[key]*ir.Module, cacheCap)
-			counters.resets.Add(1)
-			s.Add(obs.CFrontCacheReset, 1)
+		if el := cache.m[k]; el != nil {
+			// A concurrent builder of the same source won the insert race;
+			// keep its master (the two are byte-identical by construction).
+			cache.lru.MoveToFront(el)
+			master = el.Value.(*entry).mod
+		} else {
+			cache.m[k] = cache.lru.PushFront(&entry{k: k, mod: master})
+			for cache.lru.Len() > cache.cap {
+				evictOldestLocked(s)
+			}
 		}
-		cache.mods[k] = master
-		n := len(cache.mods)
+		n := cache.lru.Len()
 		cache.Unlock()
 		s.SetMax(obs.GFrontCacheEntries, int64(n))
 	} else {

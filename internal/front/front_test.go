@@ -1,6 +1,7 @@
 package front
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -157,5 +158,73 @@ func TestChunkSourceRoundTrip(t *testing.T) {
 	}
 	if ir.ModuleString(orig) != ir.ModuleString(rejoined) {
 		t.Fatal("rejoined chunks lower to different IR than the original source")
+	}
+}
+
+// TestCacheLRUBound drives a synthetic 10k-module workload through the
+// compile cache with a small capacity and holds the memory contract: the
+// cache never retains more than cap masters at any instant, evictions
+// account for everything pushed out, and the process survives a working
+// set 300x its bound without resetting wholesale.
+func TestCacheLRUBound(t *testing.T) {
+	const cap = 32
+	old := SetCacheCap(cap)
+	defer SetCacheCap(old)
+	before := CacheStats()
+	for i := 0; i < 10000; i++ {
+		src := fmt.Sprintf("// lru probe %d\nfunc main() { print(%d); }\n", i, i)
+		if _, err := Module(src, true, true); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 {
+			if st := CacheStats(); st.Entries > st.Cap {
+				t.Fatalf("after %d modules: %d entries exceed cap %d", i+1, st.Entries, st.Cap)
+			}
+		}
+	}
+	after := CacheStats()
+	if after.Entries > cap {
+		t.Fatalf("final occupancy %d exceeds cap %d", after.Entries, cap)
+	}
+	misses := after.Misses - before.Misses
+	if misses < 10000 {
+		t.Fatalf("10k distinct sources produced only %d misses", misses)
+	}
+	if evicted := after.Evictions - before.Evictions; evicted < misses-int64(cap) {
+		t.Fatalf("%d misses into a %d-entry cache evicted only %d masters", misses, cap, evicted)
+	}
+}
+
+// TestCacheLRURecency proves eviction order is least-recently-used, not
+// insertion order: touching an old entry protects it when the next insert
+// overflows the cache.
+func TestCacheLRURecency(t *testing.T) {
+	old := SetCacheCap(2)
+	defer SetCacheCap(old)
+	srcs := []string{
+		"// recency probe a\nfunc main() { print(1); }\n",
+		"// recency probe b\nfunc main() { print(2); }\n",
+		"// recency probe c\nfunc main() { print(3); }\n",
+	}
+	mustModule := func(src string) {
+		t.Helper()
+		if _, err := Module(src, true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustModule(srcs[0])
+	mustModule(srcs[1])
+	mustModule(srcs[0]) // refresh a: b is now the LRU victim
+	mustModule(srcs[2]) // evicts b
+
+	st := CacheStats()
+	mustModule(srcs[0])
+	if got := CacheStats(); got.Hits != st.Hits+1 {
+		t.Fatalf("refreshed entry was evicted (hits %d -> %d)", st.Hits, got.Hits)
+	}
+	st = CacheStats()
+	mustModule(srcs[1])
+	if got := CacheStats(); got.Misses != st.Misses+1 {
+		t.Fatalf("LRU victim survived eviction (misses %d -> %d)", st.Misses, got.Misses)
 	}
 }

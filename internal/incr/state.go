@@ -5,12 +5,14 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/faultinject"
 	"chow88/internal/front"
 	"chow88/internal/ir"
 	"chow88/internal/regalloc"
@@ -76,7 +78,42 @@ const (
 	Version = 2
 )
 
-// Save writes the state to path (atomically, via a rename).
+// ErrLocked reports that another writer holds the statefile's advisory
+// lock. The loser of a write race gets this typed error and no side
+// effects: the winner's .tmp+rename sequence can never interleave with
+// another writer's, so the statefile on disk is always one writer's
+// complete, checksummed output. Callers treat a lost race like a failed
+// save — the next round simply has no head start.
+var ErrLocked = errors.New("incr: statefile locked by another writer")
+
+// LockPath returns the advisory lockfile guarding the statefile at path.
+func LockPath(path string) string { return path + ".lock" }
+
+// lock acquires the advisory lockfile with O_CREATE|O_EXCL — atomic on
+// every platform the toolchain targets, no flock dependency. The lockfile
+// records the holder's pid for post-mortem debugging. A crashed holder
+// leaves the lock behind; that only blocks future state captures (each
+// degrading to a full rebuild next round, never a miscompile), and
+// long-lived daemons clear stale locks for the state directories they own
+// at startup.
+func lock(path string) (release func(), err error) {
+	lp := LockPath(path)
+	f, err := os.OpenFile(lp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			holder, _ := os.ReadFile(lp)
+			return nil, fmt.Errorf("%w (%s held by pid %s)", ErrLocked, lp, bytes.TrimSpace(holder))
+		}
+		return nil, err
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	f.Close()
+	return func() { os.Remove(lp) }, nil
+}
+
+// Save writes the state to path (atomically, via a rename) under the
+// statefile's advisory lock. A concurrent writer gets ErrLocked instead of
+// a torn or interleaved file.
 func (st *State) Save(path string) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
@@ -90,6 +127,18 @@ func (st *State) Save(path string) error {
 	out.Write(ver[:])
 	out.Write(sum[:])
 	out.Write(payload.Bytes())
+	if faultinject.Armed() && faultinject.CorruptStatefile(path) {
+		// Chaos: flip one payload byte after the checksum was computed, so
+		// the corruption is end-to-end detectable. Load must reject the
+		// file and the next build degrade to a full rebuild.
+		b := out.Bytes()
+		b[len(b)-1] ^= 0x01
+	}
+	release, err := lock(path)
+	if err != nil {
+		return err
+	}
+	defer release()
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
 		return err

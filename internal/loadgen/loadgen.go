@@ -1,0 +1,350 @@
+// Package loadgen drives a chowd daemon with a mixed workload — healthy
+// compile/run/incremental clients whose answers are checked against the
+// reference interpreter, plus deliberately abusive traffic (slowloris
+// connections that drip bytes, oversized request bodies) — and summarizes
+// throughput, latency percentiles and failure counts. It is both the
+// cmd/chowload CLI's engine and the saturation benchmark's harness, and
+// the e2e gate's tool for proving abusive clients cannot make a healthy
+// client see a 5xx.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chow88/internal/interp"
+	"chow88/internal/parser"
+	"chow88/internal/sema"
+)
+
+// The healthy workload: small call-intensive CW programs of the suite's
+// character. fibV2 differs from fib only in main, so alternating the two
+// on /compile-incremental exercises frontier-only replans.
+const (
+	srcFib = `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    print(fib(17));
+    print(fib(9));
+}
+`
+	srcFibV2 = `
+func fib(n int) int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    print(fib(16));
+    print(fib(9));
+}
+`
+	srcSum = `
+func addmul(a int, b int) int { return a * 3 + b; }
+func step(acc int, i int) int { return addmul(acc, i) % 100003; }
+func main() {
+    var i int;
+    var acc int;
+    acc = 7;
+    for (i = 0; i < 2000; i = i + 1) { acc = step(acc, i); }
+    print(acc);
+}
+`
+)
+
+// Options configure one load-generation session.
+type Options struct {
+	// BaseURL is the daemon's HTTP root (e.g. http://127.0.0.1:8377).
+	// With SocketPath set, the host part is cosmetic.
+	BaseURL string
+	// SocketPath dials the daemon's unix socket instead of TCP.
+	SocketPath string
+	// Clients is the healthy concurrency; Requests is per-client.
+	Clients  int
+	Requests int
+	// TimeoutMS is the per-request budget sent in each healthy request
+	// (0: server default).
+	TimeoutMS int
+	// Slowloris opens that many raw connections which drip bytes and
+	// never finish a request; SlowlorisHold bounds how long each holds on.
+	Slowloris     int
+	SlowlorisHold time.Duration
+	// Oversized sends that many bodies of OversizedBytes (default 2 MiB),
+	// expecting admission-time rejection.
+	Oversized      int
+	OversizedBytes int64
+}
+
+// Summary is the session's outcome.
+type Summary struct {
+	Sent     int         `json:"sent"`
+	OK       int         `json:"ok"`
+	Statuses map[int]int `json:"statuses"`
+	// Healthy5xx counts 5xx answers to healthy requests — the number the
+	// e2e gate requires to be zero while abuse runs alongside.
+	Healthy5xx int `json:"healthy_5xx"`
+	// OracleMismatches counts /run outputs that differed from the
+	// reference interpreter.
+	OracleMismatches int           `json:"oracle_mismatches"`
+	Wall             time.Duration `json:"wall_ns"`
+	ReqPerSec        float64       `json:"req_per_sec"`
+	P50              time.Duration `json:"p50_ns"`
+	P99              time.Duration `json:"p99_ns"`
+	// SlowlorisClosed counts slow connections the server terminated
+	// before the hold expired (the read-timeout defense working).
+	SlowlorisClosed int `json:"slowloris_closed"`
+	// OversizedRejected counts oversized bodies answered with 413.
+	OversizedRejected int `json:"oversized_rejected"`
+}
+
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent %d  ok %d  healthy-5xx %d  oracle-mismatches %d\n",
+		s.Sent, s.OK, s.Healthy5xx, s.OracleMismatches)
+	fmt.Fprintf(&b, "wall %v  req/s %.1f  p50 %v  p99 %v\n", s.Wall.Round(time.Millisecond), s.ReqPerSec, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	codes := make([]int, 0, len(s.Statuses))
+	for c := range s.Statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  http %d: %d\n", c, s.Statuses[c])
+	}
+	if s.SlowlorisClosed > 0 || s.OversizedRejected > 0 {
+		fmt.Fprintf(&b, "  slowloris closed by server: %d  oversized rejected: %d\n", s.SlowlorisClosed, s.OversizedRejected)
+	}
+	return b.String()
+}
+
+// interpret runs src on the reference AST interpreter (the oracle).
+func interpret(src string) ([]int64, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	res, err := interp.Run(info, interp.Options{})
+	if res == nil {
+		return nil, err
+	}
+	return res.Output, err
+}
+
+// Run executes the session and blocks until all traffic has resolved.
+func Run(opts Options) (*Summary, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 10
+	}
+	if opts.SlowlorisHold <= 0 {
+		opts.SlowlorisHold = 3 * time.Second
+	}
+	if opts.OversizedBytes <= 0 {
+		opts.OversizedBytes = 2 << 20
+	}
+	if opts.BaseURL == "" {
+		opts.BaseURL = "http://chowd"
+	}
+	opts.BaseURL = strings.TrimRight(opts.BaseURL, "/")
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	if opts.SocketPath != "" {
+		client.Transport = &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", opts.SocketPath)
+			},
+		}
+	}
+
+	oracles := map[string][]int64{}
+	for _, src := range []string{srcFib, srcFibV2, srcSum} {
+		out, err := interpret(src)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: oracle: %w", err)
+		}
+		oracles[src] = out
+	}
+
+	sum := &Summary{Statuses: map[int]int{}}
+	var mu sync.Mutex
+	var lats []time.Duration
+	record := func(status int, ok bool, lat time.Duration, healthy bool, mismatch bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum.Sent++
+		sum.Statuses[status]++
+		if ok {
+			sum.OK++
+		}
+		if healthy && status >= 500 {
+			sum.Healthy5xx++
+		}
+		if mismatch {
+			sum.OracleMismatches++
+		}
+		if lat > 0 {
+			lats = append(lats, lat)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Healthy clients: a rotating compile / run / incremental mix.
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			clientKey := fmt.Sprintf("loadgen-%d", c)
+			for i := 0; i < opts.Requests; i++ {
+				endpoint, src := "/run", srcFib
+				switch i % 4 {
+				case 1:
+					endpoint, src = "/compile", srcSum
+				case 2:
+					endpoint, src = "/compile-incremental", srcFib
+				case 3:
+					endpoint, src = "/run", srcSum
+				}
+				if endpoint == "/compile-incremental" && i%8 == 6 {
+					src = srcFibV2
+				}
+				body, _ := json.Marshal(map[string]any{
+					"source": src, "client": clientKey, "timeout_ms": opts.TimeoutMS,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(opts.BaseURL+endpoint, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					record(0, false, 0, true, false)
+					continue
+				}
+				var r struct {
+					OK     bool    `json:"ok"`
+					Output []int64 `json:"output"`
+				}
+				derr := json.NewDecoder(resp.Body).Decode(&r)
+				resp.Body.Close()
+				mismatch := false
+				if derr == nil && r.OK && endpoint == "/run" {
+					mismatch = fmt.Sprint(r.Output) != fmt.Sprint(oracles[src])
+				}
+				record(resp.StatusCode, derr == nil && r.OK, lat, true, mismatch)
+			}
+		}(c)
+	}
+
+	// Slowloris connections: drip one header byte at a time and wait for
+	// the server's read timeout to cut us off.
+	for i := 0; i < opts.Slowloris; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			closed := slowloris(opts)
+			mu.Lock()
+			if closed {
+				sum.SlowlorisClosed++
+			}
+			mu.Unlock()
+		}()
+	}
+
+	// Oversized bodies: expect a 413 after MaxBytesReader trips.
+	for i := 0; i < opts.Oversized; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			huge := fmt.Sprintf(`{"source":%q}`, strings.Repeat("// padding padding padding\n", int(opts.OversizedBytes/27)+1))
+			resp, err := client.Post(opts.BaseURL+"/compile", "application/json", strings.NewReader(huge))
+			if err != nil {
+				record(0, false, 0, false, false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			record(resp.StatusCode, false, 0, false, false)
+			if resp.StatusCode == http.StatusRequestEntityTooLarge {
+				mu.Lock()
+				sum.OversizedRejected++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	sum.Wall = time.Since(start)
+	if sum.Wall > 0 {
+		sum.ReqPerSec = float64(len(lats)) / sum.Wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		sum.P50 = lats[n/2]
+		sum.P99 = lats[min(n-1, n*99/100)]
+	}
+	return sum, nil
+}
+
+// slowloris opens one connection, sends a partial request at one byte per
+// tick, and reports whether the server closed it before the hold expired.
+func slowloris(opts Options) bool {
+	var conn net.Conn
+	var err error
+	if opts.SocketPath != "" {
+		conn, err = net.DialTimeout("unix", opts.SocketPath, 5*time.Second)
+	} else {
+		conn, err = net.DialTimeout("tcp", strings.TrimPrefix(opts.BaseURL, "http://"), 5*time.Second)
+	}
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	partial := "POST /run HTTP/1.1\r\nHost: chowd\r\nContent-Type: application/json\r\nContent-Length: 1000000\r\nX-Drip: "
+	deadline := time.Now().Add(opts.SlowlorisHold)
+	conn.SetDeadline(deadline)
+	for i := 0; time.Now().Before(deadline); i++ {
+		var b byte = 'z'
+		if i < len(partial) {
+			b = partial[i]
+		}
+		if _, err := conn.Write([]byte{b}); err != nil {
+			return true // server cut the connection
+		}
+		// A server that answered (408/400) and closed also counts as a
+		// defended connection: it refused to hold the slot open.
+		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, err := conn.Read(make([]byte, 256)); err == nil || !isTimeout(err) {
+			return true
+		}
+		conn.SetReadDeadline(deadline)
+	}
+	return false
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

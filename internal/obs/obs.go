@@ -37,7 +37,7 @@ const (
 	// Front-end compile cache (internal/front).
 	CFrontCacheHit Counter = iota
 	CFrontCacheMiss
-	CFrontCacheReset
+	CFrontCacheEvict
 	// Register allocation (internal/core, internal/regalloc).
 	CPlanLevels
 	CPlanFuncs
@@ -95,6 +95,15 @@ const (
 	CInlineBudgetStopped
 	CInlineProcsEliminated
 	CInlineDiscards
+	// Compile-as-a-service daemon (internal/daemon).
+	CDaemonAccepted
+	CDaemonRejectedQueue
+	CDaemonRejectedSize
+	CDaemonBadRequests
+	CDaemonDeadlines
+	CDaemonPanics
+	CDaemonStateEvictions
+	CDaemonDrainRefusals
 
 	NumCounters
 )
@@ -102,7 +111,7 @@ const (
 var counterNames = [NumCounters]string{
 	CFrontCacheHit:       "front.cache_hits",
 	CFrontCacheMiss:      "front.cache_misses",
-	CFrontCacheReset:     "front.cache_resets",
+	CFrontCacheEvict:     "front.cache_evictions",
 	CPlanLevels:          "plan.wavefront_levels",
 	CPlanFuncs:           "plan.funcs_planned",
 	CProcsClosed:         "plan.procs_closed",
@@ -155,6 +164,15 @@ var counterNames = [NumCounters]string{
 	CInlineBudgetStopped:   "inline.budget_stopped",
 	CInlineProcsEliminated: "inline.procs_eliminated",
 	CInlineDiscards:        "inline.discards",
+
+	CDaemonAccepted:       "daemon.accepted",
+	CDaemonRejectedQueue:  "daemon.rejected_queue_full",
+	CDaemonRejectedSize:   "daemon.rejected_too_large",
+	CDaemonBadRequests:    "daemon.bad_requests",
+	CDaemonDeadlines:      "daemon.deadline_exceeded",
+	CDaemonPanics:         "daemon.request_panics",
+	CDaemonStateEvictions: "daemon.state_evictions",
+	CDaemonDrainRefusals:  "daemon.drain_refusals",
 }
 
 // Name returns the counter's report name.
@@ -171,6 +189,8 @@ const (
 	GCodegenWorkers
 	GFrontCacheEntries
 	GIncrFrontier
+	GDaemonQueueHigh
+	GDaemonBusyHigh
 
 	NumGauges
 )
@@ -181,6 +201,8 @@ var gaugeNames = [NumGauges]string{
 	GCodegenWorkers:    "codegen.workers",
 	GFrontCacheEntries: "front.cache_entries",
 	GIncrFrontier:      "incr.frontier_size",
+	GDaemonQueueHigh:   "daemon.queue_high_water",
+	GDaemonBusyHigh:    "daemon.busy_workers_high_water",
 }
 
 // Name returns the gauge's report name.
@@ -233,13 +255,20 @@ type Options struct {
 	// Metrics and phase timers are always collected by an active session;
 	// only event retention is optional.
 	Trace bool
+	// TraceCap bounds the retained trace events; once reached, further
+	// events are dropped (and counted — see Session.TraceDropped). Zero
+	// means unbounded, the right choice for one-shot CLI invocations; a
+	// long-lived session (the chowd daemon) must cap retention or the
+	// trace buffer grows without limit.
+	TraceCap int
 }
 
 // Session is one observation window. All methods are safe on a nil
 // receiver (no-ops returning zero values) and safe for concurrent use.
 type Session struct {
-	start   time.Time
-	tracing bool
+	start    time.Time
+	tracing  bool
+	traceCap int
 
 	counters [NumCounters]atomic.Int64
 	gauges   [NumGauges]atomic.Int64
@@ -253,7 +282,8 @@ type Session struct {
 
 	trace struct {
 		sync.Mutex
-		events []traceEvent
+		events  []traceEvent
+		dropped int64
 	}
 }
 
@@ -285,7 +315,7 @@ func Current() *Session { return current.Load() }
 // NewSession builds a session without installing it (tests observe in
 // isolation this way).
 func NewSession(opts Options) *Session {
-	s := &Session{start: time.Now(), tracing: opts.Trace}
+	s := &Session{start: time.Now(), tracing: opts.Trace, traceCap: opts.TraceCap}
 	s.labeled.m = map[string]int64{}
 	return s
 }

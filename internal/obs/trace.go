@@ -26,8 +26,23 @@ type traceEvent struct {
 
 func (s *Session) addEvent(e traceEvent) {
 	s.trace.Lock()
-	s.trace.events = append(s.trace.events, e)
+	if s.traceCap > 0 && len(s.trace.events) >= s.traceCap {
+		s.trace.dropped++
+	} else {
+		s.trace.events = append(s.trace.events, e)
+	}
 	s.trace.Unlock()
+}
+
+// TraceDropped reports how many events were discarded because the session's
+// TraceCap was reached. Zero for unbounded sessions.
+func (s *Session) TraceDropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.trace.Lock()
+	defer s.trace.Unlock()
+	return s.trace.dropped
 }
 
 // explainDur is the nominal duration of an explain marker event, in
@@ -45,6 +60,11 @@ func (s *Session) ExplainEvent(phase, fn, name string) {
 		return
 	}
 	s.trace.Lock()
+	if s.traceCap > 0 && len(s.trace.events) >= s.traceCap {
+		s.trace.dropped++
+		s.trace.Unlock()
+		return
+	}
 	ts := float64(time.Since(s.start).Nanoseconds()) / 1e3
 	s.trace.events = append(s.trace.events, traceEvent{
 		Name: name,

@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,8 +81,26 @@ type offender struct {
 // plan's Module is the module actually compiled; with a discard that is
 // the clone, not mod.
 func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+	return BuildCtx(context.Background(), mod, mode)
+}
+
+// BuildCtx is Build with a cancellation/deadline context threaded through:
+// the pipeline checks ctx at every stage boundary (before the inline pass,
+// before planning, at the top of every degradation round, before code
+// generation), so a canceled compile returns ctx.Err() — wrapped in
+// ErrCanceled for classification — within one stage's worth of work
+// rather than running to completion. The stages themselves are not
+// preemptible; overshoot is bounded by the longest single stage, which the
+// chowd daemon's request deadlines rely on. A nil ctx means Background.
+func BuildCtx(ctx context.Context, mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 	if !mode.Inline {
-		return build(mod, mode)
+		return build(ctx, mod, mode)
 	}
 	budget := mode.InlineBudget
 	if budget == 0 {
@@ -89,12 +108,12 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 	}
 	pristine := ir.CloneModule(mod)
 	rep := inline.Apply(mod, budget, mode.ForceOpen)
-	pp, prog, demotions, err := build(mod, mode)
+	pp, prog, demotions, err := build(ctx, mod, mode)
 	if err == nil {
 		pp.Inline = rep
 		return pp, prog, demotions, nil
 	}
-	if mode.Strict {
+	if mode.Strict || errors.Is(err, ErrCanceled) {
 		return pp, nil, demotions, err
 	}
 	obs.Current().Add(obs.CInlineDiscards, 1)
@@ -107,7 +126,7 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 			Detail: "inlined build failed (" + err.Error() + "); rebuilt the pristine pre-inlining module",
 		})
 	}
-	pp, prog, demotions, err2 := build(pristine, mode)
+	pp, prog, demotions, err2 := build(ctx, pristine, mode)
 	if err2 != nil {
 		return pp, nil, demotions, err2
 	}
@@ -117,9 +136,28 @@ func Build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 	return pp, prog, demotions, nil
 }
 
-func build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+// ErrCanceled wraps a context cancellation or deadline expiry observed at
+// a pipeline stage boundary; errors.Is finds both this and the underlying
+// context error (context.DeadlineExceeded / context.Canceled).
+var ErrCanceled = errors.New("pipeline: compile canceled")
+
+// ctxErr shapes a context failure as the pipeline's typed error.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+func build(ctx context.Context, mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, []obs.Demotion, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 	pp := core.PlanModule(mod, mode)
 	if !mode.Validate {
+		if err := ctxErr(ctx); err != nil {
+			return pp, nil, nil, err
+		}
 		prog, err := codegen.Generate(pp)
 		return pp, prog, nil, err
 	}
@@ -134,6 +172,9 @@ func build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 	rung := map[*ir.Func]int{}
 	noSW := map[*ir.Func]bool{}
 	for round := 0; round < maxRounds; round++ {
+		if err := ctxErr(ctx); err != nil {
+			return pp, nil, demotions, err
+		}
 		offs, prog, err := findOffenders(pp, byName)
 		if err != nil {
 			return pp, nil, demotions, err
@@ -195,6 +236,20 @@ func build(mod *ir.Module, mode core.Mode) (*core.ProgramPlan, *mcode.Program, [
 // The returned state describes the new revision for the next round; it is
 // nil when the build degraded (demotions) or the source resists chunking.
 func BuildIncremental(src string, mode core.Mode, st *incr.State) (*IncrementalResult, error) {
+	return BuildIncrementalCtx(context.Background(), src, mode, st)
+}
+
+// BuildIncrementalCtx is BuildIncremental with a cancellation/deadline
+// context, checked at the same stage-boundary granularity as BuildCtx
+// (the incremental replan itself is one stage). A nil ctx means
+// Background.
+func BuildIncrementalCtx(ctx context.Context, src string, mode core.Mode, st *incr.State) (*IncrementalResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	// Inlining rewrites the module after the front end, so the statefile's
 	// chunk-to-function correspondence no longer describes the compiled
 	// program: never reuse prior state and never capture new state under
@@ -202,7 +257,7 @@ func BuildIncremental(src string, mode core.Mode, st *incr.State) (*IncrementalR
 	// makes the policy explicit and skips the work.)
 	if mode.Inline {
 		obs.Current().Add(obs.CIncrFullRebuild, 1)
-		return fullBuildIncremental(src, mode, "inlining enabled")
+		return fullBuildIncremental(ctx, src, mode, "inlining enabled")
 	}
 	reason := "no previous state"
 	if st != nil {
@@ -216,7 +271,7 @@ func BuildIncremental(src string, mode core.Mode, st *incr.State) (*IncrementalR
 		reason = r
 	}
 	obs.Current().Add(obs.CIncrFullRebuild, 1)
-	return fullBuildIncremental(src, mode, reason)
+	return fullBuildIncremental(ctx, src, mode, reason)
 }
 
 // IncrementalResult is BuildIncremental's outcome.
@@ -240,12 +295,12 @@ type IncrementalResult struct {
 
 // fullBuildIncremental is the fallback: a clean full build plus a state
 // capture for the next round.
-func fullBuildIncremental(src string, mode core.Mode, reason string) (*IncrementalResult, error) {
+func fullBuildIncremental(ctx context.Context, src string, mode core.Mode, reason string) (*IncrementalResult, error) {
 	mod, err := front.Module(src, mode.Optimize, !mode.Sequential)
 	if err != nil {
 		return nil, err
 	}
-	pp, prog, demotions, err := Build(mod, mode)
+	pp, prog, demotions, err := BuildCtx(ctx, mod, mode)
 	if err != nil {
 		return nil, err
 	}
