@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchjson ci fmt-check vet chaos incr native inline chowd fuzz trace clean
+.PHONY: all build test race bench benchjson ci fmt-check vet chaos incr native inline chowd sweep fuzz trace clean
 
 all: build
 
@@ -23,13 +23,14 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim' -benchmem ./
 
 # Benchmark trajectory snapshot: one-iteration rows for the compile,
-# simulator, inliner and daemon-saturation benchmarks (including the
-# paper-* and req/s-p50-p99 custom metrics), converted to JSON so
-# successive PRs accumulate comparable BENCH_*.json files instead of
-# unparsed bench text. Override the output with BENCH=BENCH_N.json.
-BENCH ?= BENCH_9.json
+# simulator, inliner, daemon-saturation and convention (sweep-winner vs
+# default) benchmarks (including the paper-* and req/s-p50-p99 custom
+# metrics), converted to JSON so successive PRs accumulate comparable
+# BENCH_*.json files instead of unparsed bench text. Override the output
+# with BENCH=BENCH_N.json.
+BENCH ?= BENCH_10.json
 benchjson:
-	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim|BenchmarkInline|BenchmarkDaemon' -benchmem -benchtime 1x ./ | $(GO) run ./cmd/benchjson -o $(BENCH)
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile|BenchmarkSim|BenchmarkInline|BenchmarkDaemon|BenchmarkConvention' -benchmem -benchtime 1x ./ | $(GO) run ./cmd/benchjson -o $(BENCH)
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -90,6 +91,19 @@ chowd:
 	$(GO) test -run TestChowdE2E -count=1 -v ./cmd/chowd
 	$(GO) test ./internal/daemon ./internal/loadgen
 
+# Convention gate: the enumerator/spec/validator unit tests, the
+# differential suite at the partition-space extremes (0- and 6-parameter
+# conventions, all-caller and all-callee partitions, validator in strict
+# mode), and the sweep smoke — a sampled convention set over a 3-program
+# workload with explain-journal attribution and parallel/sequential
+# byte-determinism, plus the per-program profile-guided selection gate
+# (never regress vs the default convention, beat it somewhere). Also
+# exercised by plain `make test`; this target runs the slice alone.
+sweep:
+	$(GO) test ./internal/mach
+	$(GO) test -run 'TestConvention' ./
+	$(GO) test -run 'TestSweep|TestSampleConventions|TestTune' -v ./internal/experiments
+
 # Longer fuzzing session for the front-end containment, differential
 # compile and daemon request-decoder targets. FUZZTIME can be raised for
 # overnight runs.
@@ -103,12 +117,13 @@ fuzz:
 # test suite (./... includes the incr, front and daemon packages, so the
 # incremental driver's and admission queue's concurrency run under the
 # detector), the incremental differential suite, the chowd end-to-end
-# gate, a one-iteration smoke of the compile, incremental, simulator (all
-# three engines), inliner and daemon-saturation benchmarks (via benchjson,
-# which also refreshes the $(BENCH) trajectory snapshot), the obs- and
-# explain-disabled zero-allocation checks, and a short smoke of the fuzz
-# targets (seed corpus + a few seconds of mutation).
-ci: fmt-check vet build race incr native inline chowd benchjson
+# gate, the convention-sweep gate, a one-iteration smoke of the compile,
+# incremental, simulator (all three engines), inliner, daemon-saturation
+# and convention benchmarks (via benchjson, which also refreshes the
+# $(BENCH) trajectory snapshot), the obs- and explain-disabled
+# zero-allocation checks, and a short smoke of the fuzz targets (seed
+# corpus + a few seconds of mutation).
+ci: fmt-check vet build race incr native inline chowd sweep benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabled' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -bench 'BenchmarkExplainDisabled' -benchtime 1x ./internal/explain
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./

@@ -46,7 +46,9 @@ import (
 // Mode selects a compilation configuration. Use the Mode* constructors.
 type Mode = core.Mode
 
-// The paper's measurement modes.
+// The paper's measurement modes, plus ModeConv — mode C under an arbitrary
+// register convention (see internal/mach.ParseConvention / Enumerate for
+// building one).
 var (
 	ModeBase = core.ModeBase
 	ModeA    = core.ModeA
@@ -54,6 +56,7 @@ var (
 	ModeC    = core.ModeC
 	ModeD    = core.ModeD
 	ModeE    = core.ModeE
+	ModeConv = core.ModeConv
 )
 
 // Stats re-exports the pixie trace counters.

@@ -21,6 +21,7 @@ const (
 	ExitDeadline  = classify.ExitDeadline
 	ExitBadEngine = classify.ExitBadEngine
 	ExitBadBudget = classify.ExitBadBudget
+	ExitBadConv   = classify.ExitBadConv
 )
 
 // ClassifyError maps an error from Compile/Run (or any of their variants)

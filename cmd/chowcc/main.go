@@ -13,6 +13,10 @@
 //	-O2 / -O3        optimization level (default -O2)
 //	-shrinkwrap      enable shrink-wrapping (default true, as under -O2/-O3)
 //	-regs full|caller7|callee7
+//	-conv=<spec>     compile under an explicit register convention, e.g.
+//	                 "caller=v1,a0-a3,t0-t9;callee=s0-s8;params=a0-a3"
+//	                 (overrides -regs; incoherent specs are rejected with
+//	                 their named reason and exit code 12)
 //	-run             execute and print the program output and trace stats
 //	-engine=native   execution tier for -run: native (closure-threaded, the
 //	                 default), fast (predecoded block dispatch) or reference
@@ -61,6 +65,7 @@
 //	9  wall-clock deadline exceeded (-timeout)
 //	10 unknown -engine name
 //	11 invalid -inline budget
+//	12 invalid register convention (-conv)
 //
 // Every failure prints exactly one structured diagnostic line on stderr:
 // "chowcc: <class>: <detail>".
@@ -140,6 +145,7 @@ func main() {
 	o2 := flag.Bool("O2", true, "baseline global optimization (always on)")
 	sw := flag.Bool("shrinkwrap", true, "enable shrink-wrapping of callee-saved saves/restores")
 	regs := flag.String("regs", "full", "register configuration: full, caller7, callee7")
+	conv := flag.String("conv", "", "explicit register convention spec (overrides -regs), e.g. caller=v1,a0-a3,t0-t9;callee=s0-s8;params=a0-a3")
 	doRun := flag.Bool("run", false, "execute the program on the simulator")
 	engine := flag.String("engine", "", "execution tier for -run: native (default), fast, reference")
 	doAsm := flag.Bool("S", false, "print disassembly")
@@ -193,6 +199,7 @@ func main() {
 	}
 	_ = *o2
 	mode.ShrinkWrap = *sw
+	regsName := *regs
 	switch *regs {
 	case "full":
 	case "caller7":
@@ -202,12 +209,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown register configuration %q", *regs))
 	}
+	if *conv != "" {
+		cfg, err := mach.ParseConvention(*conv)
+		if err != nil {
+			fatal(err)
+		}
+		mode.Config = cfg
+		regsName = cfg.Name
+	}
 	if *openList != "" {
 		mode.ForceOpen = strings.Split(*openList, ",")
 	}
 	mode.Validate = *validate
 	mode.Strict = *strict
-	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, *regs)
+	mode.Name = fmt.Sprintf("O%d sw=%v regs=%s", map[bool]int{false: 2, true: 3}[*o3], *sw, regsName)
 	if inlineOpt.set {
 		budget, err := inline.ParseBudget(inlineOpt.raw)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"chow88/internal/codegen"
 	"chow88/internal/front"
 	"chow88/internal/inline"
+	"chow88/internal/mach"
 	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
@@ -35,6 +36,9 @@ func TestClassify(t *testing.T) {
 		{badBudgetErr("bogus"), chow88.ExitBadBudget},
 		{badBudgetErr("0"), chow88.ExitBadBudget},
 		{badBudgetErr("-3"), chow88.ExitBadBudget},
+		{badConvErr("caller=t0;callee=t0"), chow88.ExitBadConv},
+		{badConvErr("caller=ra"), chow88.ExitBadConv},
+		{badConvErr("nonsense"), chow88.ExitBadConv},
 		{errors.New("anything else"), chow88.ExitInternal},
 		// Wrapped variants classify the same way.
 		{fmt.Errorf("outer: %w", &front.StageError{Stage: "parse", Err: errors.New("x")}), chow88.ExitParse},
@@ -49,6 +53,12 @@ func TestClassify(t *testing.T) {
 // badBudgetErr produces the error a bad -inline=budget value yields.
 func badBudgetErr(s string) error {
 	_, err := inline.ParseBudget(s)
+	return err
+}
+
+// badConvErr produces the error a bad -conv=spec value yields.
+func badConvErr(s string) error {
+	_, err := mach.ParseConvention(s)
 	return err
 }
 

@@ -1,0 +1,90 @@
+// Command chowtune explores the calling-convention design space the paper
+// fixes by fiat: every candidate partition of the 20 allocatable registers
+// into caller-saved and callee-saved classes (with 0–6 parameter registers)
+// compiles the 13-program suite plus synthetic workloads under mode C with
+// the validator on, and is charged the trace's cycles, save/restore
+// loads+stores and call-linkage cycles. The winner's save/restore delta is
+// attributed through the decision journal to the placement sites
+// responsible.
+//
+// Usage:
+//
+//	chowtune [-sample n] [-gen n] [-workers n] [-conv spec]...   aggregate sweep
+//	chowtune -pgo [-sample n] [-workers n] [-conv spec]...       per-program selection
+//
+// -sample bounds the candidate set to a deterministic spread of the full
+// enumeration (0 sweeps all of it); -conv (repeatable) adds explicit specs
+// such as "caller=v1,t0-t9;callee=a0-a3,s0-s8;params=a0-a3". With -pgo each suite
+// program trains once under the baseline with the trace profiler on and the
+// candidate whose profiled build executes the fewest cycles is selected; the
+// default convention competes in every selection, so no program regresses.
+//
+// Exit codes follow chowcc's classification: a malformed or incoherent -conv
+// spec exits with the bad-convention code (12).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chow88"
+	"chow88/internal/experiments"
+	"chow88/internal/mach"
+)
+
+// convFlags collects repeated -conv occurrences (specs contain commas, so a
+// single comma-separated flag would be ambiguous).
+type convFlags []string
+
+func (c *convFlags) String() string { return fmt.Sprint(*c) }
+func (c *convFlags) Set(s string) error {
+	*c = append(*c, s)
+	return nil
+}
+
+func main() {
+	sample := flag.Int("sample", 32, "candidate conventions sampled from the enumeration (0 = all)")
+	gen := flag.Int("gen", 4, "synthetic progen workloads added to the 13-program suite")
+	workers := flag.Int("workers", 0, "concurrent candidate measurements (0 = GOMAXPROCS)")
+	pgo := flag.Bool("pgo", false, "profile-guided per-program selection instead of the aggregate sweep")
+	var conv convFlags
+	flag.Var(&conv, "conv", "convention spec added to the candidate set (repeatable)")
+	flag.Parse()
+
+	cands := experiments.SampleConventions(*sample)
+	for _, s := range conv {
+		c, err := mach.ParseConvention(s)
+		if err != nil {
+			fatal(err)
+		}
+		cands = append(cands, c)
+	}
+
+	if *pgo {
+		rows, err := experiments.Tune(cands, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTune(rows))
+		return
+	}
+
+	wl, err := experiments.SweepWorkload(*gen)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := experiments.Sweep(cands, wl, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.FormatSweep(rep))
+}
+
+// fatal reports err and exits with its classified code, so scripted callers
+// can tell a bad -conv spec (exit 12) from an internal failure.
+func fatal(err error) {
+	code, _ := chow88.ClassifyError(err)
+	fmt.Fprintln(os.Stderr, "chowtune:", err)
+	os.Exit(code)
+}

@@ -1,0 +1,148 @@
+package chow88
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/mach"
+	"chow88/internal/progen"
+)
+
+// conventionTestPoints are the partition-space extremes the differential
+// suite compiles under: both degenerate parameter counts (0 — every
+// argument on the stack — and 6 — two temporaries drafted as parameter
+// registers), both degenerate partitions (everything caller-saved,
+// everything callee-saved), and the paper's own point for control.
+func conventionTestPoints(t *testing.T) []*mach.Config {
+	points := []*mach.Config{
+		mach.Boundary(9, 0),  // paper partition, 0 params: all args on stack
+		mach.Boundary(9, 6),  // paper partition, 6 params: $a0-$a3 + $t9,$t8
+		mach.Boundary(0, 4),  // all 20 caller-saved
+		mach.Boundary(20, 0), // all 20 callee-saved, no param regs
+		mach.Boundary(20, 4), // all 20 callee-saved, params still $a0-$a3
+		mach.Boundary(9, 4),  // the paper's measured convention
+		mach.Boundary(3, 6),
+		mach.Boundary(17, 1),
+	}
+	for _, c := range points {
+		if c == nil {
+			t.Fatal("nil convention test point: Boundary rejected a point it should supply")
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: invalid test point: %v", c.Name, err)
+		}
+	}
+	return points
+}
+
+// TestConventionDifferentialSuite proves the allocator, save/restore
+// machinery, validator and codegen honor arbitrary conventions — in
+// particular arbitrary parameter-register counts (the historical code path
+// assumed the 4-register $a0–$a3 convention): every suite program compiled
+// under each extreme convention, with the validator in strict mode (any
+// degradation is a failure), must print exactly what the default-convention
+// build prints.
+func TestConventionDifferentialSuite(t *testing.T) {
+	progs := benchprog.All()
+	if testing.Short() {
+		progs = progs[:4]
+	}
+	for _, b := range progs {
+		base, err := Compile(b.Source, ModeC())
+		if err != nil {
+			t.Fatalf("%s [default]: compile: %v", b.Name, err)
+		}
+		want, err := base.Run()
+		if err != nil {
+			t.Fatalf("%s [default]: run: %v", b.Name, err)
+		}
+		for _, cfg := range conventionTestPoints(t) {
+			mode := ModeConv(cfg)
+			mode.Strict = true
+			prog, err := Compile(b.Source, mode)
+			if err != nil {
+				t.Fatalf("%s [%s]: compile: %v", b.Name, cfg.Name, err)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("%s [%s]: run: %v", b.Name, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(res.Output, want.Output) {
+				t.Fatalf("%s [%s]: output mismatch\n got: %v\nwant: %v",
+					b.Name, cfg.Name, res.Output, want.Output)
+			}
+		}
+	}
+}
+
+// TestConventionDifferentialRandom drives the same conventions over random
+// programs whose call sites carry up to 6 arguments, so 0-param conventions
+// marshal everything through stack slots and 6-param conventions deliver
+// arguments in $t8/$t9 — both beyond what the fixed $a0–$a3 convention ever
+// exercised.
+func TestConventionDifferentialRandom(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	cfg := progen.DefaultConfig()
+	cfg.MaxParams = 6
+	points := conventionTestPoints(t)
+	skipped := 0
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), cfg)
+		want, ok := oracle(src)
+		if !ok {
+			skipped++
+			continue
+		}
+		for _, c := range points {
+			mode := ModeConv(c)
+			mode.Strict = true
+			prog, err := Compile(src, mode)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: compile: %v\n%s", seed, c.Name, err, src)
+			}
+			res, err := prog.Run()
+			if err != nil {
+				t.Fatalf("seed %d [%s]: run: %v\n%s", seed, c.Name, err, src)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("seed %d [%s]: output mismatch\n got: %v\nwant: %v\nsource:\n%s\nassembly:\n%s",
+					seed, c.Name, res.Output, want, src, prog.Disassemble())
+			}
+		}
+	}
+	if skipped > seeds/2 {
+		t.Fatalf("too many over-budget seeds skipped: %d of %d", skipped, seeds)
+	}
+}
+
+// TestCompileRejectsBadConvention pins the validation funnel: an incoherent
+// Config handed to any compile entry point fails fast with the named
+// *mach.ConfigError, which classifies to its own exit code (and HTTP 400 in
+// the daemon) rather than an internal error.
+func TestCompileRejectsBadConvention(t *testing.T) {
+	mode := ModeC()
+	mode.Config = &mach.Config{
+		Name:        "nonsense",
+		CallerSaved: mach.SetOf(mach.T0, mach.S0),
+		CalleeSaved: mach.SetOf(mach.S0, mach.S1),
+	}
+	_, err := Compile("func main() { print(1); }", mode)
+	if err == nil {
+		t.Fatal("Compile accepted an overlapping caller/callee partition")
+	}
+	var ce *mach.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *mach.ConfigError", err)
+	}
+	if ce.Reason != mach.ReasonClassOverlap {
+		t.Errorf("reason = %s, want %s", ce.Reason, mach.ReasonClassOverlap)
+	}
+	if code, _ := ClassifyError(err); code != ExitBadConv {
+		t.Errorf("ClassifyError = %d, want ExitBadConv (%d)", code, ExitBadConv)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"chow88/internal/benchprog"
 	"chow88/internal/front"
 	"chow88/internal/incr"
+	"chow88/internal/mach"
 	"chow88/internal/obs"
 	"chow88/internal/pipeline"
 	"chow88/internal/progen"
@@ -484,4 +485,43 @@ func TestIncrementalModeChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameProgram(t, "mode change", &Program{Code: res2.Prog}, full)
+}
+
+// TestIncrementalConventionChange proves a statefile is keyed to its
+// calling convention: state captured under the default convention is never
+// spliced into a build for a different caller/callee partition (stale
+// summaries and save sites would miscompile silently), while state captured
+// under the custom convention still transfers to a matching build.
+func TestIncrementalConventionChange(t *testing.T) {
+	b := benchprog.Lookup("stanford")
+	conv := mach.Boundary(13, 2)
+	res, err := pipeline.BuildIncremental(b.Source, ModeC(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pipeline.BuildIncremental(b.Source, ModeConv(conv), res.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Incremental {
+		t.Fatal("state captured under the default convention was reused for " + conv.Spec())
+	}
+	if !strings.Contains(res2.FallbackReason, "mode changed") {
+		t.Errorf("fallback reason %q does not mention the mode change", res2.FallbackReason)
+	}
+	full, err := Compile(b.Source, ModeConv(conv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameProgram(t, "convention change", &Program{Code: res2.Prog}, full)
+
+	// The full rebuild's state is keyed to the new convention and transfers
+	// to the next matching build.
+	res3, err := pipeline.BuildIncremental(b.Source, ModeConv(conv), res2.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Incremental {
+		t.Errorf("convention-matched state did not transfer: %q", res3.FallbackReason)
+	}
 }

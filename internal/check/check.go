@@ -205,11 +205,19 @@ func (c *checker) checkFunc(f *ir.Func, fp *core.FuncPlan) {
 		} else {
 			for i, al := range fp.Summary.Args {
 				l := fp.Alloc.LocOf(f.Params[i])
+				// A parameter dead at entry (redefined on every path before
+				// any use) is passed through its stack slot even when its
+				// later range holds a register: delivering into the register
+				// at entry would clobber it ahead of its mid-body save.
+				entryLive := fp.Alloc.Ranges[f.Params[i].ID].EntryLive
 				switch {
+				case al.InReg && !entryLive:
+					c.report(f.Name, RuleSummaryArgs,
+						"parameter %d dead at entry but published in %s", i, al.Reg)
 				case al.InReg && (l.Kind != regalloc.LocReg || l.Reg != al.Reg):
 					c.report(f.Name, RuleSummaryArgs,
 						"parameter %d published in %s but allocated to %s", i, al.Reg, locString(l))
-				case !al.InReg && l.Kind == regalloc.LocReg:
+				case !al.InReg && l.Kind == regalloc.LocReg && entryLive:
 					c.report(f.Name, RuleSummaryArgs,
 						"parameter %d published on the stack but allocated to %s", i, l.Reg)
 				case !al.InReg && al.Slot != i:

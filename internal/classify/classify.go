@@ -13,6 +13,7 @@ import (
 	"chow88/internal/codegen"
 	"chow88/internal/front"
 	"chow88/internal/inline"
+	"chow88/internal/mach"
 	"chow88/internal/pipeline"
 	"chow88/internal/sim"
 )
@@ -31,6 +32,7 @@ const (
 	ExitDeadline  = 9
 	ExitBadEngine = 10
 	ExitBadBudget = 11
+	ExitBadConv   = 12
 )
 
 // Error maps an error from Compile/Run (or any of their variants) to its
@@ -41,7 +43,10 @@ func Error(err error) (code int, label string) {
 	var ve *pipeline.ValidationError
 	var fe *codegen.FuncError
 	var trap *sim.Trap
+	var ce *mach.ConfigError
 	switch {
+	case errors.As(err, &ce):
+		return ExitBadConv, "bad convention"
 	case errors.As(err, &se):
 		switch {
 		case se.Recovered:
@@ -87,7 +92,7 @@ func HTTPStatus(code int) int {
 		return 200
 	case ExitParse, ExitSema, ExitValidate, ExitTrap, ExitBudget:
 		return 422
-	case ExitUsage, ExitBadEngine, ExitBadBudget:
+	case ExitUsage, ExitBadEngine, ExitBadBudget, ExitBadConv:
 		return 400
 	case ExitDeadline:
 		return 504

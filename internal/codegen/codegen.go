@@ -545,6 +545,13 @@ func (g *fngen) paramMoves() {
 		if l.Kind == regalloc.LocNone {
 			continue // parameter never referenced
 		}
+		if !g.fp.Alloc.Ranges[p.ID].EntryLive {
+			// Redefined on every path before any use: the incoming value is
+			// never needed, and the register's activity range (hence any
+			// shrink-wrapped save) starts at the redefinition — delivering
+			// into it here would clobber the caller's value ahead of the save.
+			continue
+		}
 		if ipraClosed {
 			// The argument was delivered directly to the allocated home.
 			continue

@@ -99,6 +99,19 @@ func ModeE() Mode {
 	return m
 }
 
+// ModeConv is mode C (the paper's best: -O3 + shrink-wrap) under an
+// arbitrary register convention — the mode every swept or hand-specified
+// convention compiles under. The configuration is not validated here;
+// pipeline.Build validates the mode's Config before planning so an
+// incoherent convention fails with its named reason instead of
+// miscompiling.
+func ModeConv(cfg *mach.Config) Mode {
+	m := ModeC()
+	m.Name = "O3+sw/" + cfg.Name
+	m.Config = cfg
+	return m
+}
+
 // FuncPlan is the complete allocation decision for one function.
 type FuncPlan struct {
 	F    *ir.Func
@@ -585,12 +598,17 @@ func recordPlanObs(s *obs.Session, fp *FuncPlan, cfg *mach.Config) {
 // paramLocs derives the published parameter locations of a closed procedure
 // from its allocation: wherever each parameter temp settled is where callers
 // must deliver the argument (§4). Parameters in memory (or never referenced)
-// are passed through their incoming stack slots.
+// are passed through their incoming stack slots — as are parameters dead at
+// entry (redefined on every path before any use): their register's activity
+// range starts at the redefinition, so delivering the incoming value into it
+// at entry would clobber the register ahead of its (possibly shrink-wrapped,
+// mid-body) save. The caller's stack store costs one scalar write and
+// touches no register; the callee never reads the slot.
 func paramLocs(f *ir.Func, alloc *regalloc.Result) []regalloc.ArgLoc {
 	out := make([]regalloc.ArgLoc, len(f.Params))
 	for i, p := range f.Params {
 		l := alloc.Locs[p.ID]
-		if l.Kind == regalloc.LocReg {
+		if l.Kind == regalloc.LocReg && alloc.Ranges[p.ID].EntryLive {
 			out[i] = regalloc.ArgLoc{InReg: true, Reg: l.Reg}
 		} else {
 			out[i] = regalloc.ArgLoc{Slot: i}

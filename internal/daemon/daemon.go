@@ -33,6 +33,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,8 +123,14 @@ type Server struct {
 	wg    sync.WaitGroup // workers
 	busy  atomic.Int64
 
+	// jobNanos/jobCount accumulate completed-job wall time, the latency
+	// estimate behind the 429 Retry-After hint.
+	jobNanos atomic.Int64
+	jobCount atomic.Int64
+
 	mu          sync.RWMutex // guards draining and sends into queue
 	draining    bool
+	drainUntil  time.Time // Shutdown ctx's deadline, zero if none
 	ownStateDir bool
 }
 
@@ -205,6 +212,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	already := s.draining
 	if !already {
 		s.draining = true
+		if dl, ok := ctx.Deadline(); ok {
+			s.drainUntil = dl
+		}
 		// Safe: every sender holds mu.RLock and re-checks draining first.
 		close(s.queue)
 	}
@@ -266,7 +276,7 @@ func (s *Server) serveWork(w http.ResponseWriter, r *http.Request, endpoint stri
 	j := &job{endpoint: endpoint, ctx: ctx, done: make(chan jobResult, 1)}
 	j.run = func(ctx context.Context) (int, *Response) { return work(ctx, req) }
 	if res, admitted := s.admit(j); !admitted {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(res.status)))
 		writeJSON(w, res.status, res.resp)
 		return
 	}
@@ -288,6 +298,38 @@ func requireClient(req *Request) *ReqError {
 		return &ReqError{http.StatusBadRequest, "missing-client", `"client" is required on /compile-incremental`}
 	}
 	return nil
+}
+
+// retryAfter derives the Retry-After hint (seconds, >= 1) for a refusal.
+// Draining (503): retrying against this process is futile until it is gone,
+// so the hint is the drain window's remainder — a client that waits that
+// long talks to the replacement, not the corpse. Queue full (429): the hint
+// is one full queue turnover through the worker pool at the observed mean
+// job latency, so a saturated daemon paces clients to its actual drain rate
+// instead of inviting an immediate second refusal.
+func (s *Server) retryAfter(status int) int {
+	if status == http.StatusServiceUnavailable {
+		s.mu.RLock()
+		until := s.drainUntil
+		s.mu.RUnlock()
+		if sec := int(time.Until(until) / time.Second); sec > 1 {
+			return sec
+		}
+		return 1
+	}
+	mean := time.Duration(0)
+	if n := s.jobCount.Load(); n > 0 {
+		mean = time.Duration(s.jobNanos.Load() / n)
+	}
+	turnover := time.Duration(len(s.queue)/s.cfg.Workers+1) * mean
+	sec := int((turnover + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if lim := int(s.cfg.MaxTimeout / time.Second); sec > lim && lim >= 1 {
+		sec = lim
+	}
+	return sec
 }
 
 // admit places j in the queue or refuses it (429 queue full, 503
@@ -339,6 +381,11 @@ func (s *Server) runJob(j *job) (res jobResult) {
 	}
 	s.obs.SetMax(obs.GDaemonBusyHigh, s.busy.Add(1))
 	defer s.busy.Add(-1)
+	t0 := time.Now()
+	defer func() {
+		s.jobNanos.Add(int64(time.Since(t0)))
+		s.jobCount.Add(1)
+	}()
 	if faultinject.Armed() {
 		faultinject.PanicDaemonWorker(j.endpoint)
 	}

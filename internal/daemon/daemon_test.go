@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -220,8 +221,8 @@ func TestQueueBackpressure(t *testing.T) {
 	if status != 429 {
 		t.Fatalf("third concurrent slow run: status %d (resp %+v), want 429", status, r)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Error("429 response missing Retry-After")
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
 	}
 	if r.Error == nil || r.Error.Class != "queue-full" {
 		t.Errorf("error = %+v, want class queue-full", r.Error)
@@ -294,6 +295,45 @@ func TestMetricsTraceHealthz(t *testing.T) {
 	}
 }
 
+// TestRetryAfterDerivation pins the backoff arithmetic: the 429 hint tracks
+// one queue turnover at the observed job latency (capped at the request
+// budget), and the 503 hint tracks the drain window's remainder.
+func TestRetryAfterDerivation(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 8, MaxTimeout: 30 * time.Second})
+
+	// No completed jobs yet: nothing to extrapolate from, minimal backoff.
+	if got := s.retryAfter(http.StatusTooManyRequests); got != 1 {
+		t.Errorf("429 with no history = %d, want 1", got)
+	}
+	// Three jobs at 3s each: an empty queue still waits out the one job
+	// ahead of it, ceil((0/2+1)*3s) = 3.
+	s.jobNanos.Store(int64(9 * time.Second))
+	s.jobCount.Store(3)
+	if got := s.retryAfter(http.StatusTooManyRequests); got != 3 {
+		t.Errorf("429 at 3s/job = %d, want 3", got)
+	}
+	// Pathological latency history never hints past the request budget cap.
+	s.jobNanos.Store(int64(300 * time.Second))
+	s.jobCount.Store(1)
+	if got := s.retryAfter(http.StatusTooManyRequests); got != 30 {
+		t.Errorf("429 capped = %d, want 30 (MaxTimeout)", got)
+	}
+	// Draining with a deadline: the window's remainder.
+	s.mu.Lock()
+	s.drainUntil = time.Now().Add(7 * time.Second)
+	s.mu.Unlock()
+	if got := s.retryAfter(http.StatusServiceUnavailable); got < 5 || got > 7 {
+		t.Errorf("503 with 7s drain window = %d, want ~6", got)
+	}
+	// Draining without a deadline: minimal hint, never zero or negative.
+	s.mu.Lock()
+	s.drainUntil = time.Time{}
+	s.mu.Unlock()
+	if got := s.retryAfter(http.StatusServiceUnavailable); got != 1 {
+		t.Errorf("503 without deadline = %d, want 1", got)
+	}
+}
+
 func TestShutdownDrains(t *testing.T) {
 	s, err := NewServer(Config{Workers: 1})
 	if err != nil {
@@ -321,8 +361,10 @@ func TestShutdownDrains(t *testing.T) {
 	if st != 503 || r.Error == nil || r.Error.Class != "draining" {
 		t.Errorf("during drain: status %d, error %+v, want 503/draining", st, r.Error)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Error("503 response missing Retry-After")
+	// The hint is the drain window's remainder (ctx has ~10s left), not the
+	// old hardcoded second: retrying any sooner just meets the corpse again.
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 2 || ra > 10 {
+		t.Errorf("503 Retry-After = %q, want the drain remainder in [2,10]", hdr.Get("Retry-After"))
 	}
 
 	// The in-flight request completes (its own deadline answers it).

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chow88/internal/benchprog"
+	"chow88/internal/mach"
+)
+
+// smokeWorkload is a 3-program cut of the suite, small enough that sweep
+// tests stay fast while still exercising multi-program aggregation.
+func smokeWorkload() []Workload {
+	var out []Workload
+	for _, b := range benchprog.All()[:3] {
+		out = append(out, Workload{Name: b.Name, Source: b.Source})
+	}
+	return out
+}
+
+// smokeCandidates spans the partition space ends plus the paper's point.
+func smokeCandidates() []*mach.Config {
+	return []*mach.Config{
+		mach.Boundary(0, 4),
+		mach.Boundary(20, 0),
+		mach.Boundary(9, 6),
+		mach.Boundary(14, 2),
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	rep, err := Sweep(smokeCandidates(), smokeWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default is injected even when absent from the candidate list.
+	if rep.Base == nil || rep.Base.Spec != mach.Default().Spec() {
+		t.Fatalf("base row = %+v", rep.Base)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (4 candidates + default)", len(rep.Rows))
+	}
+	for i, r := range rep.Rows {
+		if r.Cycles <= 0 || len(r.ByProgram) != 3 {
+			t.Errorf("row %s: cycles=%d programs=%d", r.Spec, r.Cycles, len(r.ByProgram))
+		}
+		if i > 0 && rep.Rows[i-1].Cycles > r.Cycles {
+			t.Errorf("rows not sorted by cycles at %d", i)
+		}
+	}
+	out := FormatSweep(rep)
+	for _, want := range []string{"Convention sweep", mach.Default().Spec(), "save/rest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The winner's save/restore delta must be attributed through the decision
+	// journal whenever the default convention did not win.
+	if w := rep.Winner(); w != rep.Base {
+		if rep.Attribution == "" || !strings.Contains(rep.Attribution, "explaindiff:") {
+			t.Errorf("no attribution for winner %s:\n%s", w.Spec, rep.Attribution)
+		}
+	}
+}
+
+// TestSweepDeterministic pins the byte-determinism contract: the rendered
+// report is identical for a sequential and a parallel sweep.
+func TestSweepDeterministic(t *testing.T) {
+	wl := smokeWorkload()[:2]
+	cands := smokeCandidates()
+	seq, err := Sweep(cands, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(cands, wl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := FormatSweep(seq), FormatSweep(par); a != b {
+		t.Errorf("sweep report depends on worker count:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+// TestSweepRejectsInvalid proves an incoherent candidate is refused by
+// Config.Validate() with its named reason instead of being compiled.
+func TestSweepRejectsInvalid(t *testing.T) {
+	bad := &mach.Config{
+		Name:        "overlap",
+		CallerSaved: mach.SetOf(mach.T0, mach.S0),
+		CalleeSaved: mach.SetOf(mach.S0),
+		Params:      []mach.Reg{mach.A0},
+	}
+	rep, err := Sweep([]*mach.Config{bad}, smokeWorkload()[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 1 {
+		t.Fatalf("rejected = %d, want 1", len(rep.Rejected))
+	}
+	if !strings.Contains(rep.Rejected[0].Rejected, mach.ReasonClassOverlap) {
+		t.Errorf("rejection reason %q does not name %s", rep.Rejected[0].Rejected, mach.ReasonClassOverlap)
+	}
+	if !strings.Contains(FormatSweep(rep), mach.ReasonClassOverlap) {
+		t.Error("rendered report drops the rejection reason")
+	}
+}
+
+func TestSampleConventions(t *testing.T) {
+	got := SampleConventions(10)
+	if len(got) == 0 || len(got) > 10 {
+		t.Fatalf("sample size = %d", len(got))
+	}
+	def := mach.Default().Spec()
+	found := false
+	seen := map[string]bool{}
+	for _, c := range got {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Spec(), err)
+		}
+		if seen[c.Spec()] {
+			t.Errorf("duplicate sample %s", c.Spec())
+		}
+		seen[c.Spec()] = true
+		if c.Spec() == def {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Default() missing from sample")
+	}
+	if all := mach.Enumerate(-1); len(SampleConventions(0)) != len(all) {
+		t.Error("SampleConventions(0) should return the full enumeration")
+	}
+}
+
+// TestTuneNeverRegresses is the acceptance gate for profile-guided
+// selection: over the whole suite, the chosen convention never loses to the
+// default (which competes in every selection) and wins outright somewhere.
+func TestTuneNeverRegresses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes the full suite")
+	}
+	cands := []*mach.Config{
+		mach.Boundary(5, 4),
+		mach.Boundary(13, 4),
+		mach.Boundary(9, 6),
+		mach.Boundary(11, 2),
+		mach.Boundary(20, 4),
+	}
+	rows, err := Tune(cands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benchprog.All()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	improved := 0
+	for _, r := range rows {
+		if r.BaseCycles == 0 {
+			t.Errorf("%s: default convention was not measured", r.Program)
+		}
+		if r.BestCycles > r.BaseCycles {
+			t.Errorf("%s: selection regressed: best %d > default %d (%s)",
+				r.Program, r.BestCycles, r.BaseCycles, r.Best.Spec())
+		}
+		if r.BestCycles < r.BaseCycles {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("no program beat the default convention")
+	}
+	out := FormatTune(rows)
+	if !strings.Contains(out, "Profile-guided") || !strings.Contains(out, rows[0].Program) {
+		t.Errorf("tune report:\n%s", out)
+	}
+}

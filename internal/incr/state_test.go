@@ -12,6 +12,7 @@ import (
 
 	"chow88/internal/codegen"
 	"chow88/internal/core"
+	"chow88/internal/mach"
 	"chow88/internal/regalloc"
 )
 
@@ -136,6 +137,38 @@ func TestModeFingerprint(t *testing.T) {
 		if ModeFingerprint(m) == base {
 			t.Errorf("flipping %s must change the fingerprint", name)
 		}
+	}
+}
+
+// TestModeFingerprintConventionAudit sweeps the entire convention
+// enumeration: every distinct calling convention must fingerprint
+// distinctly, or a statefile captured under one partition could be spliced
+// into a build for another (stale summaries, wrong save sites — a silent
+// miscompile, not a failure).
+func TestModeFingerprintConventionAudit(t *testing.T) {
+	cands := append([]*mach.Config{mach.Default(), mach.CallerOnly7(), mach.CalleeOnly7()},
+		mach.Enumerate(-1)...)
+	seen := map[string]string{} // fingerprint -> spec
+	for _, c := range cands {
+		fp := ModeFingerprint(core.ModeConv(c))
+		spec := c.Spec()
+		if prev, ok := seen[fp]; ok && prev != spec {
+			t.Errorf("conventions %s and %s share fingerprint %q", prev, spec, fp)
+		}
+		seen[fp] = spec
+	}
+	// Same shape, different members: the short name collides (both are one
+	// 2/1 partition) but the register sets must still separate the states.
+	a := core.ModeConv(&mach.Config{Name: "x", CallerSaved: mach.SetOf(mach.T0, mach.T1), CalleeSaved: mach.SetOf(mach.S0)})
+	b := core.ModeConv(&mach.Config{Name: "x", CallerSaved: mach.SetOf(mach.T0, mach.T2), CalleeSaved: mach.SetOf(mach.S0)})
+	if ModeFingerprint(a) == ModeFingerprint(b) {
+		t.Error("same-named conventions with different register sets share a fingerprint")
+	}
+	// And the parameter list alone must separate, too.
+	p0 := core.ModeConv(mach.Boundary(9, 0))
+	p4 := core.ModeConv(mach.Boundary(9, 4))
+	if ModeFingerprint(p0) == ModeFingerprint(p4) {
+		t.Error("parameter count does not reach the fingerprint")
 	}
 }
 

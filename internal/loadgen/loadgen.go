@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -96,11 +97,14 @@ type Summary struct {
 	Healthy5xx int `json:"healthy_5xx"`
 	// OracleMismatches counts /run outputs that differed from the
 	// reference interpreter.
-	OracleMismatches int           `json:"oracle_mismatches"`
-	Wall             time.Duration `json:"wall_ns"`
-	ReqPerSec        float64       `json:"req_per_sec"`
-	P50              time.Duration `json:"p50_ns"`
-	P99              time.Duration `json:"p99_ns"`
+	OracleMismatches int `json:"oracle_mismatches"`
+	// Retried429 counts healthy requests re-sent after a 429, paced by the
+	// daemon's Retry-After hint.
+	Retried429 int           `json:"retried_429"`
+	Wall       time.Duration `json:"wall_ns"`
+	ReqPerSec  float64       `json:"req_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
 	// SlowlorisClosed counts slow connections the server terminated
 	// before the hold expired (the read-timeout defense working).
 	SlowlorisClosed int `json:"slowloris_closed"`
@@ -110,8 +114,8 @@ type Summary struct {
 
 func (s *Summary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sent %d  ok %d  healthy-5xx %d  oracle-mismatches %d\n",
-		s.Sent, s.OK, s.Healthy5xx, s.OracleMismatches)
+	fmt.Fprintf(&b, "sent %d  ok %d  healthy-5xx %d  oracle-mismatches %d  retried-429 %d\n",
+		s.Sent, s.OK, s.Healthy5xx, s.OracleMismatches, s.Retried429)
 	fmt.Fprintf(&b, "wall %v  req/s %.1f  p50 %v  p99 %v\n", s.Wall.Round(time.Millisecond), s.ReqPerSec, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond))
 	codes := make([]int, 0, len(s.Statuses))
 	for c := range s.Statuses {
@@ -125,6 +129,27 @@ func (s *Summary) String() string {
 		fmt.Fprintf(&b, "  slowloris closed by server: %d  oversized rejected: %d\n", s.SlowlorisClosed, s.OversizedRejected)
 	}
 	return b.String()
+}
+
+// Retry policy for 429 answers: a few attempts, each paced by the server's
+// Retry-After hint clamped so an outsized hint cannot stall the session.
+const (
+	maxRetries429 = 3
+	maxRetryWait  = 2 * time.Second
+)
+
+// retryDelay parses a Retry-After seconds value; malformed or missing
+// values fall back to one second.
+func retryDelay(h string) time.Duration {
+	sec, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || sec < 0 {
+		return time.Second
+	}
+	d := time.Duration(sec) * time.Second
+	if d > maxRetryWait {
+		d = maxRetryWait
+	}
+	return d
 }
 
 // interpret runs src on the reference AST interpreter (the oracle).
@@ -231,6 +256,20 @@ func Run(opts Options) (*Summary, error) {
 				})
 				t0 := time.Now()
 				resp, err := client.Post(opts.BaseURL+endpoint, "application/json", bytes.NewReader(body))
+				// Honor the daemon's admission backpressure: a 429 carries a
+				// Retry-After derived from the queue's drain rate, so re-send
+				// after that pause (bounded attempts, capped wait). A 503 is
+				// final — the daemon is draining and will not come back.
+				for attempt := 0; err == nil && resp.StatusCode == http.StatusTooManyRequests && attempt < maxRetries429; attempt++ {
+					delay := retryDelay(resp.Header.Get("Retry-After"))
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					mu.Lock()
+					sum.Retried429++
+					mu.Unlock()
+					time.Sleep(delay)
+					resp, err = client.Post(opts.BaseURL+endpoint, "application/json", bytes.NewReader(body))
+				}
 				lat := time.Since(t0)
 				if err != nil {
 					record(0, false, 0, true, false)

@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chow88/internal/daemon"
+)
+
+func TestRetryDelay(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"1", time.Second},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{" 1 ", time.Second},
+		{"60", maxRetryWait}, // an outsized hint cannot stall the session
+		{"", time.Second},
+		{"soon", time.Second},
+		{"-3", time.Second},
+	}
+	for _, c := range cases {
+		if got := retryDelay(c.in); got != c.want {
+			t.Errorf("retryDelay(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHealthyClientsRetryOn429 saturates a one-worker daemon with a tiny
+// queue: healthy clients must absorb queue-full answers by honoring
+// Retry-After (bounded re-sends), so a transiently saturated daemon costs
+// latency, not failed requests.
+func TestHealthyClientsRetryOn429(t *testing.T) {
+	s, err := daemon.NewServer(daemon.Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	sum, err := Run(Options{BaseURL: ts.URL, Clients: 6, Requests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Healthy5xx > 0 || sum.OracleMismatches > 0 {
+		t.Fatalf("unhealthy session: %s", sum)
+	}
+	// 6 clients against 1 worker + 1 queue slot must have collided; the
+	// final status histogram still shows the retries resolved most of them.
+	if sum.Retried429 == 0 {
+		t.Logf("no 429s under this scheduling; histogram: %v", sum.Statuses)
+	}
+	if sum.OK == 0 {
+		t.Fatalf("nothing succeeded: %s", sum)
+	}
+}

@@ -1,0 +1,370 @@
+// Convention construction, validation and enumeration.
+//
+// The paper fixes one register-usage convention (11 caller-saved + 9
+// callee-saved + 4 parameter registers) and measures two hand-restricted
+// variants (Table 2's D and E columns). This file makes the convention a
+// first-class, constructible value: a canonical string encoding for CLI
+// flags and cache fingerprints, a validator that rejects nonsense
+// partitions with a named reason before they reach the allocator, and a
+// generator that enumerates the caller/callee partition space the
+// auto-tuning sweep searches.
+package mach
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reserved is the set of registers no convention may allocate or pass
+// parameters in: the hardwired zero, the code generator's scratch registers
+// ($at, $k0, $k1), the result register ($v0), and the global/stack/return
+// linkage registers ($gp, $sp, $ra).
+var Reserved = SetOf(Zero, AT, V0, K0, K1, GP, SP, RA)
+
+// PartitionRegs is the ordered register pool the sweep partitions into
+// caller-saved and callee-saved classes: the paper's 20 allocatable
+// registers, arranged so that a single moving boundary converts registers
+// one at a time from the caller class to the callee class (caller-most
+// first). The dedicated parameter registers $a0–$a3 are not part of the
+// partition; they join the caller-saved class only while serving as
+// parameter registers (as in Default).
+var PartitionRegs = []Reg{V1, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9,
+	S0, S1, S2, S3, S4, S5, S6, S7, S8}
+
+// ParamPool is the ordered pool parameter registers are drawn from when
+// enumerating conventions: the four dedicated argument registers first,
+// then (for 5- and 6-parameter conventions) the highest caller-saved
+// temporaries. MaxParams bounds the enumerated parameter count.
+var ParamPool = []Reg{A0, A1, A2, A3, T9, T8}
+
+// MaxParams is the largest parameter-register count the enumerator emits.
+const MaxParams = 6
+
+// ConfigError reports an invalid register configuration. Reason is a
+// stable machine-checkable identifier; Detail names the offending
+// registers.
+type ConfigError struct {
+	Reason string // one of the Reason* constants
+	Detail string
+}
+
+// Named validation-failure reasons.
+const (
+	ReasonClassOverlap  = "caller-callee-overlap"
+	ReasonReserved      = "reserved-register"
+	ReasonParamDup      = "duplicate-param"
+	ReasonParamCallee   = "param-callee-saved"
+	ReasonParamReserved = "param-reserved"
+	ReasonBadSpec       = "bad-spec"
+)
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("convention: %s: %s", e.Reason, e.Detail)
+}
+
+// Validate checks that the configuration describes a coherent convention:
+//
+//   - the caller-saved and callee-saved classes are disjoint (a register
+//     cannot be both clobbered and preserved by the default linkage);
+//   - no reserved register ($zero, $at, $v0, $k0, $k1, $gp, $sp, $ra) is
+//     allocatable or a parameter register — the code generator owns them;
+//   - parameter registers are pairwise distinct;
+//   - no parameter register is callee-saved: an argument delivered in a
+//     preserved register would be captured by the callee's entry save,
+//     and the default oracle would under-report the call's clobber set.
+//
+// A configuration that fails any of these is a miscompile generator: the
+// allocator or the emitted linkage fails far from the actual mistake.
+// Every compile entry point validates the mode's Config before planning.
+func (c *Config) Validate() error {
+	if overlap := c.CallerSaved & c.CalleeSaved; !overlap.Empty() {
+		return &ConfigError{ReasonClassOverlap,
+			fmt.Sprintf("%s in both the caller-saved and callee-saved sets", overlap)}
+	}
+	if bad := c.Allocatable() & Reserved; !bad.Empty() {
+		return &ConfigError{ReasonReserved,
+			fmt.Sprintf("reserved %s in an allocatable set", bad)}
+	}
+	var seen RegSet
+	for _, r := range c.Params {
+		if Reserved.Has(r) {
+			return &ConfigError{ReasonParamReserved,
+				fmt.Sprintf("reserved %s used as a parameter register", r)}
+		}
+		if seen.Has(r) {
+			return &ConfigError{ReasonParamDup,
+				fmt.Sprintf("%s appears twice in the parameter list", r)}
+		}
+		seen = seen.Add(r)
+	}
+	if bad := seen & c.CalleeSaved; !bad.Empty() {
+		return &ConfigError{ReasonParamCallee,
+			fmt.Sprintf("parameter %s is callee-saved", bad)}
+	}
+	return nil
+}
+
+// specOrder is the canonical rendering order of conventionable registers:
+// families are walked in this order and consecutive family members coalesce
+// into ranges ("t0-t9" covers the numeric gap between $t7 and $t8).
+var specOrder = []Reg{V1, A0, A1, A2, A3, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9,
+	S0, S1, S2, S3, S4, S5, S6, S7, S8}
+
+// family splits a conventional register name into its letter prefix and
+// numeric suffix ("t9" → "t", 9). ok is false for unsuffixed names.
+func family(r Reg) (string, int, bool) {
+	name := regNames[r]
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || i == 0 {
+		return name, 0, false
+	}
+	n, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return name, 0, false
+	}
+	return name[:i], n, true
+}
+
+// encodeSet renders a register set compactly in specOrder, coalescing runs
+// within one register family: {$v1,$t0..$t9} → "v1,t0-t9".
+func encodeSet(s RegSet) string {
+	var parts []string
+	i := 0
+	for i < len(specOrder) {
+		r := specOrder[i]
+		if !s.Has(r) {
+			i++
+			continue
+		}
+		fam, start, ok := family(r)
+		j := i
+		if ok {
+			n := start
+			for j+1 < len(specOrder) {
+				nf, nn, nok := family(specOrder[j+1])
+				if !nok || nf != fam || nn != n+1 || !s.Has(specOrder[j+1]) {
+					break
+				}
+				j++
+				n++
+			}
+		}
+		if j > i { // run of at least two
+			parts = append(parts, regNames[specOrder[i]]+"-"+regNames[specOrder[j]])
+		} else {
+			parts = append(parts, regNames[specOrder[i]])
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+// Spec returns the canonical convention encoding, e.g. for Default:
+//
+//	caller=v1,a0-a3,t0-t9;callee=s0-s8;params=a0-a3
+//
+// The caller and callee sections list the two allocatable classes in full
+// (parameter registers appear in the caller list exactly when they are
+// allocation candidates, as in Default); params lists the parameter
+// registers in parameter order. ParseConvention(Spec()) reproduces the
+// register sets exactly, so the spec doubles as a convention fingerprint.
+func (c *Config) Spec() string {
+	return fmt.Sprintf("caller=%s;callee=%s;params=%s",
+		encodeSet(c.CallerSaved), encodeSet(c.CalleeSaved), encodeList(c.Params))
+}
+
+// encodeList renders an ordered register list, coalescing ascending runs
+// within one family: [$a0,$a1,$a2,$a3] → "a0-a3". Order is preserved, so
+// a permuted parameter list encodes (and re-parses) faithfully.
+func encodeList(regs []Reg) string {
+	var parts []string
+	for i := 0; i < len(regs); {
+		fam, n, ok := family(regs[i])
+		j := i
+		if ok {
+			for j+1 < len(regs) {
+				nf, nn, nok := family(regs[j+1])
+				if !nok || nf != fam || nn != n+1 {
+					break
+				}
+				j++
+				n++
+			}
+		}
+		if j > i {
+			parts = append(parts, regNames[regs[i]]+"-"+regNames[regs[j]])
+		} else {
+			parts = append(parts, regNames[regs[i]])
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+// regByName resolves a conventional register name (no "$" prefix).
+func regByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// parseRegList expands a comma-separated register list with family ranges
+// ("v1,t0-t9") into registers, in list order.
+func parseRegList(list string) ([]Reg, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []Reg
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimPrefix(strings.TrimSpace(item), "$")
+		lo, hi, isRange := item, item, false
+		if k := strings.IndexByte(item, '-'); k >= 0 {
+			lo, hi, isRange = item[:k], strings.TrimPrefix(item[k+1:], "$"), true
+		}
+		r0, ok := regByName(lo)
+		if !ok {
+			return nil, fmt.Errorf("unknown register %q", lo)
+		}
+		if !isRange {
+			out = append(out, r0)
+			continue
+		}
+		r1, ok := regByName(hi)
+		if !ok {
+			return nil, fmt.Errorf("unknown register %q", hi)
+		}
+		f0, n0, ok0 := family(r0)
+		f1, n1, ok1 := family(r1)
+		if !ok0 || !ok1 || f0 != f1 || n1 < n0 {
+			return nil, fmt.Errorf("bad register range %q", item)
+		}
+		for n := n0; n <= n1; n++ {
+			r, ok := regByName(fmt.Sprintf("%s%d", f0, n))
+			if !ok {
+				return nil, fmt.Errorf("no register %s%d in range %q", f0, n, item)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ParseConvention parses a convention spec (see Spec for the grammar) into
+// a validated Config. The three sections may appear in any order; missing
+// sections are empty. The parsed configuration is validated before being
+// returned, so a syntactically well-formed but incoherent spec (say, a
+// parameter register in the callee-saved class) fails here with its named
+// reason rather than deep inside the allocator.
+func ParseConvention(spec string) (*Config, error) {
+	c := &Config{}
+	seen := map[string]bool{}
+	for _, section := range strings.Split(spec, ";") {
+		section = strings.TrimSpace(section)
+		if section == "" {
+			continue
+		}
+		k := strings.IndexByte(section, '=')
+		if k < 0 {
+			return nil, &ConfigError{ReasonBadSpec, fmt.Sprintf("section %q is not key=regs", section)}
+		}
+		key, val := strings.TrimSpace(section[:k]), section[k+1:]
+		if seen[key] {
+			return nil, &ConfigError{ReasonBadSpec, fmt.Sprintf("section %q appears twice", key)}
+		}
+		seen[key] = true
+		regs, err := parseRegList(val)
+		if err != nil {
+			return nil, &ConfigError{ReasonBadSpec, err.Error()}
+		}
+		switch key {
+		case "caller":
+			c.CallerSaved = SetOf(regs...)
+		case "callee":
+			c.CalleeSaved = SetOf(regs...)
+		case "params":
+			c.Params = regs
+		default:
+			return nil, &ConfigError{ReasonBadSpec, fmt.Sprintf("unknown section %q", key)}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, &ConfigError{ReasonBadSpec, "empty convention spec"}
+	}
+	c.Name = shortName(c)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// shortName derives a compact display name from the class sizes:
+// Default's partition renders as "c15s9p4" (15 caller-saved incl. params,
+// 9 callee-saved, 4 parameter registers).
+func shortName(c *Config) string {
+	return fmt.Sprintf("c%ds%dp%d", c.CallerSaved.Count(), c.CalleeSaved.Count(), len(c.Params))
+}
+
+// Boundary builds the convention with ncallee callee-saved registers and
+// nparams parameter registers: the last ncallee registers of PartitionRegs
+// form the callee-saved class, the rest plus the parameter registers form
+// the caller-saved class, and parameters are drawn from ParamPool (skipping
+// pool members that landed in the callee class). It returns nil when the
+// pool cannot supply nparams caller-side registers — the enumerator skips
+// that point rather than emit an invalid convention.
+func Boundary(ncallee, nparams int) *Config {
+	if ncallee < 0 || ncallee > len(PartitionRegs) || nparams < 0 || nparams > MaxParams {
+		return nil
+	}
+	cut := len(PartitionRegs) - ncallee
+	caller := SetOf(PartitionRegs[:cut]...)
+	callee := SetOf(PartitionRegs[cut:]...)
+	var params []Reg
+	for _, r := range ParamPool {
+		if len(params) == nparams {
+			break
+		}
+		if callee.Has(r) {
+			continue
+		}
+		params = append(params, r)
+	}
+	if len(params) < nparams {
+		return nil
+	}
+	c := &Config{
+		CallerSaved: caller.Union(SetOf(params...)),
+		CalleeSaved: callee,
+		Params:      params,
+	}
+	c.Name = shortName(c)
+	return c
+}
+
+// Enumerate emits the boundary-partition convention space the sweep
+// searches: every callee-saved class size 0..20 crossed with every
+// parameter-register count 0..maxParams (capped at MaxParams; a negative
+// maxParams selects the cap). Points whose parameter pool is exhausted by
+// the partition (5- and 6-parameter conventions once $t8/$t9 turn
+// callee-saved) are skipped. Every returned convention passes Validate;
+// the order is deterministic (ncallee-major, nparams-minor).
+func Enumerate(maxParams int) []*Config {
+	if maxParams < 0 || maxParams > MaxParams {
+		maxParams = MaxParams
+	}
+	var out []*Config
+	for ncallee := 0; ncallee <= len(PartitionRegs); ncallee++ {
+		for nparams := 0; nparams <= maxParams; nparams++ {
+			if c := Boundary(ncallee, nparams); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package mach
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	for _, c := range []*Config{Default(), CallerOnly7(), CalleeOnly7(),
+		{Name: "none", Params: []Reg{A0}}} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    *Config
+		reason string
+	}{
+		{"overlap", &Config{CallerSaved: SetOf(T0, S0), CalleeSaved: SetOf(S0, S1)}, ReasonClassOverlap},
+		{"reserved-caller", &Config{CallerSaved: SetOf(T0, RA)}, ReasonReserved},
+		{"reserved-callee", &Config{CalleeSaved: SetOf(S0, SP)}, ReasonReserved},
+		{"reserved-scratch", &Config{CallerSaved: SetOf(K0)}, ReasonReserved},
+		{"reserved-result", &Config{CallerSaved: SetOf(V0)}, ReasonReserved},
+		{"dup-param", &Config{CallerSaved: SetOf(A0, A1), Params: []Reg{A0, A1, A0}}, ReasonParamDup},
+		{"param-callee", &Config{CalleeSaved: SetOf(S0), Params: []Reg{S0}}, ReasonParamCallee},
+		{"param-reserved", &Config{CallerSaved: SetOf(T0), Params: []Reg{RA}}, ReasonParamReserved},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want %s", tc.name, tc.reason)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Reason != tc.reason {
+			t.Errorf("%s: reason = %s, want %s", tc.name, ce.Reason, tc.reason)
+		}
+	}
+}
+
+func TestSpecCanonical(t *testing.T) {
+	cases := []struct {
+		cfg  *Config
+		want string
+	}{
+		{Default(), "caller=v1,a0-a3,t0-t9;callee=s0-s8;params=a0-a3"},
+		{CallerOnly7(), "caller=t0-t6;callee=;params=a0-a3"},
+		{CalleeOnly7(), "caller=;callee=s0-s6;params=a0-a3"},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Spec(); got != tc.want {
+			t.Errorf("%s: Spec() = %q, want %q", tc.cfg.Name, got, tc.want)
+		}
+	}
+}
+
+func sameSets(a, b *Config) bool {
+	if a.CallerSaved != b.CallerSaved || a.CalleeSaved != b.CalleeSaved ||
+		len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpecRoundTrip checks parse → encode → parse identity over the named
+// configurations and the entire enumerated convention space.
+func TestSpecRoundTrip(t *testing.T) {
+	cfgs := []*Config{Default(), CallerOnly7(), CalleeOnly7()}
+	enumerated := Enumerate(-1)
+	cfgs = append(cfgs, enumerated...)
+	for _, c := range cfgs {
+		spec := c.Spec()
+		parsed, err := ParseConvention(spec)
+		if err != nil {
+			t.Fatalf("%s: ParseConvention(%q): %v", c.Name, spec, err)
+		}
+		if !sameSets(c, parsed) {
+			t.Fatalf("%s: round trip changed sets: %q -> caller=%s callee=%s params=%v",
+				c.Name, spec, parsed.CallerSaved, parsed.CalleeSaved, parsed.Params)
+		}
+		if got := parsed.Spec(); got != spec {
+			t.Fatalf("%s: re-encode not canonical: %q -> %q", c.Name, spec, got)
+		}
+	}
+	// Within the enumerated space every convention point is distinct.
+	specs := map[string]string{}
+	for _, c := range enumerated {
+		spec := c.Spec()
+		if prev, dup := specs[spec]; dup {
+			t.Fatalf("spec %q produced by both %s and %s", spec, prev, c.Name)
+		}
+		specs[spec] = c.Name
+	}
+}
+
+func TestParseConventionErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"caller",
+		"caller=t0;caller=t1",
+		"bogus=t0",
+		"caller=t0,xyz",
+		"caller=t0-s0",
+		"caller=s3-s1",
+		"caller=t0;callee=s0;params=s0", // valid syntax, invalid convention
+	}
+	for _, spec := range cases {
+		if _, err := ParseConvention(spec); err == nil {
+			t.Errorf("ParseConvention(%q) = nil error, want failure", spec)
+		} else {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Errorf("ParseConvention(%q): error %v is not a *ConfigError", spec, err)
+			}
+		}
+	}
+}
+
+func TestParseConventionForgiving(t *testing.T) {
+	// Dollar prefixes, spaces, and reordered sections all parse to the
+	// same canonical convention.
+	want := Default().Spec()
+	for _, spec := range []string{
+		"params=a0-a3; callee=s0-s8; caller=$v1,$a0-$a3,$t0-$t9",
+		"caller=v1,a0,a1,a2,a3,t0,t1,t2,t3,t4,t5,t6,t7,t8,t9;callee=s0-s8;params=a0,a1,a2,a3",
+	} {
+		c, err := ParseConvention(spec)
+		if err != nil {
+			t.Fatalf("ParseConvention(%q): %v", spec, err)
+		}
+		if got := c.Spec(); got != want {
+			t.Errorf("ParseConvention(%q).Spec() = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	all := Enumerate(-1)
+	if len(all) < 100 {
+		t.Fatalf("Enumerate(-1) = %d conventions, want >= 100", len(all))
+	}
+	boundaries := map[int]bool{}
+	paramCounts := map[int]bool{}
+	for _, c := range all {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: enumerated convention invalid: %v", c.Name, err)
+		}
+		if got := c.CallerSaved & c.CalleeSaved; !got.Empty() {
+			t.Errorf("%s: classes overlap: %s", c.Name, got)
+		}
+		boundaries[c.CalleeSaved.Count()] = true
+		paramCounts[len(c.Params)] = true
+		if !strings.HasPrefix(c.Name, "c") {
+			t.Errorf("unexpected short name %q", c.Name)
+		}
+	}
+	for n := 0; n <= len(PartitionRegs); n++ {
+		if !boundaries[n] {
+			t.Errorf("no convention with %d callee-saved registers", n)
+		}
+	}
+	for p := 0; p <= MaxParams; p++ {
+		if !paramCounts[p] {
+			t.Errorf("no convention with %d parameter registers", p)
+		}
+	}
+	// The paper's partition (9 callee-saved, 4 params) must be in the space
+	// and must match Default's register sets exactly.
+	b := Boundary(9, 4)
+	if b == nil {
+		t.Fatal("Boundary(9, 4) = nil")
+	}
+	d := Default()
+	if b.CallerSaved != d.CallerSaved || b.CalleeSaved != d.CalleeSaved {
+		t.Errorf("Boundary(9,4) = %s, want Default's sets %s/%s",
+			b.Spec(), d.CallerSaved, d.CalleeSaved)
+	}
+	// Once $t8/$t9 turn callee-saved the 5/6-param points must be skipped,
+	// not emitted invalid.
+	if c := Boundary(15, 6); c != nil {
+		t.Errorf("Boundary(15, 6) = %s, want nil (param pool exhausted)", c.Spec())
+	}
+	if c := Boundary(20, 4); c == nil || len(c.Params) != 4 {
+		t.Errorf("Boundary(20, 4) should still supply a0-a3 params, got %v", c)
+	}
+}
+
+func TestEnumerateMaxParams(t *testing.T) {
+	for _, c := range Enumerate(2) {
+		if len(c.Params) > 2 {
+			t.Fatalf("Enumerate(2) emitted %d params (%s)", len(c.Params), c.Name)
+		}
+	}
+}

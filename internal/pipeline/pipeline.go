@@ -32,9 +32,26 @@ import (
 	"chow88/internal/incr"
 	"chow88/internal/inline"
 	"chow88/internal/ir"
+	"chow88/internal/mach"
 	"chow88/internal/mcode"
 	"chow88/internal/obs"
 )
+
+// validateMode rejects incoherent register conventions before any planning
+// happens: a Config that fails mach validation (overlapping save classes,
+// reserved registers in an allocatable set, bad parameter list) would
+// otherwise surface as a deep allocator failure or a miscompile. A nil
+// Config is left to PlanModule's defaulting.
+func validateMode(mode core.Mode) error {
+	if mode.Config == nil {
+		return nil
+	}
+	return mode.Config.Validate()
+}
+
+// Compile-time guarantee that the convention error is a distinct type the
+// classifier can dispatch on.
+var _ error = (*mach.ConfigError)(nil)
 
 // maxRounds bounds the degradation loop. Every round escalates at least
 // one procedure's ladder rung, so convergence is structural; the bound
@@ -97,6 +114,9 @@ func BuildCtx(ctx context.Context, mod *ir.Module, mode core.Mode) (*core.Progra
 		ctx = context.Background()
 	}
 	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := validateMode(mode); err != nil {
 		return nil, nil, nil, err
 	}
 	if !mode.Inline {
@@ -248,6 +268,9 @@ func BuildIncrementalCtx(ctx context.Context, src string, mode core.Mode, st *in
 		ctx = context.Background()
 	}
 	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := validateMode(mode); err != nil {
 		return nil, err
 	}
 	// Inlining rewrites the module after the front end, so the statefile's
